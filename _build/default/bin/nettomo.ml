@@ -1,0 +1,429 @@
+(* nettomo — command-line front end.
+
+   Subcommands:
+     gen        generate a topology (er / rg / ba / pl / isp / grid / ring)
+     stats      degree and connectivity summary of a topology
+     decompose  biconnected / triconnected structure, cuts, 2-vertex cuts
+     check      identifiability of a monitor placement (Theorems 3.1-3.3)
+     place      minimum monitor placement (Algorithm 1, MMP)
+     solve      simulate delays and recover them from path measurements
+     partial    per-link identifiability of an arbitrary placement
+     routing    fixed shortest-path-routing baseline vs MMP
+     robust     single-failure robustness of a placement
+     dot        Graphviz export
+
+   Topologies are read and written in the edge-list format of
+   Nettomo_topo.Edgelist ("u v" per line, "#" comments). *)
+
+open Cmdliner
+open Nettomo_graph
+open Nettomo_topo
+open Nettomo_core
+module Prng = Nettomo_util.Prng
+module Q = Nettomo_linalg.Rational
+
+(* ------------------------------------------------------------------ *)
+(* Common arguments                                                    *)
+
+let topology_arg =
+  let doc = "Topology file (edge list: two node ids per line)." in
+  Arg.(required & pos 0 (some file) None & info [] ~docv:"TOPOLOGY" ~doc)
+
+let seed_arg =
+  let doc = "Seed for all randomized steps (default 7)." in
+  Arg.(value & opt int 7 & info [ "seed" ] ~docv:"SEED" ~doc)
+
+let monitors_arg =
+  let doc = "Comma-separated monitor node ids, e.g. --monitors 0,4,17." in
+  Arg.(value & opt (list int) [] & info [ "m"; "monitors" ] ~docv:"IDS" ~doc)
+
+let output_arg =
+  let doc = "Output file (default: standard output)." in
+  Arg.(value & opt (some string) None & info [ "o"; "output" ] ~docv:"FILE" ~doc)
+
+let load file = Edgelist.read_file file
+
+let emit output s =
+  match output with
+  | None -> print_string s
+  | Some file ->
+      let oc = open_out file in
+      Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc s)
+
+let net_of g monitors =
+  match monitors with
+  | [] -> `Error (false, "at least one --monitors id is required")
+  | _ -> (
+      try `Ok (Net.create g ~monitors) with Invalid_argument m -> `Error (false, m))
+
+(* ------------------------------------------------------------------ *)
+(* gen                                                                 *)
+
+let gen_cmd =
+  let model_arg =
+    let doc =
+      "Topology model: er (Erdős–Rényi), rg (random geometric), ba \
+       (Barabási–Albert), pl (Chung–Lu power law), isp (synthetic \
+       ISP-like), grid, ring, complete."
+    in
+    Arg.(value & opt string "ba" & info [ "model" ] ~docv:"MODEL" ~doc)
+  in
+  let n_arg =
+    Arg.(value & opt int 50 & info [ "n"; "nodes" ] ~docv:"N" ~doc:"Number of nodes.")
+  in
+  let p_arg =
+    Arg.(value & opt float 0.1 & info [ "p" ] ~doc:"ER link probability.")
+  in
+  let radius_arg =
+    Arg.(value & opt float 0.25 & info [ "radius" ] ~doc:"RG connection radius.")
+  in
+  let nmin_arg =
+    Arg.(value & opt int 3 & info [ "nmin" ] ~doc:"BA minimum attachment degree.")
+  in
+  let alpha_arg =
+    Arg.(value & opt float 0.42 & info [ "alpha" ] ~doc:"PL degree exponent.")
+  in
+  let as_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "as" ] ~docv:"NAME"
+          ~doc:
+            "For --model isp: AS name from the paper's Tables 2-3 (e.g. \
+             'Ebone', 'AS8717').")
+  in
+  let connected_arg =
+    Arg.(
+      value & flag
+      & info [ "connected" ]
+          ~doc:"Redraw until the realization is connected (ER / RG / PL).")
+  in
+  let run model n p radius nmin alpha as_name connected seed output =
+    let rng = Prng.create seed in
+    let draw () =
+      match model with
+      | "er" -> Ok (Gen.erdos_renyi rng ~n ~p)
+      | "rg" -> Ok (Gen.random_geometric rng ~n ~radius)
+      | "ba" -> Ok (Gen.barabasi_albert rng ~n ~nmin)
+      | "pl" -> Ok (Gen.power_law rng ~n ~alpha)
+      | "grid" ->
+          let side = int_of_float (sqrt (float_of_int n)) in
+          Ok (Gen.grid side side)
+      | "ring" -> Ok (Gen.ring n)
+      | "complete" -> Ok (Gen.complete n)
+      | "isp" -> (
+          match as_name with
+          | None -> Error "--model isp requires --as NAME"
+          | Some name -> (
+              match Isp.find name with
+              | Some spec -> Ok (Isp.generate rng spec)
+              | None -> Error (Printf.sprintf "unknown AS %S" name)))
+      | other -> Error (Printf.sprintf "unknown model %S" other)
+    in
+    match draw () with
+    | Error m -> `Error (false, m)
+    | Ok g ->
+        let g =
+          if connected && not (Traversal.is_connected g) then
+            Gen.until_connected (fun () -> Result.get_ok (draw ()))
+          else g
+        in
+        emit output (Edgelist.to_string g);
+        `Ok ()
+  in
+  let term =
+    Term.(
+      ret
+        (const run $ model_arg $ n_arg $ p_arg $ radius_arg $ nmin_arg
+       $ alpha_arg $ as_arg $ connected_arg $ seed_arg $ output_arg))
+  in
+  Cmd.v (Cmd.info "gen" ~doc:"Generate a random or synthetic ISP topology.") term
+
+(* ------------------------------------------------------------------ *)
+(* stats                                                               *)
+
+let stats_cmd =
+  let run file =
+    let g = load file in
+    Format.printf "%a@." Stats.pp (Stats.summary g);
+    Format.printf "degree histogram:@.";
+    List.iter
+      (fun (d, c) -> Format.printf "  degree %3d: %d node(s)@." d c)
+      (Stats.degree_histogram g)
+  in
+  Cmd.v
+    (Cmd.info "stats" ~doc:"Degree and connectivity summary of a topology.")
+    Term.(const run $ topology_arg)
+
+(* ------------------------------------------------------------------ *)
+(* decompose                                                           *)
+
+let decompose_cmd =
+  let run file =
+    let g = load file in
+    let t = Triconnected.decompose g in
+    let show set =
+      Graph.NodeSet.elements set |> List.map string_of_int |> String.concat " "
+    in
+    Format.printf "cut vertices: %s@." (show t.Triconnected.cut_vertices);
+    Format.printf "2-vertex cuts: %s@."
+      (String.concat " "
+         (List.map
+            (fun (a, b) -> Printf.sprintf "{%d,%d}" a b)
+            t.Triconnected.separation_pairs));
+    Format.printf "separation vertices: %s@."
+      (show t.Triconnected.separation_vertices);
+    List.iter
+      (fun ((b : Biconnected.component), tricomps) ->
+        Format.printf "block {%s}@." (show b.Biconnected.nodes);
+        List.iter
+          (fun (tc : Triconnected.component) ->
+            Format.printf "  triconnected {%s}@." (show tc.Triconnected.nodes))
+          tricomps)
+      t.Triconnected.blocks
+  in
+  Cmd.v
+    (Cmd.info "decompose"
+       ~doc:"Biconnected and triconnected decomposition with separation vertices.")
+    Term.(const run $ topology_arg)
+
+(* ------------------------------------------------------------------ *)
+(* check                                                               *)
+
+let check_cmd =
+  let run file monitors =
+    let g = load file in
+    match net_of g monitors with
+    | `Error _ as e -> e
+    | `Ok net ->
+        let kappa = Net.kappa net in
+        Format.printf "monitors: %d@." kappa;
+        (if kappa = 2 then begin
+           Format.printf
+             "full network identifiable: %b (Theorem 3.1: impossible beyond a \
+              single link)@."
+             (Identifiability.network_identifiable net);
+           Format.printf "interior links identifiable (Theorem 3.2): %b@."
+             (Identifiability.interior_identifiable_two net);
+           List.iter
+             (fun f ->
+               Format.printf "  failure: %a@." Identifiability.pp_failure f)
+             (Identifiability.interior_two_failures net)
+         end
+         else
+           Format.printf "full network identifiable (Theorem 3.3): %b@."
+             (Identifiability.network_identifiable net));
+        `Ok ()
+  in
+  Cmd.v
+    (Cmd.info "check"
+       ~doc:"Test identifiability of a monitor placement (Section 7.1).")
+    Term.(ret (const run $ topology_arg $ monitors_arg))
+
+(* ------------------------------------------------------------------ *)
+(* place                                                               *)
+
+let place_cmd =
+  let random_arg =
+    Arg.(
+      value & flag
+      & info [ "random-choice" ]
+          ~doc:
+            "Where the algorithm may choose any eligible node, choose \
+             uniformly at random (seeded) instead of smallest-id.")
+  in
+  let run file random seed =
+    let g = load file in
+    let rng = if random then Some (Prng.create seed) else None in
+    match Mmp.place_report ?rng g with
+    | exception Invalid_argument m -> `Error (false, m)
+    | r ->
+        let show set =
+          Graph.NodeSet.elements set |> List.map string_of_int |> String.concat " "
+        in
+        Format.printf "monitors (%d of %d nodes): %s@."
+          (Graph.NodeSet.cardinal r.Mmp.monitors)
+          (Graph.n_nodes g) (show r.Mmp.monitors);
+        Format.printf "  by degree rule  : %s@." (show r.Mmp.by_degree);
+        Format.printf "  by triconnected : %s@." (show r.Mmp.by_triconnected);
+        Format.printf "  by biconnected  : %s@." (show r.Mmp.by_biconnected);
+        Format.printf "  top-up          : %s@." (show r.Mmp.top_up);
+        `Ok ()
+  in
+  Cmd.v
+    (Cmd.info "place"
+       ~doc:"Minimum monitor placement — Algorithm 1 (MMP) of the paper.")
+    Term.(ret (const run $ topology_arg $ random_arg $ seed_arg))
+
+(* ------------------------------------------------------------------ *)
+(* solve                                                               *)
+
+let solve_cmd =
+  let auto_arg =
+    Arg.(
+      value & flag
+      & info [ "mmp" ] ~doc:"Ignore --monitors and use MMP's placement.")
+  in
+  let run file monitors use_mmp seed =
+    let g = load file in
+    let monitors =
+      if use_mmp then Graph.NodeSet.elements (Mmp.place g) else monitors
+    in
+    match net_of g monitors with
+    | `Error _ as e -> e
+    | `Ok net ->
+        let rng = Prng.create seed in
+        let truth = Measurement.random_weights ~lo:1 ~hi:100 rng g in
+        (match Solver.recover ~rng net truth with
+        | None ->
+            Format.printf
+              "network is not identifiable with these monitors (no full-rank \
+               path set found)@."
+        | Some recovered ->
+            Format.printf "recovered %d link metrics from %d end-to-end paths:@."
+              (List.length recovered) (List.length recovered);
+            List.iter
+              (fun ((u, v), w) ->
+                Format.printf "  %d-%d: %s (true %s)@." u v (Q.to_string w)
+                  (Q.to_string (Measurement.weight truth (u, v))))
+              recovered);
+        `Ok ()
+  in
+  Cmd.v
+    (Cmd.info "solve"
+       ~doc:
+        "Simulate hidden link delays and recover them from end-to-end path \
+         measurements.")
+    Term.(ret (const run $ topology_arg $ monitors_arg $ auto_arg $ seed_arg))
+
+(* ------------------------------------------------------------------ *)
+(* robust                                                              *)
+
+let robust_cmd =
+  let mmp_arg =
+    Arg.(value & flag & info [ "mmp" ] ~doc:"Ignore --monitors and use MMP's placement.")
+  in
+  let run file monitors use_mmp =
+    let g = load file in
+    let monitors =
+      if use_mmp then Graph.NodeSet.elements (Mmp.place g) else monitors
+    in
+    match net_of g monitors with
+    | `Error _ as e -> e
+    | `Ok net ->
+        let r = Robustness.analyze net in
+        Format.printf "%a@." Robustness.pp r;
+        if not (Graph.EdgeSet.is_empty r.Robustness.critical_links) then begin
+          Format.printf "critical links:";
+          Graph.EdgeSet.iter
+            (fun (u, v) -> Format.printf " %d-%d" u v)
+            r.Robustness.critical_links;
+          Format.printf "@."
+        end;
+        if not (Graph.NodeSet.is_empty r.Robustness.critical_nodes) then begin
+          Format.printf "critical nodes:";
+          Graph.NodeSet.iter (fun v -> Format.printf " %d" v) r.Robustness.critical_nodes;
+          Format.printf "@."
+        end;
+        `Ok ()
+  in
+  Cmd.v
+    (Cmd.info "robust"
+       ~doc:
+         "Single-failure robustness: which link/node failures break the \
+          placement's identifiability.")
+    Term.(ret (const run $ topology_arg $ monitors_arg $ mmp_arg))
+
+(* ------------------------------------------------------------------ *)
+(* partial                                                             *)
+
+let partial_cmd =
+  let run file monitors seed =
+    let g = load file in
+    match net_of g monitors with
+    | `Error _ as e -> e
+    | `Ok net ->
+        let rng = Prng.create seed in
+        (match Partial.analyze ~rng net with
+        | exception Invalid_argument m -> `Error (false, m)
+        | r ->
+            Format.printf "%a@." Partial.pp r;
+            if not (Graph.EdgeSet.is_empty r.Partial.unidentifiable) then begin
+              Format.printf "unidentifiable links:";
+              Graph.EdgeSet.iter
+                (fun (u, v) -> Format.printf " %d-%d" u v)
+                r.Partial.unidentifiable;
+              Format.printf "@."
+            end;
+            `Ok ())
+  in
+  Cmd.v
+    (Cmd.info "partial"
+       ~doc:
+         "Partial identifiability: which links a (possibly insufficient) \
+          placement identifies.")
+    Term.(ret (const run $ topology_arg $ monitors_arg $ seed_arg))
+
+(* ------------------------------------------------------------------ *)
+(* routing                                                             *)
+
+let routing_cmd =
+  let run file =
+    let g = load file in
+    let max_rank = Fixed_routing.max_rank g in
+    Format.printf
+      "fixed shortest-path routing: best attainable rank %d of %d links@."
+      max_rank (Graph.n_edges g);
+    let greedy = Fixed_routing.greedy_place g in
+    let rank = Fixed_routing.rank_of g ~monitors:greedy in
+    let ident = Fixed_routing.identifiable_links g ~monitors:greedy in
+    Format.printf "greedy placement: %d monitors, rank %d, %d identifiable links@."
+      (List.length greedy) rank
+      (Graph.EdgeSet.cardinal ident);
+    Format.printf "monitors: %s@."
+      (String.concat " " (List.map string_of_int greedy));
+    (match Mmp.place g with
+    | mmp ->
+        Format.printf
+          "for comparison, MMP under controllable routing: %d monitors, all \
+           %d links@."
+          (Graph.NodeSet.cardinal mmp) (Graph.n_edges g)
+    | exception Invalid_argument _ -> ())
+  in
+  Cmd.v
+    (Cmd.info "routing"
+       ~doc:
+         "Uncontrollable-routing baseline: greedy monitor placement under \
+          fixed shortest-path routing, vs MMP.")
+    Term.(const run $ topology_arg)
+
+(* ------------------------------------------------------------------ *)
+(* dot                                                                 *)
+
+let dot_cmd =
+  let run file monitors output =
+    let g = load file in
+    let highlight = Graph.NodeSet.of_list monitors in
+    emit output (Dot.to_dot ~highlight g);
+    `Ok ()
+  in
+  Cmd.v
+    (Cmd.info "dot" ~doc:"Export the topology as Graphviz DOT.")
+    Term.(ret (const run $ topology_arg $ monitors_arg $ output_arg))
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  let info =
+    Cmd.info "nettomo" ~version:"1.0.0"
+      ~doc:
+        "Network tomography: identifiability of additive link metrics from \
+         end-to-end path measurements, and minimum monitor placement (IMC'13)."
+  in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [
+            gen_cmd; stats_cmd; decompose_cmd; check_cmd; place_cmd; solve_cmd;
+            partial_cmd; routing_cmd; robust_cmd; dot_cmd;
+          ]))

@@ -1,0 +1,1 @@
+examples/isp_tomography.ml: Format Graph Identifiability Isp List Measurement Mmp Net Nettomo_core Nettomo_graph Nettomo_linalg Nettomo_topo Nettomo_util Paths Printf Solver Stats

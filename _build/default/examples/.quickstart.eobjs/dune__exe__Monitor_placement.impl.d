@@ -1,0 +1,1 @@
+examples/monitor_placement.ml: Biconnected Dot Graph Identifiability List Mmp Net Nettomo_core Nettomo_graph Paper Printf String Triconnected

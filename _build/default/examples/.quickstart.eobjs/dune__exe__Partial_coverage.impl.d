@@ -1,0 +1,1 @@
+examples/partial_coverage.ml: Constrained Format Graph Isp List Mmp Net Nettomo_core Nettomo_graph Nettomo_topo Nettomo_util Partial Printf Stats

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Graph Identifiability List Measurement Net Nettomo_core Nettomo_graph Nettomo_linalg Nettomo_util Paper Printf Solver

@@ -1,0 +1,1 @@
+examples/sdn_overlay.ml: Classify Gen Graph Identifiability Interior List Measurement Mmp Net Nettomo_core Nettomo_graph Nettomo_linalg Nettomo_topo Nettomo_util Printf String Traversal

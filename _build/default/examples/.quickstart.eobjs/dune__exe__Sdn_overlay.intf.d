@@ -1,0 +1,1 @@
+examples/sdn_overlay.mli:

@@ -1,0 +1,1 @@
+lib/core/classify.ml: Array Format Fun Graph Hashtbl Interior List Measurement Net Nettomo_graph Nettomo_linalg Paths Traversal

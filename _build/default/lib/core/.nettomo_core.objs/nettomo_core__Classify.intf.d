@@ -1,0 +1,1 @@
+lib/core/classify.mli: Format Graph Measurement Net Nettomo_graph Nettomo_linalg Paths Rational

@@ -1,0 +1,1 @@
+lib/core/constrained.ml: Graph List Net Nettomo_graph Nettomo_util Option Partial Solver

@@ -1,0 +1,1 @@
+lib/core/constrained.mli: Graph Nettomo_graph Nettomo_util Partial

@@ -1,0 +1,1 @@
+lib/core/extended.ml: Graph Net Nettomo_graph

@@ -1,0 +1,1 @@
+lib/core/extended.mli: Graph Net Nettomo_graph

@@ -1,0 +1,1 @@
+lib/core/fixed_routing.ml: Array Fun Graph List Measurement Nettomo_graph Nettomo_linalg Option Traversal

@@ -1,0 +1,1 @@
+lib/core/fixed_routing.mli: Graph Nettomo_graph Paths

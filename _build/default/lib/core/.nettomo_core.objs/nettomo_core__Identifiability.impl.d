@@ -1,0 +1,1 @@
+lib/core/identifiability.ml: Array Bridges Extended Format Graph Interior List Measurement Net Nettomo_graph Nettomo_linalg Paths Sparsify Traversal

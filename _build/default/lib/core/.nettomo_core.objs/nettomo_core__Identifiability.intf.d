@@ -1,0 +1,1 @@
+lib/core/identifiability.mli: Format Graph Net Nettomo_graph Nettomo_linalg

@@ -1,0 +1,1 @@
+lib/core/interior.ml: Graph List Net Nettomo_graph Traversal

@@ -1,0 +1,1 @@
+lib/core/interior.mli: Graph Net Nettomo_graph

@@ -1,0 +1,1 @@
+lib/core/measurement.ml: Array Graph List Matrix Net Nettomo_graph Nettomo_linalg Nettomo_util Rational Result Seq

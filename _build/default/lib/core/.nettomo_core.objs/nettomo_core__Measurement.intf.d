@@ -1,0 +1,1 @@
+lib/core/measurement.mli: Graph Matrix Net Nettomo_graph Nettomo_linalg Nettomo_util Paths Rational

@@ -1,0 +1,1 @@
+lib/core/mmp.ml: Array Biconnected Graph List Net Nettomo_graph Nettomo_util Traversal Triconnected

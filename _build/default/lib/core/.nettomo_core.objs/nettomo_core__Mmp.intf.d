@@ -1,0 +1,1 @@
+lib/core/mmp.mli: Graph Net Nettomo_graph Nettomo_util

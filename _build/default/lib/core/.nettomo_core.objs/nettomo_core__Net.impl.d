@@ -1,0 +1,1 @@
+lib/core/net.ml: Format Graph List Nettomo_graph

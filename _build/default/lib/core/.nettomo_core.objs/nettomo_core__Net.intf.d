@@ -1,0 +1,1 @@
+lib/core/net.mli: Format Graph Nettomo_graph

@@ -1,0 +1,1 @@
+lib/core/noisy.ml: Array Float Graph List Measurement Net Nettomo_graph Nettomo_linalg Nettomo_util Paths Solver

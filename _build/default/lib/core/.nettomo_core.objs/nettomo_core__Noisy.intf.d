@@ -1,0 +1,1 @@
+lib/core/noisy.mli: Graph Measurement Net Nettomo_graph Nettomo_util Paths

@@ -1,0 +1,1 @@
+lib/core/paper.ml: Graph List Net Nettomo_graph Printf Seq

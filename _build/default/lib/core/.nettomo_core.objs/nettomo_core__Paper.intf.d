@@ -1,0 +1,1 @@
+lib/core/paper.mli: Graph Net Nettomo_graph Paths

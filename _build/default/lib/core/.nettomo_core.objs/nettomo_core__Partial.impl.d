@@ -1,0 +1,1 @@
+lib/core/partial.ml: Array Format Graph Identifiability List Measurement Net Nettomo_graph Nettomo_linalg Solver

@@ -1,0 +1,1 @@
+lib/core/partial.mli: Format Graph Net Nettomo_graph Nettomo_util

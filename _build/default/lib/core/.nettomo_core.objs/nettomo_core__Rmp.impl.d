@@ -1,0 +1,1 @@
+lib/core/rmp.ml: Array Graph Identifiability Net Nettomo_graph Nettomo_util

@@ -1,0 +1,1 @@
+lib/core/rmp.mli: Graph Nettomo_graph Nettomo_util

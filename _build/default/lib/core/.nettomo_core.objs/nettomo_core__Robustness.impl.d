@@ -1,0 +1,1 @@
+lib/core/robustness.ml: Format Graph Identifiability List Net Nettomo_graph Traversal

@@ -1,0 +1,1 @@
+lib/core/robustness.mli: Format Graph Net Nettomo_graph

@@ -1,0 +1,1 @@
+lib/core/solver.ml: Array Graph List Measurement Net Nettomo_graph Nettomo_linalg Nettomo_util Option Paths Traversal

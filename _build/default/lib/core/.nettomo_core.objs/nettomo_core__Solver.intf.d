@@ -1,0 +1,1 @@
+lib/core/solver.mli: Graph Measurement Net Nettomo_graph Nettomo_linalg Nettomo_util Paths Rational

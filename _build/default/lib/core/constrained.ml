@@ -1,0 +1,58 @@
+open Nettomo_graph
+module Prng = Nettomo_util.Prng
+
+type result = {
+  monitors : Graph.node list;
+  rank : int;
+  report : Partial.report;
+}
+
+let rank_of rng g monitors =
+  if List.length monitors < 2 then 0
+  else begin
+    let net = Net.create g ~monitors in
+    (* Each evaluation re-seeds from a split so that the greedy argmax
+       compares candidates on equal footing. *)
+    (Solver.independent_paths ~rng:(Prng.split rng) net).Solver.rank
+  end
+
+let greedy_place ?rng ?max_monitors g ~candidates =
+  let rng = match rng with Some r -> r | None -> Prng.create 0x636f6e73 in
+  let candidates = List.sort_uniq compare candidates in
+  List.iter
+    (fun v ->
+      if not (Graph.mem_node g v) then
+        invalid_arg "Constrained.greedy_place: candidate is not a node")
+    candidates;
+  if List.length candidates < 2 then
+    invalid_arg "Constrained.greedy_place: need at least two candidates";
+  let cap = Option.value max_monitors ~default:(List.length candidates) in
+  let full = Graph.n_edges g in
+  let rec grow chosen rank =
+    if rank >= full || List.length chosen >= cap then (chosen, rank)
+    else begin
+      let best =
+        List.fold_left
+          (fun acc v ->
+            if List.mem v chosen then acc
+            else begin
+              let r = rank_of rng g (v :: chosen) in
+              match acc with
+              | Some (_, best_r) when best_r >= r -> acc
+              | _ -> Some (v, r)
+            end)
+          None candidates
+      in
+      match best with
+      | Some (v, r) when r > rank -> grow (v :: chosen) r
+      | Some (v, r) when List.length chosen < 2 ->
+          (* A lone monitor measures nothing; seed the first two picks
+             even without rank progress. *)
+          grow (v :: chosen) r
+      | _ -> (chosen, rank)
+    end
+  in
+  let chosen, rank = grow [] 0 in
+  let monitors = List.rev chosen in
+  let report = Partial.analyze ~rng (Net.create g ~monitors) in
+  { monitors; rank; report }

@@ -1,0 +1,33 @@
+(** Greedy monitor placement under a candidate-set constraint.
+
+    Real deployments often cannot put monitors everywhere — only
+    gateways, or only nodes of one administrative domain, are eligible
+    (the constraint the paper points to in Section 7.3.2, footnote 17).
+    MMP's optimality argument does not survive such constraints, and
+    full identifiability may be out of reach entirely; the practical
+    question becomes "which eligible nodes buy the most coverage?".
+
+    This module answers it greedily: repeatedly add the eligible node
+    that maximizes the rank of the measurement-path space, until the
+    rank stops improving or every link is covered. Rank is evaluated
+    with the sampled independent-path search of {!Solver} (a
+    high-probability lower bound; see {!Partial}), so verdicts are
+    conservative: reported coverage is always achievable. *)
+
+open Nettomo_graph
+
+type result = {
+  monitors : Graph.node list;  (** in selection order *)
+  rank : int;  (** independent paths achieved *)
+  report : Partial.report;  (** per-link coverage of the final placement *)
+}
+
+val greedy_place :
+  ?rng:Nettomo_util.Prng.t ->
+  ?max_monitors:int ->
+  Graph.t ->
+  candidates:Graph.node list ->
+  result
+(** Raises [Invalid_argument] if a candidate is not a node of the graph
+    or fewer than two candidates are given. [max_monitors] (default:
+    all candidates) caps the placement size. *)

@@ -1,0 +1,25 @@
+open Nettomo_graph
+
+let interior_graph net = Graph.remove_nodes (Net.graph net) (Net.monitors net)
+
+let exterior_links net =
+  let g = Net.graph net in
+  Graph.NodeSet.fold
+    (fun m acc ->
+      List.fold_left (fun acc e -> Graph.EdgeSet.add e acc) acc (Graph.incident_edges g m))
+    (Net.monitors net) Graph.EdgeSet.empty
+
+let interior_links net =
+  Graph.EdgeSet.diff (Graph.edge_set (Net.graph net)) (exterior_links net)
+
+let decompose_two net =
+  match Net.monitor_list net with
+  | [ m1; m2 ] ->
+      let g = Graph.remove_edge (Net.graph net) m1 m2 in
+      let h = interior_graph net in
+      Traversal.components h
+      |> List.map (fun comp ->
+             let keep = Graph.NodeSet.add m1 (Graph.NodeSet.add m2 comp) in
+             Net.create ~labels:(Net.labels net) (Graph.induced g keep)
+               ~monitors:[ m1; m2 ])
+  | _ -> invalid_arg "Interior.decompose_two: exactly two monitors required"

@@ -1,0 +1,26 @@
+(** Interior/exterior decomposition under a monitor placement
+    (Definition 1 of the paper).
+
+    The {e interior graph} [H] is what remains after deleting the
+    monitors and their incident links; links incident to a monitor are
+    {e exterior}, all others {e interior}. With two monitors, exterior
+    links are never identifiable (Theorem 3.1 / Corollary 4.1) while the
+    interior links are identifiable under the conditions of
+    Theorem 3.2. *)
+
+open Nettomo_graph
+
+val interior_graph : Net.t -> Graph.t
+(** [H = G - M] for the network's monitor set [M]. *)
+
+val exterior_links : Net.t -> Graph.EdgeSet.t
+val interior_links : Net.t -> Graph.EdgeSet.t
+
+val decompose_two : Net.t -> Net.t list
+(** For a 2-monitor network whose interior graph has components
+    [H₁ … H_k]: the sub-networks [Gᵢ = Hᵢ + m₁ + m₂] of Section 5, each
+    carrying both monitors. A direct [m₁m₂] link is excluded from every
+    [Gᵢ]. Components consisting of a single interior node are included
+    (their [Gᵢ] has no interior links to identify but still exists).
+    Raises [Invalid_argument] unless the network has exactly two
+    monitors. *)

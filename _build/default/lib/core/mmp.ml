@@ -1,0 +1,99 @@
+open Nettomo_graph
+module NS = Graph.NodeSet
+module Prng = Nettomo_util.Prng
+
+type report = {
+  monitors : NS.t;
+  by_degree : NS.t;
+  by_triconnected : NS.t;
+  by_biconnected : NS.t;
+  top_up : NS.t;
+}
+
+(* Pick [k] nodes from [pool] — smallest identifiers by default, uniform
+   without replacement when a generator is supplied. *)
+let pick ?rng k pool =
+  let elems = NS.elements pool in
+  if k >= List.length elems then elems
+  else
+    match rng with
+    | None -> List.filteri (fun i _ -> i < k) elems
+    | Some rng -> Array.to_list (Prng.sample rng k (Array.of_list elems))
+
+let place_report ?rng g =
+  if Graph.is_empty g then invalid_arg "Mmp.place: empty graph";
+  if not (Traversal.is_connected g) then invalid_arg "Mmp.place: disconnected graph";
+  (* Rules (i)-(ii): dangling and tandem nodes have degree < 3 and can
+     never be avoided. *)
+  let by_degree =
+    Graph.fold_nodes (fun v acc -> if Graph.degree g v < 3 then NS.add v acc else acc)
+      g NS.empty
+  in
+  let monitors = ref by_degree in
+  let by_triconnected = ref NS.empty in
+  let by_biconnected = ref NS.empty in
+  let decomposition = Triconnected.decompose g in
+  let sep_vertices = decomposition.Triconnected.separation_vertices in
+  let cut_vertices = decomposition.Triconnected.cut_vertices in
+  List.iter
+    (fun ((block : Biconnected.component), tricomps) ->
+      if NS.cardinal block.Biconnected.nodes >= 3 then begin
+        (* Rule (iii): each triconnected component T with |T| ≥ 3 needs 3
+           nodes that are separation vertices or monitors. *)
+        List.iter
+          (fun (t : Triconnected.component) ->
+            let nodes = t.Triconnected.nodes in
+            if NS.cardinal nodes >= 3 then begin
+              let s = NS.cardinal (NS.inter nodes sep_vertices) in
+              let m = NS.cardinal (NS.inter nodes !monitors) in
+              if 0 < s && s < 3 && s + m < 3 then begin
+                let eligible = NS.diff (NS.diff nodes sep_vertices) !monitors in
+                let chosen = pick ?rng (3 - s - m) eligible in
+                List.iter
+                  (fun v ->
+                    monitors := NS.add v !monitors;
+                    by_triconnected := NS.add v !by_triconnected)
+                  chosen
+              end
+            end)
+          tricomps;
+        (* Rule (iv): each biconnected component B with |B| ≥ 3 needs 3
+           nodes that are cut-vertices or monitors. *)
+        let nodes = block.Biconnected.nodes in
+        let c = NS.cardinal (NS.inter nodes cut_vertices) in
+        let m = NS.cardinal (NS.inter nodes !monitors) in
+        if 0 < c && c < 3 && c + m < 3 then begin
+          let eligible = NS.diff (NS.diff nodes cut_vertices) !monitors in
+          let chosen = pick ?rng (3 - c - m) eligible in
+          List.iter
+            (fun v ->
+              monitors := NS.add v !monitors;
+              by_biconnected := NS.add v !by_biconnected)
+            chosen
+        end
+      end)
+    decomposition.Triconnected.blocks;
+  (* Final top-up: at least three monitors overall (or every node on
+     graphs smaller than that). *)
+  let top_up = ref NS.empty in
+  let missing = 3 - NS.cardinal !monitors in
+  if missing > 0 then begin
+    let eligible = NS.diff (Graph.node_set g) !monitors in
+    let chosen = pick ?rng missing eligible in
+    List.iter
+      (fun v ->
+        monitors := NS.add v !monitors;
+        top_up := NS.add v !top_up)
+      chosen
+  end;
+  {
+    monitors = !monitors;
+    by_degree;
+    by_triconnected = !by_triconnected;
+    by_biconnected = !by_biconnected;
+    top_up = !top_up;
+  }
+
+let place ?rng g = (place_report ?rng g).monitors
+
+let as_net ?rng g = Net.create g ~monitors:(NS.elements (place ?rng g))

@@ -1,0 +1,102 @@
+open Nettomo_graph
+module Prng = Nettomo_util.Prng
+module Q = Nettomo_linalg.Rational
+module Fmatrix = Nettomo_linalg.Fmatrix
+
+let measure rng weights ~sigma path =
+  Q.to_float (Measurement.measure weights path) +. Prng.gaussian ~sigma rng
+
+let measure_averaged rng weights ~sigma ~repetitions path =
+  if repetitions <= 0 then invalid_arg "Noisy.measure_averaged: repetitions must be positive";
+  let acc = ref 0.0 in
+  for _ = 1 to repetitions do
+    acc := !acc +. measure rng weights ~sigma path
+  done;
+  !acc /. float_of_int repetitions
+
+type estimate = { link : Graph.edge; estimated : float; true_value : float }
+
+let recover ?rng net weights ~sigma ~repetitions =
+  let rng = match rng with Some r -> r | None -> Prng.create 0x6e6f6973 in
+  let plan = Solver.independent_paths ~rng net in
+  if not (Solver.full_rank net plan) then None
+  else begin
+    let r =
+      Fmatrix.of_matrix (Measurement.matrix plan.Solver.space plan.Solver.paths)
+    in
+    let c =
+      Array.of_list
+        (List.map (measure_averaged rng weights ~sigma ~repetitions) plan.Solver.paths)
+    in
+    match Fmatrix.solve r c with
+    | None -> None (* cannot happen: the plan matrix is invertible *)
+    | Some x ->
+        let order = Measurement.link_order plan.Solver.space in
+        Some
+          (Array.to_list
+             (Array.mapi
+                (fun j estimated ->
+                  {
+                    link = order.(j);
+                    estimated;
+                    true_value = Q.to_float (Measurement.weight weights order.(j));
+                  })
+                x))
+  end
+
+let recover_least_squares ?rng ~extra_paths net weights ~sigma ~repetitions =
+  if extra_paths < 0 then invalid_arg "Noisy.recover_least_squares: negative extra_paths";
+  let rng = match rng with Some r -> r | None -> Prng.create 0x6c737121 in
+  let plan = Solver.independent_paths ~rng net in
+  if not (Solver.full_rank net plan) then None
+  else begin
+    let g = Net.graph net in
+    let pairs = Array.of_list (Net.monitor_pairs net) in
+    (* Harvest additional measurement paths; duplicates are fine, they
+       still contribute fresh noise samples. *)
+    let rec extras k acc =
+      if k = 0 || Array.length pairs = 0 then acc
+      else begin
+        let m1, m2 = pairs.(Prng.int rng (Array.length pairs)) in
+        match Paths.random_simple_path rng g m1 m2 with
+        | Some p when List.length p >= 2 -> extras (k - 1) (p :: acc)
+        | Some _ | None -> extras (k - 1) acc
+      end
+    in
+    let paths = plan.Solver.paths @ extras extra_paths [] in
+    let r = Fmatrix.of_matrix (Measurement.matrix plan.Solver.space paths) in
+    let c =
+      Array.of_list
+        (List.map (measure_averaged rng weights ~sigma ~repetitions) paths)
+    in
+    match Fmatrix.least_squares r c with
+    | None -> None
+    | Some x ->
+        let order = Measurement.link_order plan.Solver.space in
+        Some
+          (Array.to_list
+             (Array.mapi
+                (fun j estimated ->
+                  {
+                    link = order.(j);
+                    estimated;
+                    true_value = Q.to_float (Measurement.weight weights order.(j));
+                  })
+                x))
+  end
+
+let max_abs_error estimates =
+  List.fold_left
+    (fun acc e -> Float.max acc (Float.abs (e.estimated -. e.true_value)))
+    0.0 estimates
+
+let rmse estimates =
+  match estimates with
+  | [] -> 0.0
+  | _ ->
+      let total =
+        List.fold_left
+          (fun acc e -> acc +. ((e.estimated -. e.true_value) ** 2.0))
+          0.0 estimates
+      in
+      sqrt (total /. float_of_int (List.length estimates))

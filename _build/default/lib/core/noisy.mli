@@ -1,0 +1,69 @@
+(** Tomography with noisy measurements.
+
+    The paper's "constant" metrics explicitly include statistical
+    characteristics such as the mean delay (Section 1, footnote 1): each
+    end-to-end measurement is then the true path metric plus zero-mean
+    noise, and repeating measurements drives the estimate to the mean.
+    This module simulates that regime on top of the identifiability
+    machinery: the measurement paths still come from the exact full-rank
+    plan, but each path is measured [repetitions] times with Gaussian
+    noise, the per-path averages form the right-hand side, and the linear
+    system is solved in floating point.
+
+    For an identifiable network the estimation error vanishes as
+    [repetitions] grows — the convergence is demonstrated by the [noisy]
+    benchmark ablation and checked by tests. *)
+
+open Nettomo_graph
+
+val measure :
+  Nettomo_util.Prng.t ->
+  Measurement.weights ->
+  sigma:float ->
+  Paths.path ->
+  float
+(** One noisy end-to-end measurement: true path metric plus
+    [N(0, sigma²)] noise. *)
+
+val measure_averaged :
+  Nettomo_util.Prng.t ->
+  Measurement.weights ->
+  sigma:float ->
+  repetitions:int ->
+  Paths.path ->
+  float
+(** Average of [repetitions] noisy measurements. *)
+
+type estimate = {
+  link : Graph.edge;
+  estimated : float;
+  true_value : float;
+}
+
+val recover :
+  ?rng:Nettomo_util.Prng.t ->
+  Net.t ->
+  Measurement.weights ->
+  sigma:float ->
+  repetitions:int ->
+  estimate list option
+(** Full pipeline: build the exact measurement plan, take averaged noisy
+    measurements, solve in floating point. [None] when the network is
+    not identifiable with the given monitors. *)
+
+val recover_least_squares :
+  ?rng:Nettomo_util.Prng.t ->
+  extra_paths:int ->
+  Net.t ->
+  Measurement.weights ->
+  sigma:float ->
+  repetitions:int ->
+  estimate list option
+(** Overdetermined variant: besides the [n] independent plan paths,
+    measure [extra_paths] additional (generally dependent) random
+    measurement paths and solve in the least-squares sense. The extra
+    rows cost measurements but average the noise down further — the
+    ablation benchmark quantifies the trade-off. *)
+
+val max_abs_error : estimate list -> float
+val rmse : estimate list -> float

@@ -1,0 +1,75 @@
+open Nettomo_graph
+
+let fig1_labels =
+  Graph.NodeMap.of_seq
+    (List.to_seq
+       [ (0, "m1"); (1, "m2"); (2, "m3"); (3, "a"); (4, "b"); (5, "c"); (6, "x") ])
+
+(* Links of Fig. 1 in the paper's order l1 … l11. *)
+let fig1_links =
+  [
+    (0, 4);  (* l1 = m1-b *)
+    (0, 3);  (* l2 = m1-a *)
+    (3, 4);  (* l3 = a-b *)
+    (4, 5);  (* l4 = b-c *)
+    (3, 5);  (* l5 = a-c *)
+    (3, 2);  (* l6 = a-m3 *)
+    (5, 2);  (* l7 = c-m3 *)
+    (5, 6);  (* l8 = c-x *)
+    (2, 1);  (* l9 = m3-m2 *)
+    (6, 2);  (* l10 = x-m3 *)
+    (6, 1);  (* l11 = x-m2 *)
+  ]
+
+let fig1 =
+  Net.create ~labels:fig1_labels (Graph.of_edges fig1_links) ~monitors:[ 0; 1; 2 ]
+
+let fig1_link_names =
+  List.to_seq fig1_links
+  |> Seq.mapi (fun i (u, v) -> (Graph.edge u v, Printf.sprintf "l%d" (i + 1)))
+  |> Graph.EdgeMap.of_seq
+
+let fig1_paths =
+  [
+    [ 0; 4; 5; 6; 1 ];   (* m1→m2: l1 l4 l8 l11 *)
+    [ 0; 4; 5; 2 ];      (* m1→m3: l1 l4 l7 *)
+    [ 0; 3; 4; 5; 2 ];   (* l2 l3 l4 l7 *)
+    [ 0; 3; 5; 6; 2 ];   (* l2 l5 l8 l10 *)
+    [ 0; 3; 2 ];         (* l2 l6 *)
+    [ 0; 3; 5; 2 ];      (* l2 l5 l7 *)
+    [ 0; 4; 3; 2 ];      (* l1 l3 l6 *)
+    [ 0; 4; 5; 3; 2 ];   (* l1 l4 l5 l6 *)
+    [ 2; 1 ];            (* m3→m2: l9 *)
+    [ 2; 6; 1 ];         (* l10 l11 *)
+    [ 2; 3; 5; 6; 1 ];   (* l6 l5 l8 l11 *)
+  ]
+
+let fig6_labels =
+  Graph.NodeMap.of_seq
+    (List.to_seq
+       [ (0, "m1"); (6, "m2"); (1, "v1"); (2, "v2"); (3, "v3"); (4, "v4"); (5, "v5") ])
+
+let fig6 =
+  Net.create ~labels:fig6_labels
+    (Graph.of_edges
+       [ (0, 1); (0, 4); (1, 2); (2, 3); (1, 3); (3, 4); (2, 5); (4, 5); (2, 6); (5, 6) ])
+    ~monitors:[ 0; 6 ]
+
+let fig8_like =
+  Graph.of_edges
+    [
+      (* K4 X on 0..3 *)
+      (0, 1); (0, 2); (0, 3); (1, 2); (1, 3); (2, 3);
+      (* tandem chain to the wheel: 3 - 20 - 21 - 11 *)
+      (3, 20); (20, 21); (21, 11);
+      (* wheel Z: hub 10, rim 11 12 13 14 16 *)
+      (10, 11); (10, 12); (10, 13); (10, 14); (10, 16);
+      (11, 12); (12, 13); (13, 14); (14, 16); (16, 11);
+      (* tandem chain to the fused K4s: 2 - 15 - 4 *)
+      (2, 15); (15, 4);
+      (* fused K4s Y: {4,5,6,7} and {6,7,8,9} sharing link 6-7 *)
+      (4, 5); (4, 6); (4, 7); (5, 6); (5, 7); (6, 7);
+      (6, 8); (6, 9); (7, 8); (7, 9); (8, 9);
+      (* dangling chain at 1: 1 - 17 - 18 - 19 *)
+      (1, 17); (17, 18); (18, 19);
+    ]

@@ -1,0 +1,32 @@
+(** The example networks used throughout the paper, pre-built.
+
+    These serve as documentation, test fixtures and demo inputs:
+    - {!fig1}: the Section 2.3 running example (7 nodes, 11 links, three
+      monitors) together with the eleven measurement paths whose matrix
+      is invertible;
+    - {!fig6}: the Section 5 network whose interior graph is fully
+      identifiable with two monitors;
+    - {!fig8_like}: a 22-node composition in the spirit of the Section
+      7.2 example, exercising all four MMP placement rules. *)
+
+open Nettomo_graph
+
+val fig1 : Net.t
+(** Monitors m1 = 0, m2 = 1, m3 = 2; interior a = 3, b = 4, c = 5,
+    x = 6. Labels are attached ("m1", "a", …). *)
+
+val fig1_link_names : string Graph.EdgeMap.t
+(** The paper's link labels l1 … l11. *)
+
+val fig1_paths : Paths.path list
+(** The eleven measurement paths of Section 2.3, in the paper's order
+    (one m1→m2, seven m1→m3, three m3→m2). Their measurement matrix has
+    full rank 11. *)
+
+val fig6 : Net.t
+(** Monitors m1 = 0, m2 = 6; interior v1 … v5 = 1 … 5. *)
+
+val fig8_like : Graph.t
+(** 22 nodes, 35 links: a K4 with three attachment points, a wheel, two
+    fused K4s behind one cut vertex, two tandem chains and a dangling
+    chain. MMP places 10 monitors on it, exercising rules (i)–(iv). *)

@@ -1,0 +1,41 @@
+(** Partial identifiability under an arbitrary (possibly insufficient)
+    monitor placement.
+
+    The paper leaves "the achievable number of identifiable links when
+    monitor selection is constrained" as future work (Section 7.3.2,
+    footnote 17); this module provides the natural rank-based answer: a
+    link is identifiable iff its unit vector lies in the row space of the
+    measurement matrix over all measurable simple paths.
+
+    Two evaluation modes:
+    - {e exact}: enumerate all simple paths between monitor pairs —
+      exponential, only for small networks;
+    - {e sampled}: grow a maximal independent path basis with the layered
+      search of {!Solver}. The basis is maximal with high probability but
+      not certainly, so the result is a {e lower bound} on the
+      identifiable set (links reported identifiable always are — witness
+      paths exist — while a link could in rare cases be missed). *)
+
+open Nettomo_graph
+
+type mode = Exact | Sampled
+
+type report = {
+  mode : mode;
+  rank : int;  (** independent measurable paths found *)
+  identifiable : Graph.EdgeSet.t;
+  unidentifiable : Graph.EdgeSet.t;
+}
+
+val analyze :
+  ?rng:Nettomo_util.Prng.t ->
+  ?exact_node_limit:int ->
+  Net.t ->
+  report
+(** Exact below [exact_node_limit] nodes (default 12), sampled above.
+    Requires at least two monitors. *)
+
+val coverage : report -> float
+(** Fraction of links identifiable, in [\[0, 1\]]. *)
+
+val pp : Format.formatter -> report -> unit

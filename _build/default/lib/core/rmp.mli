@@ -1,0 +1,20 @@
+(** Random Monitor Placement — the baseline of Section 7.3.
+
+    RMP draws κ monitors uniformly at random and tests identifiability
+    with the Section 7.1 test. It cannot guarantee identifiability; its
+    quality is the fraction of Monte-Carlo draws that happen to achieve
+    it, which is what Figs. 9–12 plot against κ. *)
+
+open Nettomo_graph
+
+val place : Nettomo_util.Prng.t -> Graph.t -> kappa:int -> Graph.NodeSet.t
+(** κ distinct uniform nodes. Raises [Invalid_argument] if κ exceeds the
+    node count or is negative. *)
+
+val trial : Nettomo_util.Prng.t -> Graph.t -> kappa:int -> bool
+(** One Monte-Carlo trial: place κ random monitors and test whether the
+    whole network is identifiable. *)
+
+val success_fraction :
+  Nettomo_util.Prng.t -> Graph.t -> kappa:int -> runs:int -> float
+(** Fraction of [runs] independent trials achieving identifiability. *)

@@ -1,0 +1,96 @@
+open Nettomo_graph
+module Q = Nettomo_linalg.Rational
+module Basis = Nettomo_linalg.Basis
+module Matrix = Nettomo_linalg.Matrix
+module Prng = Nettomo_util.Prng
+
+type plan = {
+  space : Measurement.space;
+  paths : Paths.path list;
+  rank : int;
+}
+
+let independent_paths ?rng ?max_stall ?(enumeration_limit = 200_000) net =
+  let g = Net.graph net in
+  let space = Measurement.space g in
+  let n = Measurement.n_links space in
+  let rng = match rng with Some r -> r | None -> Prng.create 0x6e65740a in
+  let max_stall = Option.value max_stall ~default:(50 * (n + 1)) in
+  let basis = Basis.create n in
+  (* Float prefilter: almost every candidate near full rank is
+     dependent, and rejecting it against a float basis costs
+     microseconds instead of an exact rational elimination. Accepted
+     rows are still confirmed exactly before entering the plan. *)
+  let fbasis = Nettomo_linalg.Fbasis.create n in
+  let accepted = ref [] in
+  let offer p =
+    let row = Measurement.incidence_row space p in
+    let frow = Array.map Q.to_float row in
+    if not (Nettomo_linalg.Fbasis.would_increase_rank fbasis frow) then false
+    else if Basis.add basis row then begin
+      ignore (Nettomo_linalg.Fbasis.add fbasis frow);
+      accepted := p :: !accepted;
+      true
+    end
+    else false
+  in
+  let pairs = Net.monitor_pairs net in
+  if pairs <> [] && n > 0 then begin
+    (* Layer 1: shortest paths between all monitor pairs. *)
+    List.iter
+      (fun (m1, m2) ->
+        match Traversal.shortest_path g m1 m2 with
+        | Some p when List.length p >= 2 -> ignore (offer p)
+        | Some _ | None -> ())
+      pairs;
+    (* Layer 2: randomized simple paths until full rank or stall. *)
+    let pair_arr = Array.of_list pairs in
+    let stall = ref 0 in
+    while (not (Basis.is_full basis)) && !stall < max_stall do
+      let m1, m2 = pair_arr.(Prng.int rng (Array.length pair_arr)) in
+      match Paths.random_simple_path rng g m1 m2 with
+      | Some p -> if offer p then stall := 0 else incr stall
+      | None -> incr stall
+    done;
+    (* Layer 3: exhaustive enumeration as a completeness fallback —
+       only on small graphs, where the number of simple paths is
+       tractable. *)
+    if (not (Basis.is_full basis)) && Graph.n_nodes g <= 16 then
+      List.iter
+        (fun (m1, m2) ->
+          if not (Basis.is_full basis) then
+            try
+              List.iter
+                (fun p -> ignore (offer p))
+                (Paths.all_simple_paths ~limit:enumeration_limit g m1 m2)
+            with Paths.Limit_exceeded -> ())
+        pairs
+  end;
+  { space; paths = List.rev !accepted; rank = Basis.rank basis }
+
+let full_rank net plan =
+  plan.rank = Graph.n_edges (Net.graph net) && plan.rank = List.length plan.paths
+
+let solve plan c =
+  let n = Measurement.n_links plan.space in
+  if plan.rank <> n || List.length plan.paths <> n then
+    invalid_arg "Solver.solve: plan is not full rank";
+  if Array.length c <> n then invalid_arg "Solver.solve: measurement length mismatch";
+  let r = Measurement.matrix plan.space plan.paths in
+  match Matrix.solve r c with
+  | None ->
+      (* The plan rows are independent, so R is invertible and any
+         consistent c has a solution; an inconsistent c means the
+         measurements do not come from this plan. *)
+      invalid_arg "Solver.solve: inconsistent measurements"
+  | Some w ->
+      let order = Measurement.link_order plan.space in
+      Array.to_list (Array.mapi (fun j x -> (order.(j), x)) w)
+
+let recover ?rng net weights =
+  let plan = independent_paths ?rng net in
+  if not (full_rank net plan) then None
+  else begin
+    let c = Measurement.measure_all weights plan.paths in
+    Some (solve plan c)
+  end

@@ -1,0 +1,56 @@
+(** End-to-end tomography: construct linearly independent measurement
+    paths, measure them, and recover every link metric exactly — the
+    workflow of the Section 2.3 example, automated.
+
+    Path construction grows an exact row basis ({!Nettomo_linalg.Basis})
+    from candidate simple paths: shortest paths between every monitor
+    pair first, then randomized simple paths, then (on small networks)
+    exhaustive enumeration as a completeness fallback. When the network
+    is identifiable (Theorem 3.3 conditions hold) this yields exactly
+    [n = |L|] independent paths, and solving [R·w = c] recovers the
+    metric vector [w] exactly. *)
+
+open Nettomo_graph
+open Nettomo_linalg
+
+type plan = {
+  space : Measurement.space;
+  paths : Paths.path list;  (** linearly independent measurement paths *)
+  rank : int;  (** [= List.length paths] *)
+}
+
+val independent_paths :
+  ?rng:Nettomo_util.Prng.t ->
+  ?max_stall:int ->
+  ?enumeration_limit:int ->
+  Net.t ->
+  plan
+(** A maximal set of linearly independent measurement paths found by the
+    layered search. [max_stall] (default [50 · |L|]) bounds consecutive
+    unproductive random candidates before falling back to enumeration;
+    [enumeration_limit] (default 200,000 paths per monitor pair) bounds
+    the exhaustive fallback, which only runs on graphs of at most 16
+    nodes — so on larger networks the plan is maximal only with high
+    probability. On identifiable networks of moderate size the plan
+    reaches full rank. *)
+
+val full_rank : Net.t -> plan -> bool
+(** Whether the plan has as many paths as the network has links. *)
+
+val solve : plan -> Rational.t array -> (Graph.edge * Rational.t) list
+(** [solve plan c] solves [R·w = c] for the link metrics, given the
+    end-to-end measurement [c.(i)] of the i-th plan path. Raises
+    [Invalid_argument] if the plan is not full rank or [c] has the wrong
+    length. *)
+
+val recover :
+  ?rng:Nettomo_util.Prng.t ->
+  Net.t ->
+  Measurement.weights ->
+  (Graph.edge * Rational.t) list option
+(** Simulate the whole pipeline against ground-truth link metrics:
+    construct a plan, measure each plan path, solve, and return the
+    recovered metrics ([None] when the network is not identifiable with
+    the given monitors, i.e. full rank was not reached). The recovered
+    metrics equal the ground truth exactly whenever a plan is
+    returned. *)

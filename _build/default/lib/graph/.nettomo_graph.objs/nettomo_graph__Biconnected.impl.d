@@ -1,0 +1,1 @@
+lib/graph/biconnected.ml: Array Graph List

@@ -1,0 +1,1 @@
+lib/graph/biconnected.mli: Graph

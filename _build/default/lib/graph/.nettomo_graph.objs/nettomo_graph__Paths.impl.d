@@ -1,0 +1,1 @@
+lib/graph/paths.ml: Array Graph Hashtbl List Nettomo_util

@@ -1,0 +1,1 @@
+lib/graph/separation.ml: Array Biconnected Graph

@@ -1,0 +1,1 @@
+lib/graph/separation.mli: Graph

@@ -1,0 +1,1 @@
+lib/graph/sparsify.ml: Graph List Queue Separation

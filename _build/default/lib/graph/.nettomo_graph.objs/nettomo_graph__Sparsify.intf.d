@@ -1,0 +1,1 @@
+lib/graph/sparsify.mli: Graph

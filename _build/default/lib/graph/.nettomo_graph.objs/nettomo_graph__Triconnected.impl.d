@@ -1,0 +1,1 @@
+lib/graph/triconnected.ml: Biconnected Format Graph List Separation Traversal

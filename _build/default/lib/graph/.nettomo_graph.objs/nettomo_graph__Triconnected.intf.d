@@ -1,0 +1,1 @@
+lib/graph/triconnected.mli: Biconnected Format Graph

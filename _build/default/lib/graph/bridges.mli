@@ -1,0 +1,16 @@
+(** Bridge detection and 2-edge-connectivity (Tarjan 1974, the paper's
+    reference [27] for testing Condition ① of Theorem 3.2).
+
+    A bridge is a link whose removal disconnects its component. A graph is
+    2-edge-connected iff it has at least two nodes, is connected, and has
+    no bridge. *)
+
+val bridges : Graph.t -> Graph.EdgeSet.t
+(** All bridges, over every connected component. Linear time. *)
+
+val is_two_edge_connected : Graph.t -> bool
+(** [true] iff the graph has ≥ 2 nodes, is connected and bridge-free. *)
+
+val is_two_edge_connected_without : Graph.t -> Graph.edge -> bool
+(** [is_two_edge_connected_without g l] tests [G - l], without building
+    the smaller graph. The edge must be present in [g]. *)

@@ -1,0 +1,30 @@
+(** Menger-style connectivity oracles based on unit-capacity maximum flow.
+
+    These are independent implementations of the connectivity predicates
+    used by the identifiability tests, intended for cross-validation and
+    for general [k]: edge connectivity via max-flow between node pairs,
+    vertex connectivity via node splitting. They are polynomial but much
+    slower than the dedicated linear-time tests in {!Bridges},
+    {!Biconnected} and {!Separation}; use them on small graphs (tests) or
+    when [k > 3] is needed. *)
+
+val max_flow_edges : Graph.t -> Graph.node -> Graph.node -> int
+(** Maximum number of edge-disjoint paths between two distinct nodes. *)
+
+val max_flow_vertices : Graph.t -> Graph.node -> Graph.node -> int
+(** Maximum number of internally vertex-disjoint paths between two
+    distinct nodes. For adjacent nodes the direct link counts as one
+    path. *)
+
+val edge_connectivity : Graph.t -> int
+(** Global edge connectivity λ(G). 0 for disconnected or single-node
+    graphs. *)
+
+val vertex_connectivity : Graph.t -> int
+(** Global vertex connectivity κ(G): [n - 1] for complete graphs,
+    otherwise the minimum over non-adjacent pairs of vertex-disjoint
+    paths. 0 for disconnected graphs; raises [Invalid_argument] on graphs
+    with fewer than 2 nodes. *)
+
+val is_k_edge_connected : Graph.t -> int -> bool
+val is_k_vertex_connected : Graph.t -> int -> bool

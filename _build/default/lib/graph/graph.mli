@@ -1,0 +1,134 @@
+(** Undirected simple graphs over integer node identifiers.
+
+    This is the topology model of the paper (Section 2.1): an undirected
+    graph with no self-loops and at most one link per node pair; links
+    [uv] and [vu] are the same link. Node identifiers are arbitrary
+    integers — they need not be contiguous — so that derived graphs
+    (interior graphs, extended graphs with virtual monitors) can reuse the
+    identifiers of the original network.
+
+    The structure is persistent: all operations return new graphs and
+    never mutate their argument. Traversal-heavy algorithms should convert
+    to the array-based {!Compact} form once and work there. *)
+
+type node = int
+
+module NodeSet : Set.S with type elt = node
+module NodeMap : Map.S with type key = node
+
+type edge = node * node
+(** A link, normalized so the smaller endpoint comes first. All functions
+    accepting an edge or an endpoint pair normalize internally; all
+    functions returning edges return them normalized. *)
+
+val edge : node -> node -> edge
+(** [edge u v] is the normalized link between [u] and [v].
+    Raises [Invalid_argument] if [u = v] (self-loops are not allowed). *)
+
+val edge_other : edge -> node -> node
+(** [edge_other e v] is the endpoint of [e] that is not [v].
+    Raises [Invalid_argument] if [v] is not an endpoint. *)
+
+val edge_compare : edge -> edge -> int
+val edge_equal : edge -> edge -> bool
+val pp_edge : Format.formatter -> edge -> unit
+
+module EdgeSet : Set.S with type elt = edge
+module EdgeMap : Map.S with type key = edge
+
+type t
+
+val empty : t
+val is_empty : t -> bool
+
+val add_node : t -> node -> t
+(** Add an isolated node (no-op if present). *)
+
+val add_edge : t -> node -> node -> t
+(** Add a link, implicitly adding missing endpoints. No-op if the link is
+    already present. Raises [Invalid_argument] on self-loop. *)
+
+val remove_edge : t -> node -> node -> t
+(** Remove a link, keeping its endpoints. No-op if absent. *)
+
+val remove_node : t -> node -> t
+(** Remove a node and every link incident to it ([G - v] in the paper). *)
+
+val of_edges : ?nodes:node list -> (node * node) list -> t
+(** Build a graph from an edge list, plus optional extra isolated nodes. *)
+
+val mem_node : t -> node -> bool
+val mem_edge : t -> node -> node -> bool
+
+val n_nodes : t -> int
+(** [|G|] in the paper: number of nodes. *)
+
+val n_edges : t -> int
+(** [||G||] in the paper: number of links. *)
+
+val nodes : t -> node list
+(** Nodes in increasing order. *)
+
+val node_set : t -> NodeSet.t
+val node_array : t -> node array
+
+val edges : t -> edge list
+(** Normalized links, in lexicographic order. *)
+
+val edge_set : t -> EdgeSet.t
+
+val neighbors : t -> node -> NodeSet.t
+(** Neighbors of a node; empty set if the node is absent. *)
+
+val neighbor_list : t -> node -> node list
+
+val degree : t -> node -> int
+
+val incident_edges : t -> node -> edge list
+(** [L(v)] in the paper: links incident to [v]. *)
+
+val fold_nodes : (node -> 'a -> 'a) -> t -> 'a -> 'a
+val iter_nodes : (node -> unit) -> t -> unit
+val fold_edges : (edge -> 'a -> 'a) -> t -> 'a -> 'a
+val iter_edges : (edge -> unit) -> t -> unit
+
+val induced : t -> NodeSet.t -> t
+(** Sub-graph induced by a node set: those nodes and every link of the
+    graph with both endpoints inside the set. *)
+
+val remove_nodes : t -> NodeSet.t -> t
+(** [G] minus a whole node set and all incident links. *)
+
+val union : t -> t -> t
+(** Graph union: union of node sets and of link sets. *)
+
+val min_degree : t -> int
+(** Smallest node degree; raises [Invalid_argument] on an empty graph. *)
+
+val max_degree : t -> int
+
+val fresh_node : t -> node
+(** An identifier strictly larger than every node in the graph (0 when
+    empty). Used to mint virtual monitors. *)
+
+val equal : t -> t -> bool
+(** Equality of node sets and link sets. *)
+
+val pp : Format.formatter -> t -> unit
+
+(** Immutable array-based view for traversal algorithms: nodes are
+    re-indexed to [0 … n-1] with adjacency arrays. *)
+module Compact : sig
+  type graph = t
+
+  type t = private {
+    n : int;
+    ids : node array;  (** index → original identifier *)
+    index_of : int NodeMap.t;  (** original identifier → index *)
+    adj : int array array;  (** adjacency lists by index *)
+  }
+
+  val of_graph : graph -> t
+  val index : t -> node -> int
+  val id : t -> int -> node
+end

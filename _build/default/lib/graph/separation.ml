@@ -1,0 +1,67 @@
+module C = Graph.Compact
+module NS = Graph.NodeSet
+module ES = Graph.EdgeSet
+
+(* Shared sweep: call [f v u] for every ordered pair where u is a
+   cut-vertex of G - v, for non-cut-vertex v, and with G - v connected.
+   [f] returns [true] to continue, [false] to stop the sweep early. *)
+let sweep g ~f =
+  let c = C.of_graph g in
+  let n = c.n in
+  if n >= 4 then begin
+    let _, is_cut0, _, _ =
+      Biconnected.Internal.decompose_compact c ~skip_node:None
+    in
+    let continue_ = ref true in
+    let v = ref 0 in
+    while !continue_ && !v < n do
+      if not is_cut0.(!v) then begin
+        let _, is_cut, _, n_components =
+          Biconnected.Internal.decompose_compact c ~skip_node:(Some !v)
+        in
+        if n_components <= 1 then begin
+          let u = ref 0 in
+          while !continue_ && !u < n do
+            if is_cut.(!u) && not is_cut0.(!u) then
+              continue_ := f (C.id c !v) (C.id c !u);
+            incr u
+          done
+        end
+      end;
+      incr v
+    done
+  end
+
+let cut_pairs g =
+  let acc = ref ES.empty in
+  sweep g ~f:(fun v u ->
+      acc := ES.add (Graph.edge v u) !acc;
+      true);
+  ES.elements !acc
+
+let first_cut_pair g =
+  let found = ref None in
+  sweep g ~f:(fun v u ->
+      found := Some (Graph.edge v u);
+      false);
+  !found
+
+let cut_pair_members g =
+  let acc = ref NS.empty in
+  sweep g ~f:(fun v u ->
+      acc := NS.add v (NS.add u !acc);
+      true);
+  !acc
+
+let is_three_vertex_connected g =
+  Graph.n_nodes g >= 4
+  &&
+  let c = C.of_graph g in
+  let ok = ref true in
+  let v = ref 0 in
+  while !ok && !v < c.C.n do
+    if not (Biconnected.Internal.connected_and_cut_free c (Some !v)) then
+      ok := false;
+    incr v
+  done;
+  !ok

@@ -1,0 +1,56 @@
+module NS = Graph.NodeSet
+module ES = Graph.EdgeSet
+
+(* BFS spanning forest of the graph restricted to the links NOT in
+   [used]. *)
+let bfs_forest g ~used =
+  let seen = ref NS.empty in
+  let forest = ref ES.empty in
+  let visit root =
+    if not (NS.mem root !seen) then begin
+      seen := NS.add root !seen;
+      let q = Queue.create () in
+      Queue.add root q;
+      while not (Queue.is_empty q) do
+        let v = Queue.pop q in
+        NS.iter
+          (fun u ->
+            if (not (NS.mem u !seen)) && not (ES.mem (Graph.edge u v) used) then begin
+              seen := NS.add u !seen;
+              forest := ES.add (Graph.edge u v) !forest;
+              Queue.add u q
+            end)
+          (Graph.neighbors g v)
+      done
+    end
+  in
+  Graph.iter_nodes visit g;
+  !forest
+
+let forest_partition g ~k =
+  if k < 1 then invalid_arg "Sparsify.forest_partition: k must be >= 1";
+  let rec loop i used acc =
+    if i = 0 then List.rev acc
+    else begin
+      let f = bfs_forest g ~used in
+      loop (i - 1) (ES.union used f) (f :: acc)
+    end
+  in
+  loop k ES.empty []
+
+let certificate g ~k =
+  let forests = forest_partition g ~k in
+  let base =
+    Graph.fold_nodes (fun v acc -> Graph.add_node acc v) g Graph.empty
+  in
+  List.fold_left
+    (fun acc forest ->
+      ES.fold (fun (u, v) acc -> Graph.add_edge acc u v) forest acc)
+    base forests
+
+let is_three_vertex_connected g =
+  (* Certifying pays only when the graph is denser than the certificate
+     bound. *)
+  if Graph.n_edges g <= 3 * Graph.n_nodes g then
+    Separation.is_three_vertex_connected g
+  else Separation.is_three_vertex_connected (certificate g ~k:3)

@@ -1,0 +1,86 @@
+module NS = Graph.NodeSet
+module ES = Graph.EdgeSet
+
+type component = { nodes : NS.t; edges : ES.t; virtuals : ES.t }
+
+let pp_component ppf c =
+  Format.fprintf ppf "@[<h>{nodes %a; virtual %a}@]"
+    (Format.pp_print_list ~pp_sep:Format.pp_print_space Format.pp_print_int)
+    (NS.elements c.nodes)
+    (Format.pp_print_list ~pp_sep:Format.pp_print_space Graph.pp_edge)
+    (ES.elements c.virtuals)
+
+let component_of ~virtuals g =
+  {
+    nodes = Graph.node_set g;
+    edges = Graph.edge_set g;
+    virtuals = ES.inter virtuals (Graph.edge_set g);
+  }
+
+(* A connected graph in which every node has degree 2 is a cycle: report
+   it whole, as the polygon components of the classical decomposition. *)
+let is_polygon g =
+  Graph.n_nodes g >= 3
+  && Graph.fold_nodes (fun v acc -> acc && Graph.degree g v = 2) g true
+
+let split_biconnected g0 =
+  if Graph.n_nodes g0 < 3 then
+    invalid_arg "Triconnected.split_biconnected: fewer than 3 nodes";
+  if not (Biconnected.is_biconnected g0) then
+    invalid_arg "Triconnected.split_biconnected: input not biconnected";
+  (* [virtuals] accumulates every virtual link minted so far; each
+     component intersects it with its own link set at the end. *)
+  let rec split g virtuals =
+    if Graph.n_nodes g <= 3 || is_polygon g then [ component_of ~virtuals g ]
+    else
+      match Separation.first_cut_pair g with
+      | None -> [ component_of ~virtuals g ]
+      | Some (a, b) ->
+          let virtuals =
+            if Graph.mem_edge g a b then virtuals
+            else ES.add (Graph.edge a b) virtuals
+          in
+          let g = Graph.add_edge g a b in
+          let avoid_nodes = NS.of_list [ a; b ] in
+          let parts = Traversal.components ~avoid_nodes g in
+          List.concat_map
+            (fun part ->
+              let keep = NS.add a (NS.add b part) in
+              split (Graph.induced g keep) virtuals)
+            parts
+  in
+  split g0 ES.empty
+
+type t = {
+  blocks : (Biconnected.component * component list) list;
+  cut_vertices : NS.t;
+  separation_pairs : Graph.edge list;
+  separation_vertices : NS.t;
+}
+
+let decompose g =
+  let bc = Biconnected.decompose g in
+  let blocks =
+    List.map
+      (fun (block : Biconnected.component) ->
+        if NS.cardinal block.nodes < 3 then (block, [])
+        else
+          let sub = Graph.induced g block.nodes in
+          (block, split_biconnected sub))
+      bc.components
+  in
+  let separation_pairs =
+    List.concat_map
+      (fun ((block : Biconnected.component), _) ->
+        if NS.cardinal block.nodes < 4 then []
+        else Separation.cut_pairs (Graph.induced g block.nodes))
+      blocks
+  in
+  let separation_vertices =
+    List.fold_left
+      (fun acc (a, b) -> NS.add a (NS.add b acc))
+      bc.cut_vertices separation_pairs
+  in
+  { blocks; cut_vertices = bc.cut_vertices; separation_pairs; separation_vertices }
+
+let components g = List.concat_map snd (decompose g).blocks

@@ -1,0 +1,44 @@
+(** Triconnected components, following the construction in Section 7.2 of
+    the paper: inside each biconnected component, repeatedly connect the
+    two vertices of a minimal 2-vertex cut by a {e virtual link} and split
+    the graph along the cut, until no component has a 2-vertex cut left.
+    The resulting components are either 3-vertex-connected, polygons
+    (cycles, reported whole), or triangles — this is the classical
+    Hopcroft–Tarjan split decomposition up to bond components, which
+    cannot arise in simple graphs.
+
+    MMP (Algorithm 1) consumes this decomposition: its rule (iii) requires
+    every triconnected component with ≥ 3 nodes to contain at least three
+    nodes that are separation vertices or monitors. *)
+
+type component = {
+  nodes : Graph.NodeSet.t;
+  edges : Graph.EdgeSet.t;  (** component links, virtual ones included *)
+  virtuals : Graph.EdgeSet.t;  (** the virtual links among [edges] *)
+}
+
+val pp_component : Format.formatter -> component -> unit
+
+val split_biconnected : Graph.t -> component list
+(** Triconnected components of a biconnected graph (≥ 3 nodes, no cut
+    vertex). Raises [Invalid_argument] if the input has a cut vertex or is
+    disconnected. *)
+
+type t = {
+  blocks : (Biconnected.component * component list) list;
+      (** Each biconnected component paired with its triconnected
+          components. Blocks with fewer than 3 nodes have an empty
+          component list. *)
+  cut_vertices : Graph.NodeSet.t;
+  separation_pairs : Graph.edge list;
+      (** All minimal 2-vertex cuts, collected per block. *)
+  separation_vertices : Graph.NodeSet.t;
+      (** Cut-vertices plus members of minimal 2-vertex cuts — the
+          "separation vertices" of Section 7.2. *)
+}
+
+val decompose : Graph.t -> t
+(** Full decomposition of an arbitrary graph. *)
+
+val components : Graph.t -> component list
+(** Just the triconnected components across all blocks. *)

@@ -1,0 +1,1 @@
+lib/linalg/basis.mli: Rational

@@ -1,0 +1,1 @@
+lib/linalg/fbasis.ml: Array Float List

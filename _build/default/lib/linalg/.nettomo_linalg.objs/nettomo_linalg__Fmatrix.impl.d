@@ -1,0 +1,1 @@
+lib/linalg/fmatrix.ml: Array Float Format Matrix Rational

@@ -1,0 +1,1 @@
+lib/linalg/fmatrix.mli: Format Matrix

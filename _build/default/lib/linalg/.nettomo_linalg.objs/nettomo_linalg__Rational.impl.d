@@ -1,0 +1,1 @@
+lib/linalg/rational.ml: Bigint Format String

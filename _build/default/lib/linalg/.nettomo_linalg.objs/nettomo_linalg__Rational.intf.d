@@ -1,0 +1,1 @@
+lib/linalg/rational.mli: Bigint Format

@@ -1,0 +1,60 @@
+module Q = Rational
+
+type t = { n : int; mutable rows : (int * Q.t array) list }
+(* Invariant: [rows] is sorted by strictly increasing pivot column; each
+   row has a 1 at its pivot and zeros at all earlier columns. Rows are
+   not reduced against later pivots — forward reduction in pivot order is
+   still exact because eliminating pivot p only perturbs columns > p. *)
+
+let create n =
+  if n < 0 then invalid_arg "Basis.create: negative dimension";
+  { n; rows = [] }
+
+let dimension t = t.n
+
+let rank t = List.length t.rows
+
+let is_full t = rank t = t.n
+
+let check_dim t v =
+  if Array.length v <> t.n then invalid_arg "Basis: dimension mismatch"
+
+let reduce t v =
+  check_dim t v;
+  let v = Array.copy v in
+  List.iter
+    (fun (p, r) ->
+      if not (Q.is_zero v.(p)) then begin
+        let factor = v.(p) in
+        for j = p to t.n - 1 do
+          v.(j) <- Q.sub v.(j) (Q.mul factor r.(j))
+        done
+      end)
+    t.rows;
+  v
+
+let first_nonzero v =
+  let n = Array.length v in
+  let rec loop j = if j >= n then None else if Q.is_zero v.(j) then loop (j + 1) else Some j in
+  loop 0
+
+let mem t v = first_nonzero (reduce t v) = None
+
+let add t v =
+  let res = reduce t v in
+  match first_nonzero res with
+  | None -> false
+  | Some p ->
+      let inv = Q.inv res.(p) in
+      for j = p to t.n - 1 do
+        res.(j) <- Q.mul res.(j) inv
+      done;
+      let rec insert = function
+        | [] -> [ (p, res) ]
+        | (p', _) :: _ as rest when p < p' -> (p, res) :: rest
+        | x :: rest -> x :: insert rest
+      in
+      t.rows <- insert t.rows;
+      true
+
+let copy t = { n = t.n; rows = List.map (fun (p, r) -> (p, Array.copy r)) t.rows }

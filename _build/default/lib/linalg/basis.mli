@@ -1,0 +1,37 @@
+(** Incremental row-space basis over ℚ.
+
+    Measurement-path construction (Section 2.1 / the example of Section
+    2.3) needs to grow a set of linearly independent paths one candidate
+    at a time: a candidate path is kept iff its 0/1 incidence row
+    increases the rank. This structure maintains a row-echelon basis so
+    each candidate costs one forward reduction, and also answers
+    row-space membership queries, which is how per-link identifiability
+    ("is the i-th unit vector in the row space of R?") is decided. *)
+
+type t
+
+val create : int -> t
+(** Basis of the zero subspace of ℚ{^n}. [n = 0] is allowed (and is
+    trivially full). Raises [Invalid_argument] for negative [n]. *)
+
+val dimension : t -> int
+(** Ambient dimension [n]. *)
+
+val rank : t -> int
+
+val is_full : t -> bool
+(** Whether the basis spans all of ℚ{^n}. *)
+
+val reduce : t -> Rational.t array -> Rational.t array
+(** Residual of a vector after eliminating against the basis; the zero
+    vector iff the vector is in the span. Does not modify the basis. *)
+
+val mem : t -> Rational.t array -> bool
+(** Row-space membership. *)
+
+val add : t -> Rational.t array -> bool
+(** Add a vector. Returns [true] (and extends the basis) iff the vector
+    was independent of the current span. The input array is not
+    retained. *)
+
+val copy : t -> t

@@ -1,0 +1,82 @@
+type t = {
+  n : int;
+  epsilon : float;
+  mutable rows : (int * float array) list;
+      (* Sorted by pivot column; each row scaled to 1.0 at its pivot. *)
+}
+
+let create ?(epsilon = 1e-9) n =
+  if n < 0 then invalid_arg "Fbasis.create: negative dimension";
+  { n; epsilon; rows = [] }
+
+let dimension t = t.n
+let rank t = List.length t.rows
+let is_full t = rank t = t.n
+
+let check_dim t v =
+  if Array.length v <> t.n then invalid_arg "Fbasis: dimension mismatch"
+
+let reduce t v =
+  check_dim t v;
+  let v = Array.copy v in
+  (* Magnitude pivots mean a row may have nonzero entries on either side
+     of its pivot, so subtraction must span every column. Rows are kept
+     fully reduced (zero at all other pivots), so the order of
+     subtraction does not matter. *)
+  List.iter
+    (fun (p, r) ->
+      let factor = v.(p) in
+      if Float.abs factor > 0.0 then
+        for j = 0 to t.n - 1 do
+          v.(j) <- v.(j) -. (factor *. r.(j))
+        done)
+    t.rows;
+  v
+
+(* Largest-magnitude residual entry: partial pivoting keeps the basis
+   numerically tame. *)
+let best_pivot t v =
+  let best = ref (-1) in
+  let best_mag = ref t.epsilon in
+  Array.iteri
+    (fun j x ->
+      let m = Float.abs x in
+      if m > !best_mag then begin
+        best := j;
+        best_mag := m
+      end)
+    v;
+  if !best < 0 then None else Some !best
+
+let would_increase_rank t v = best_pivot t (reduce t v) <> None
+
+let add t v =
+  let res = reduce t v in
+  match best_pivot t res with
+  | None -> false
+  | Some p ->
+      let inv = 1.0 /. res.(p) in
+      Array.iteri (fun j x -> res.(j) <- x *. inv) res;
+      res.(p) <- 1.0;
+      (* Magnitude pivoting means the pivot need not be the leftmost
+         nonzero, so keep the basis fully reduced (RREF): eliminate the
+         new pivot column from every existing row. Then reduction order
+         no longer matters and {!reduce} stays correct. *)
+      List.iter
+        (fun (_, r) ->
+          let factor = r.(p) in
+          if Float.abs factor > 0.0 then
+            for j = 0 to t.n - 1 do
+              r.(j) <- r.(j) -. (factor *. res.(j))
+            done)
+        t.rows;
+      let rec insert = function
+        | [] -> [ (p, res) ]
+        | (p', _) :: _ as rest when p < p' -> (p, res) :: rest
+        | x :: rest -> x :: insert rest
+      in
+      t.rows <- insert t.rows;
+      true
+
+let copy t =
+  { n = t.n; epsilon = t.epsilon; rows = List.map (fun (p, r) -> (p, Array.copy r)) t.rows }

@@ -1,0 +1,199 @@
+module Q = Rational
+
+type t = { m : int; n : int; a : Q.t array array }
+(* Invariant: a has m rows of n entries each; rows are never shared with
+   callers (copied on the way in and out). *)
+
+let make m n x =
+  if m <= 0 || n <= 0 then invalid_arg "Matrix.make: non-positive dimension";
+  { m; n; a = Array.init m (fun _ -> Array.make n x) }
+
+let init m n f =
+  if m <= 0 || n <= 0 then invalid_arg "Matrix.init: non-positive dimension";
+  { m; n; a = Array.init m (fun i -> Array.init n (f i)) }
+
+let of_rows rows =
+  let m = Array.length rows in
+  if m = 0 then invalid_arg "Matrix.of_rows: no rows";
+  let n = Array.length rows.(0) in
+  if n = 0 then invalid_arg "Matrix.of_rows: empty rows";
+  if not (Array.for_all (fun r -> Array.length r = n) rows) then
+    invalid_arg "Matrix.of_rows: ragged rows";
+  { m; n; a = Array.map Array.copy rows }
+
+let of_int_rows rows = of_rows (Array.map (Array.map Q.of_int) rows)
+
+let identity n =
+  init n n (fun i j -> if i = j then Q.one else Q.zero)
+
+let rows t = t.m
+let cols t = t.n
+
+let get t i j =
+  if i < 0 || i >= t.m || j < 0 || j >= t.n then
+    invalid_arg "Matrix.get: out of bounds";
+  t.a.(i).(j)
+
+let row t i =
+  if i < 0 || i >= t.m then invalid_arg "Matrix.row: out of bounds";
+  Array.copy t.a.(i)
+
+let to_rows t = Array.map Array.copy t.a
+
+let transpose t = init t.n t.m (fun i j -> t.a.(j).(i))
+
+let mul x y =
+  if x.n <> y.m then invalid_arg "Matrix.mul: dimension mismatch";
+  init x.m y.n (fun i j ->
+      let acc = ref Q.zero in
+      for k = 0 to x.n - 1 do
+        acc := Q.add !acc (Q.mul x.a.(i).(k) y.a.(k).(j))
+      done;
+      !acc)
+
+let mul_vec t v =
+  if Array.length v <> t.n then invalid_arg "Matrix.mul_vec: dimension mismatch";
+  Array.init t.m (fun i ->
+      let acc = ref Q.zero in
+      for j = 0 to t.n - 1 do
+        acc := Q.add !acc (Q.mul t.a.(i).(j) v.(j))
+      done;
+      !acc)
+
+let equal x y =
+  x.m = y.m && x.n = y.n
+  && Array.for_all2 (fun r s -> Array.for_all2 Q.equal r s) x.a y.a
+
+(* Gauss–Jordan elimination in place on a working copy. Returns the
+   working rows, the rank, and the pivot column of each pivot row. *)
+let eliminate rows_arr n =
+  let m = Array.length rows_arr in
+  let a = Array.map Array.copy rows_arr in
+  let pivots = ref [] in
+  let r = ref 0 in
+  let col = ref 0 in
+  while !r < m && !col < n do
+    (* Find a pivot in this column at or below row r. *)
+    let pivot = ref (-1) in
+    let i = ref !r in
+    while !pivot < 0 && !i < m do
+      if not (Q.is_zero a.(!i).(!col)) then pivot := !i;
+      incr i
+    done;
+    if !pivot >= 0 then begin
+      let tmp = a.(!r) in
+      a.(!r) <- a.(!pivot);
+      a.(!pivot) <- tmp;
+      (* Scale the pivot row to 1 and clear the column everywhere else
+         (full Gauss–Jordan, so the result is RREF). *)
+      let inv = Q.inv a.(!r).(!col) in
+      for j = !col to n - 1 do
+        a.(!r).(j) <- Q.mul a.(!r).(j) inv
+      done;
+      for i = 0 to m - 1 do
+        if i <> !r && not (Q.is_zero a.(i).(!col)) then begin
+          let factor = a.(i).(!col) in
+          for j = !col to n - 1 do
+            a.(i).(j) <- Q.sub a.(i).(j) (Q.mul factor a.(!r).(j))
+          done
+        end
+      done;
+      pivots := !col :: !pivots;
+      incr r
+    end;
+    incr col
+  done;
+  (a, !r, List.rev !pivots)
+
+let rank t =
+  let _, rank, _ = eliminate t.a t.n in
+  rank
+
+let rref t =
+  let a, _, _ = eliminate t.a t.n in
+  { t with a }
+
+let solve t b =
+  if Array.length b <> t.m then invalid_arg "Matrix.solve: dimension mismatch";
+  (* Augment with b, eliminate, and read the solution off the pivots. *)
+  let aug =
+    Array.init t.m (fun i ->
+        Array.init (t.n + 1) (fun j -> if j < t.n then t.a.(i).(j) else b.(i)))
+  in
+  let a, rank, pivots = eliminate aug (t.n + 1) in
+  if List.exists (fun c -> c = t.n) pivots then None (* inconsistent *)
+  else if rank < t.n then
+    invalid_arg "Matrix.solve: matrix does not have full column rank"
+  else begin
+    let x = Array.make t.n Q.zero in
+    List.iteri (fun i c -> x.(c) <- a.(i).(t.n)) pivots;
+    Some x
+  end
+
+let inverse t =
+  if t.m <> t.n then invalid_arg "Matrix.inverse: not square";
+  let aug =
+    Array.init t.m (fun i ->
+        Array.init (2 * t.n) (fun j ->
+            if j < t.n then t.a.(i).(j)
+            else if j - t.n = i then Q.one
+            else Q.zero))
+  in
+  let a, _, pivots = eliminate aug (2 * t.n) in
+  (* Invertible iff every pivot of the augmented elimination falls in the
+     left block (a singular left block leaks pivots into the identity
+     half). *)
+  let left_rank = List.length (List.filter (fun c -> c < t.n) pivots) in
+  if left_rank < t.n then None
+  else Some (init t.n t.n (fun i j -> a.(i).(j + t.n)))
+
+let det t =
+  if t.m <> t.n then invalid_arg "Matrix.det: not square";
+  (* Fraction-free-ish: plain elimination tracking the product of pivots
+     and row swaps. *)
+  let a = Array.map Array.copy t.a in
+  let n = t.n in
+  let det = ref Q.one in
+  (try
+     for col = 0 to n - 1 do
+       let pivot = ref (-1) in
+       for i = col to n - 1 do
+         if !pivot < 0 && not (Q.is_zero a.(i).(col)) then pivot := i
+       done;
+       if !pivot < 0 then begin
+         det := Q.zero;
+         raise Exit
+       end;
+       if !pivot <> col then begin
+         let tmp = a.(col) in
+         a.(col) <- a.(!pivot);
+         a.(!pivot) <- tmp;
+         det := Q.neg !det
+       end;
+       det := Q.mul !det a.(col).(col);
+       let inv = Q.inv a.(col).(col) in
+       for i = col + 1 to n - 1 do
+         if not (Q.is_zero a.(i).(col)) then begin
+           let factor = Q.mul a.(i).(col) inv in
+           for j = col to n - 1 do
+             a.(i).(j) <- Q.sub a.(i).(j) (Q.mul factor a.(col).(j))
+           done
+         end
+       done
+     done
+   with Exit -> ());
+  !det
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>";
+  Array.iter
+    (fun r ->
+      Format.fprintf ppf "@[<h>[";
+      Array.iteri
+        (fun j x ->
+          if j > 0 then Format.fprintf ppf " ";
+          Q.pp ppf x)
+        r;
+      Format.fprintf ppf "]@]@,")
+    t.a;
+  Format.fprintf ppf "@]"

@@ -1,0 +1,89 @@
+type t = { num : Bigint.t; den : Bigint.t }
+(* Invariant: den > 0, gcd(|num|, den) = 1, zero is 0/1. *)
+
+let make num den =
+  if Bigint.is_zero den then raise Division_by_zero;
+  if Bigint.is_zero num then { num = Bigint.zero; den = Bigint.one }
+  else begin
+    let num, den =
+      if Bigint.sign den < 0 then (Bigint.neg num, Bigint.neg den)
+      else (num, den)
+    in
+    let g = Bigint.gcd num den in
+    { num = Bigint.div num g; den = Bigint.div den g }
+  end
+
+let zero = { num = Bigint.zero; den = Bigint.one }
+let one = { num = Bigint.one; den = Bigint.one }
+
+let of_bigint n = { num = n; den = Bigint.one }
+let of_int n = of_bigint (Bigint.of_int n)
+let of_ints n d = make (Bigint.of_int n) (Bigint.of_int d)
+
+let num t = t.num
+let den t = t.den
+
+let sign t = Bigint.sign t.num
+let is_zero t = Bigint.is_zero t.num
+let is_integer t = Bigint.equal t.den Bigint.one
+
+let compare a b =
+  (* a/b vs c/d with b, d > 0: compare ad with cb. *)
+  Bigint.compare (Bigint.mul a.num b.den) (Bigint.mul b.num a.den)
+
+let equal a b = Bigint.equal a.num b.num && Bigint.equal a.den b.den
+
+let neg t = { t with num = Bigint.neg t.num }
+let abs t = { t with num = Bigint.abs t.num }
+
+let add a b =
+  make
+    (Bigint.add (Bigint.mul a.num b.den) (Bigint.mul b.num a.den))
+    (Bigint.mul a.den b.den)
+
+let sub a b = add a (neg b)
+
+let mul a b = make (Bigint.mul a.num b.num) (Bigint.mul a.den b.den)
+
+let inv t =
+  if is_zero t then raise Division_by_zero;
+  make t.den t.num
+
+let div a b = mul a (inv b)
+
+let min a b = if compare a b <= 0 then a else b
+let max a b = if compare a b >= 0 then a else b
+
+let to_float t = Bigint.to_float t.num /. Bigint.to_float t.den
+
+let to_string t =
+  if is_integer t then Bigint.to_string t.num
+  else Bigint.to_string t.num ^ "/" ^ Bigint.to_string t.den
+
+let of_string s =
+  let fail () = invalid_arg "Rational.of_string: malformed rational" in
+  match String.index_opt s '/' with
+  | Some i ->
+      let n = String.sub s 0 i
+      and d = String.sub s (i + 1) (String.length s - i - 1) in
+      (try make (Bigint.of_string n) (Bigint.of_string d)
+       with Invalid_argument _ -> fail ())
+  | None -> (
+      match String.index_opt s '.' with
+      | None -> (
+          try of_bigint (Bigint.of_string s) with Invalid_argument _ -> fail ())
+      | Some i ->
+          (* Decimal: concatenating the digits keeps the sign in front,
+             and the denominator is a power of ten. *)
+          let int_part = String.sub s 0 i
+          and frac = String.sub s (i + 1) (String.length s - i - 1) in
+          if frac = "" then fail ();
+          let digits = int_part ^ frac in
+          if digits = "" || digits = "-" then fail ();
+          (try
+             let n = Bigint.of_string digits in
+             let d = Bigint.pow (Bigint.of_int 10) (String.length frac) in
+             make n d
+           with Invalid_argument _ -> fail ()))
+
+let pp ppf t = Format.pp_print_string ppf (to_string t)

@@ -1,0 +1,1 @@
+lib/topo/edgelist.ml: Buffer Fun Graph List Nettomo_graph Printf String

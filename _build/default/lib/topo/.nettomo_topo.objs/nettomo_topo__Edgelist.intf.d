@@ -1,0 +1,1 @@
+lib/topo/edgelist.mli: Graph Nettomo_graph

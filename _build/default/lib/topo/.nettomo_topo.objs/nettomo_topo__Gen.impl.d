@@ -1,0 +1,1 @@
+lib/topo/gen.ml: Array Float Fun Graph Hashtbl List Nettomo_graph Nettomo_util Printf Prng Traversal

@@ -1,0 +1,1 @@
+lib/topo/isp.ml: Float Gen Graph Hashtbl List Nettomo_graph Nettomo_util Prng String

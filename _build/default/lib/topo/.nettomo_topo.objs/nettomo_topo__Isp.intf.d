@@ -1,0 +1,1 @@
+lib/topo/isp.mli: Graph Nettomo_graph Nettomo_util Prng

@@ -1,0 +1,1 @@
+lib/topo/stats.ml: Format Graph Hashtbl List Nettomo_graph Option Traversal

@@ -1,0 +1,1 @@
+lib/topo/stats.mli: Format Graph Nettomo_graph

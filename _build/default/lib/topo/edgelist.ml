@@ -1,0 +1,56 @@
+open Nettomo_graph
+
+let strip_comment line =
+  match String.index_opt line '#' with
+  | Some i -> String.sub line 0 i
+  | None -> line
+
+let of_string s =
+  let g = ref Graph.empty in
+  let lines = String.split_on_char '\n' s in
+  List.iteri
+    (fun lineno line ->
+      let line = String.trim (strip_comment line) in
+      if line <> "" then begin
+        match String.split_on_char ' ' line |> List.filter (( <> ) "") with
+        | [ "node"; v ] -> (
+            match int_of_string_opt v with
+            | Some v -> g := Graph.add_node !g v
+            | None ->
+                failwith
+                  (Printf.sprintf "Edgelist: line %d: bad node id %S" (lineno + 1) v))
+        | [ u; v ] -> (
+            match (int_of_string_opt u, int_of_string_opt v) with
+            | Some u, Some v when u <> v -> g := Graph.add_edge !g u v
+            | Some u, Some v when u = v ->
+                failwith
+                  (Printf.sprintf "Edgelist: line %d: self-loop %d" (lineno + 1) u)
+            | _ ->
+                failwith
+                  (Printf.sprintf "Edgelist: line %d: bad link %S" (lineno + 1) line))
+        | _ ->
+            failwith
+              (Printf.sprintf "Edgelist: line %d: expected two fields, got %S"
+                 (lineno + 1) line)
+      end)
+    lines;
+  !g
+
+let to_string g =
+  let buf = Buffer.create 1024 in
+  Printf.bprintf buf "# %d nodes, %d links\n" (Graph.n_nodes g) (Graph.n_edges g);
+  Graph.iter_nodes
+    (fun v -> if Graph.degree g v = 0 then Printf.bprintf buf "node %d\n" v)
+    g;
+  Graph.iter_edges (fun (u, v) -> Printf.bprintf buf "%d %d\n" u v) g;
+  Buffer.contents buf
+
+let read_file file =
+  let ic = open_in file in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> of_string (really_input_string ic (in_channel_length ic)))
+
+let write_file file g =
+  let oc = open_out file in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc (to_string g))

@@ -1,0 +1,16 @@
+(** Plain-text edge-list topology format.
+
+    One link per line as two whitespace-separated integer node
+    identifiers; [#] starts a comment; blank lines ignored. An optional
+    [node <id>] line declares an isolated node. This is the on-disk
+    format used by the CLI and the bundled fixture topologies. *)
+
+open Nettomo_graph
+
+val of_string : string -> Graph.t
+(** Raises [Failure] with a line-numbered message on malformed input. *)
+
+val to_string : Graph.t -> string
+
+val read_file : string -> Graph.t
+val write_file : string -> Graph.t -> unit

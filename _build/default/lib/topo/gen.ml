@@ -1,0 +1,166 @@
+open Nettomo_graph
+open Nettomo_util
+
+let check_n name n lo =
+  if n < lo then invalid_arg (Printf.sprintf "Gen.%s: need at least %d nodes" name lo)
+
+let with_nodes n = Graph.of_edges ~nodes:(List.init n Fun.id) []
+
+let erdos_renyi rng ~n ~p =
+  check_n "erdos_renyi" n 1;
+  let g = ref (with_nodes n) in
+  for u = 0 to n - 2 do
+    for v = u + 1 to n - 1 do
+      if Prng.bernoulli rng p then g := Graph.add_edge !g u v
+    done
+  done;
+  !g
+
+let random_geometric_with_coords rng ~n ~radius =
+  check_n "random_geometric" n 1;
+  let coords = Array.init n (fun _ -> (Prng.float rng 1.0, Prng.float rng 1.0)) in
+  let g = ref (with_nodes n) in
+  let r2 = radius *. radius in
+  for u = 0 to n - 2 do
+    for v = u + 1 to n - 1 do
+      let xu, yu = coords.(u) and xv, yv = coords.(v) in
+      let dx = xu -. xv and dy = yu -. yv in
+      if (dx *. dx) +. (dy *. dy) <= r2 then g := Graph.add_edge !g u v
+    done
+  done;
+  (!g, coords)
+
+let random_geometric rng ~n ~radius = fst (random_geometric_with_coords rng ~n ~radius)
+
+let barabasi_albert rng ~n ~nmin =
+  check_n "barabasi_albert" n 4;
+  if nmin < 1 then invalid_arg "Gen.barabasi_albert: nmin must be ≥ 1";
+  (* The paper's seed: a 3-leaf star on nodes 0..3. The degree "bag"
+     holds each node once per unit of degree, so uniform draws from it
+     implement preferential attachment. *)
+  let g = ref (Graph.of_edges [ (0, 1); (0, 2); (0, 3) ]) in
+  let bag = ref [ 0; 0; 0; 1; 2; 3 ] in
+  let bag_size = ref 6 in
+  let bag_arr () = Array.of_list !bag in
+  for v = 4 to n - 1 do
+    let existing = v in
+    let targets =
+      if existing <= nmin then List.init existing Fun.id
+      else begin
+        (* Draw distinct degree-weighted targets. *)
+        let arr = bag_arr () in
+        let chosen = Hashtbl.create nmin in
+        while Hashtbl.length chosen < nmin do
+          let t = arr.(Prng.int rng !bag_size) in
+          if not (Hashtbl.mem chosen t) then Hashtbl.replace chosen t ()
+        done;
+        Hashtbl.fold (fun t () acc -> t :: acc) chosen []
+      end
+    in
+    List.iter
+      (fun t ->
+        g := Graph.add_edge !g t v;
+        bag := t :: v :: !bag;
+        bag_size := !bag_size + 2)
+      targets
+  done;
+  !g
+
+let power_law rng ~n ~alpha =
+  check_n "power_law" n 1;
+  if alpha <= 0.0 then invalid_arg "Gen.power_law: alpha must be positive";
+  let d = Array.init n (fun i -> Float.pow (float_of_int (i + 1)) alpha) in
+  let total = Array.fold_left ( +. ) 0.0 d in
+  let g = ref (with_nodes n) in
+  for u = 0 to n - 2 do
+    for v = u + 1 to n - 1 do
+      let p = Float.min 1.0 (d.(u) *. d.(v) /. total) in
+      if Prng.bernoulli rng p then g := Graph.add_edge !g u v
+    done
+  done;
+  !g
+
+let waxman rng ~n ~alpha ~beta =
+  check_n "waxman" n 1;
+  if alpha <= 0.0 || alpha > 1.0 || beta <= 0.0 || beta > 1.0 then
+    invalid_arg "Gen.waxman: alpha and beta must be in (0, 1]";
+  let coords = Array.init n (fun _ -> (Prng.float rng 1.0, Prng.float rng 1.0)) in
+  let scale = alpha *. Float.sqrt 2.0 in
+  let g = ref (with_nodes n) in
+  for u = 0 to n - 2 do
+    for v = u + 1 to n - 1 do
+      let xu, yu = coords.(u) and xv, yv = coords.(v) in
+      let d = Float.hypot (xu -. xv) (yu -. yv) in
+      if Prng.bernoulli rng (beta *. Float.exp (-.d /. scale)) then
+        g := Graph.add_edge !g u v
+    done
+  done;
+  !g
+
+let until_connected ?(max_tries = 1000) draw =
+  let rec loop i =
+    if i >= max_tries then
+      failwith "Gen.until_connected: no connected realization found"
+    else begin
+      let g = draw () in
+      if Graph.n_nodes g > 0 && Traversal.is_connected g then g else loop (i + 1)
+    end
+  in
+  loop 0
+
+let complete n =
+  check_n "complete" n 1;
+  let g = ref (with_nodes n) in
+  for u = 0 to n - 2 do
+    for v = u + 1 to n - 1 do
+      g := Graph.add_edge !g u v
+    done
+  done;
+  !g
+
+let ring n =
+  check_n "ring" n 3;
+  Graph.of_edges ((n - 1, 0) :: List.init (n - 1) (fun i -> (i, i + 1)))
+
+let path n =
+  check_n "path" n 1;
+  if n = 1 then with_nodes 1
+  else Graph.of_edges (List.init (n - 1) (fun i -> (i, i + 1)))
+
+let star k =
+  if k < 1 then invalid_arg "Gen.star: need at least one leaf";
+  Graph.of_edges (List.init k (fun i -> (0, i + 1)))
+
+let grid r c =
+  if r < 1 || c < 1 then invalid_arg "Gen.grid: non-positive dimension";
+  let id i j = (i * c) + j in
+  let edges = ref [] in
+  for i = 0 to r - 1 do
+    for j = 0 to c - 1 do
+      if j + 1 < c then edges := (id i j, id i (j + 1)) :: !edges;
+      if i + 1 < r then edges := (id i j, id (i + 1) j) :: !edges
+    done
+  done;
+  Graph.of_edges ~nodes:(List.init (r * c) Fun.id) !edges
+
+let random_tree rng ~n =
+  check_n "random_tree" n 1;
+  let g = ref (with_nodes n) in
+  for v = 1 to n - 1 do
+    g := Graph.add_edge !g (Prng.int rng v) v
+  done;
+  !g
+
+let random_connected rng ~n ~extra =
+  let g = ref (random_tree rng ~n) in
+  let added = ref 0 in
+  let attempts = ref 0 in
+  while !added < extra && !attempts < 50 * (extra + 1) do
+    incr attempts;
+    let u = Prng.int rng n and v = Prng.int rng n in
+    if u <> v && not (Graph.mem_edge !g u v) then begin
+      g := Graph.add_edge !g u v;
+      incr added
+    end
+  done;
+  !g

@@ -1,0 +1,63 @@
+(** Random topology generators.
+
+    The four models of Section 7.3.1 — Erdős–Rényi (ER), Random Geometric
+    (RG), Barabási–Albert (BA) and Random Power-Law (PL) — with the
+    paper's exact constructions, plus deterministic fixtures used by
+    tests and examples. All generators number nodes [0 … n-1] and are
+    driven by {!Nettomo_util.Prng}, so experiments are reproducible. *)
+
+open Nettomo_graph
+open Nettomo_util
+
+val erdos_renyi : Prng.t -> n:int -> p:float -> Graph.t
+(** Each of the [n·(n-1)/2] node pairs is linked independently with
+    probability [p]. May be disconnected. *)
+
+val random_geometric : Prng.t -> n:int -> radius:float -> Graph.t
+(** Nodes placed uniformly in the unit square; two nodes are linked iff
+    their Euclidean distance is at most [radius]. *)
+
+val random_geometric_with_coords :
+  Prng.t -> n:int -> radius:float -> Graph.t * (float * float) array
+
+val barabasi_albert : Prng.t -> n:int -> nmin:int -> Graph.t
+(** Preferential attachment starting from the paper's seed graph
+    [G₀ = ({v1..v4}, {v1v2, v1v3, v1v4})]: each new node attaches to
+    [nmin] distinct existing nodes chosen with probability proportional
+    to degree (to all existing nodes when fewer than [nmin] exist).
+    Always connected. Requires [n ≥ 4] and [nmin ≥ 1]. *)
+
+val power_law : Prng.t -> n:int -> alpha:float -> Graph.t
+(** Chung–Lu random power-law graph: expected degrees [dᵢ = i^α]
+    (1-based), nodes [i] and [j] linked with probability
+    [min(1, dᵢ·dⱼ / Σₖ dₖ)]. May be disconnected. *)
+
+val waxman : Prng.t -> n:int -> alpha:float -> beta:float -> Graph.t
+(** Waxman random graph: nodes uniform in the unit square, each pair
+    linked with probability [beta · exp(−d / (alpha · √2))] where [d] is
+    the pair's Euclidean distance. A classic model for router-level
+    topologies; may be disconnected. Requires [alpha, beta ∈ (0, 1]]. *)
+
+val until_connected :
+  ?max_tries:int -> (unit -> Graph.t) -> Graph.t
+(** Repeatedly draw from the thunk until a connected realization appears
+    (the paper discards disconnected realizations). Raises [Failure]
+    after [max_tries] (default 1000) attempts. *)
+
+(** Deterministic fixtures. *)
+
+val complete : int -> Graph.t
+val ring : int -> Graph.t
+val path : int -> Graph.t
+val star : int -> Graph.t
+(** [star k]: hub [0] with [k] leaves [1 … k]. *)
+
+val grid : int -> int -> Graph.t
+(** [grid r c]: r×c mesh, node [i·c + j] at row [i], column [j]. *)
+
+val random_tree : Prng.t -> n:int -> Graph.t
+(** Uniform attachment tree: node [v] links to a uniform node in
+    [0 … v-1]. *)
+
+val random_connected : Prng.t -> n:int -> extra:int -> Graph.t
+(** A random tree plus up to [extra] additional uniform random links. *)

@@ -1,0 +1,133 @@
+open Nettomo_graph
+open Nettomo_util
+
+type spec = {
+  name : string;
+  nodes : int;
+  links : int;
+  dangling_frac : float;
+  tandem_frac : float;
+  paper_r_mmp : float;
+}
+
+(* Degree-weighted choice over the core nodes [0 .. n_core-1]. *)
+let weighted_node rng g n_core =
+  let total = ref 0 in
+  for v = 0 to n_core - 1 do
+    total := !total + Graph.degree g v + 1
+  done;
+  let target = Prng.int rng !total in
+  let rec scan v acc =
+    let acc = acc + Graph.degree g v + 1 in
+    if target < acc then v else scan (v + 1) acc
+  in
+  scan 0 0
+
+(* Preferentially-attached connected core with exactly [links] links on
+   nodes [0 .. n-1]. *)
+let build_core rng ~n ~links =
+  if links < n - 1 then invalid_arg "Isp.generate: too few links for core";
+  if links > n * (n - 1) / 2 then invalid_arg "Isp.generate: too many links for core";
+  (* Attachment degree: as close to BA(nmin = 3) as the budget allows. *)
+  let nmin =
+    let fits k = (k * (max 0 (n - 4))) + 3 <= links in
+    if n >= 4 && fits 3 then 3 else if n >= 4 && fits 2 then 2 else 1
+  in
+  let g = ref (if n >= 4 then Graph.of_edges [ (0, 1); (0, 2); (0, 3) ] else Gen.complete n) in
+  if n >= 4 then
+    for v = 4 to n - 1 do
+      let targets = Hashtbl.create nmin in
+      let want = min nmin v in
+      let guard = ref 0 in
+      while Hashtbl.length targets < want && !guard < 200 * want do
+        incr guard;
+        let t = weighted_node rng !g v in
+        if t <> v && not (Hashtbl.mem targets t) then Hashtbl.replace targets t ()
+      done;
+      Hashtbl.iter (fun t () -> g := Graph.add_edge !g t v) targets
+    done;
+  (* Preferential extra links up to the exact budget; fall back to uniform
+     pairs so dense cores terminate. *)
+  let guard = ref 0 in
+  let limit = 400 * (links + 1) in
+  while Graph.n_edges !g < links && !guard < limit do
+    incr guard;
+    let u, v =
+      if !guard mod 3 = 0 then (Prng.int rng n, Prng.int rng n)
+      else (weighted_node rng !g n, weighted_node rng !g n)
+    in
+    if u <> v && not (Graph.mem_edge !g u v) then g := Graph.add_edge !g u v
+  done;
+  if Graph.n_edges !g <> links then
+    invalid_arg "Isp.generate: could not reach the core link budget";
+  !g
+
+let generate rng spec =
+  if spec.nodes < 8 then invalid_arg "Isp.generate: topology too small";
+  let n_dangling = int_of_float (Float.round (spec.dangling_frac *. float_of_int spec.nodes)) in
+  let n_tandem = int_of_float (Float.round (spec.tandem_frac *. float_of_int spec.nodes)) in
+  let n_core = spec.nodes - n_dangling - n_tandem in
+  if n_core < 4 then invalid_arg "Isp.generate: core too small";
+  let core_links = spec.links - n_dangling - (2 * n_tandem) in
+  let core = build_core rng ~n:n_core ~links:core_links in
+  let g = ref core in
+  (* Tandem nodes: degree-2 relays between two distinct core routers. *)
+  for t = 0 to n_tandem - 1 do
+    let id = n_core + t in
+    let u = weighted_node rng core n_core in
+    let v =
+      let rec pick guard =
+        let v = weighted_node rng core n_core in
+        if v <> u || guard > 100 then v else pick (guard + 1)
+      in
+      pick 0
+    in
+    let v = if v = u then (u + 1) mod n_core else v in
+    g := Graph.add_edge (Graph.add_edge !g u id) id v
+  done;
+  (* Dangling gateways: degree-1 nodes on degree-weighted core routers. *)
+  for d = 0 to n_dangling - 1 do
+    let id = n_core + n_tandem + d in
+    let u = weighted_node rng core n_core in
+    g := Graph.add_edge !g u id
+  done;
+  assert (Graph.n_nodes !g = spec.nodes);
+  assert (Graph.n_edges !g = spec.links);
+  !g
+
+(* Dangling/tandem fractions are calibrated so that κ_MMP / |V| on the
+   synthetic instances lands near the paper's reported value (the bench
+   harness prints both side by side). *)
+let rocketfuel =
+  [
+    { name = "AS6461 Abovenet"; nodes = 182; links = 294; dangling_frac = 0.50; tandem_frac = 0.11; paper_r_mmp = 0.64 };
+    { name = "AS1755 Ebone"; nodes = 172; links = 381; dangling_frac = 0.20; tandem_frac = 0.04; paper_r_mmp = 0.32 };
+    { name = "AS3257 Tiscali"; nodes = 240; links = 404; dangling_frac = 0.42; tandem_frac = 0.09; paper_r_mmp = 0.58 };
+    { name = "AS3967 Exodus"; nodes = 201; links = 434; dangling_frac = 0.33; tandem_frac = 0.06; paper_r_mmp = 0.42 };
+    { name = "AS1221 Telstra"; nodes = 318; links = 758; dangling_frac = 0.44; tandem_frac = 0.08; paper_r_mmp = 0.52 };
+    { name = "AS7018 AT&T"; nodes = 631; links = 2078; dangling_frac = 0.28; tandem_frac = 0.05; paper_r_mmp = 0.33 };
+    { name = "AS1239 Sprintlink"; nodes = 604; links = 2268; dangling_frac = 0.23; tandem_frac = 0.04; paper_r_mmp = 0.27 };
+    { name = "AS2914 Verio"; nodes = 960; links = 2821; dangling_frac = 0.37; tandem_frac = 0.06; paper_r_mmp = 0.43 };
+    { name = "AS3356 Level3"; nodes = 624; links = 5298; dangling_frac = 0.13; tandem_frac = 0.02; paper_r_mmp = 0.15 };
+  ]
+
+let caida =
+  [
+    { name = "AS15706"; nodes = 325; links = 874; dangling_frac = 0.73; tandem_frac = 0.11; paper_r_mmp = 0.84 };
+    { name = "AS9167"; nodes = 769; links = 1590; dangling_frac = 0.53; tandem_frac = 0.09; paper_r_mmp = 0.62 };
+    { name = "AS8717"; nodes = 1778; links = 3755; dangling_frac = 0.62; tandem_frac = 0.09; paper_r_mmp = 0.71 };
+    { name = "AS4761"; nodes = 969; links = 3760; dangling_frac = 0.56; tandem_frac = 0.08; paper_r_mmp = 0.64 };
+    { name = "AS20965"; nodes = 968; links = 8283; dangling_frac = 0.09; tandem_frac = 0.015; paper_r_mmp = 0.11 };
+  ]
+
+let find needle =
+  let lower = String.lowercase_ascii needle in
+  let matches spec =
+    let name = String.lowercase_ascii spec.name in
+    let ln = String.length name and lneedle = String.length lower in
+    let rec scan i =
+      i + lneedle <= ln && (String.sub name i lneedle = lower || scan (i + 1))
+    in
+    lneedle > 0 && scan 0
+  in
+  List.find_opt matches (rocketfuel @ caida)

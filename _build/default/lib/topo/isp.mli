@@ -1,0 +1,43 @@
+(** Synthetic ISP-like topologies standing in for the Rocketfuel and
+    CAIDA AS data sets (Tables 2–3, Figs. 11–12 of the paper).
+
+    The real data sets are not redistributable and the build environment
+    has no network access, so this generator reproduces the structural
+    features the paper identifies as driving monitor placement:
+
+    - a connected, preferentially-attached {e backbone core} (CAIDA-like
+      topologies use a denser, more skewed core);
+    - {e dangling gateway nodes} of degree 1 hanging off the core — each
+      one is forced to be a monitor by MMP rule (i);
+    - {e tandem nodes} of degree 2 spliced into core paths — forced
+      monitors by rule (ii).
+
+    Each AS from the paper's tables is described by a {!spec} carrying
+    the paper's exact node and link counts plus calibrated dangling /
+    tandem fractions; the resulting [κ_MMP / |V|] lands near the paper's
+    reported ratio, preserving the comparisons the evaluation makes. *)
+
+open Nettomo_graph
+open Nettomo_util
+
+type spec = {
+  name : string;  (** e.g. ["AS1755 Ebone"] *)
+  nodes : int;  (** paper's [|V|] *)
+  links : int;  (** paper's [|L|] *)
+  dangling_frac : float;  (** fraction of nodes that are degree-1 gateways *)
+  tandem_frac : float;  (** fraction of nodes that are degree-2 tandems *)
+  paper_r_mmp : float;  (** the paper's reported κ_MMP / |V|, for reporting *)
+}
+
+val generate : Prng.t -> spec -> Graph.t
+(** A connected graph with exactly [spec.nodes] nodes and [spec.links]
+    links (when satisfiable; raises [Invalid_argument] otherwise). *)
+
+val rocketfuel : spec list
+(** The nine Rocketfuel ASes of Table 2, in the paper's order. *)
+
+val caida : spec list
+(** The five CAIDA ASes of Table 3, in the paper's order. *)
+
+val find : string -> spec option
+(** Look up a spec by substring of its name (case-insensitive). *)

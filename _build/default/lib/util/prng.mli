@@ -1,0 +1,57 @@
+(** Deterministic pseudo-random number generator.
+
+    All randomized components of the library (topology generators, random
+    monitor placement, randomized path search) draw from this generator so
+    that every experiment is reproducible from a single integer seed.
+
+    The implementation is xoshiro256** seeded through SplitMix64, a
+    well-studied combination with 256 bits of state. The generator is
+    mutable; use {!split} to derive independent streams for concurrent or
+    per-trial use. *)
+
+type t
+
+val create : int -> t
+(** [create seed] builds a generator from an arbitrary integer seed.
+    Equal seeds always produce equal streams. *)
+
+val copy : t -> t
+(** [copy t] is an independent generator with the same current state. *)
+
+val split : t -> t
+(** [split t] advances [t] and returns a new generator whose stream is
+    statistically independent of the remainder of [t]'s stream. *)
+
+val bits64 : t -> int64
+(** Next raw 64-bit output. *)
+
+val int : t -> int -> int
+(** [int t bound] is uniform in [\[0, bound)]. [bound] must be positive. *)
+
+val int_in : t -> int -> int -> int
+(** [int_in t lo hi] is uniform in [\[lo, hi\]] (inclusive). *)
+
+val float : t -> float -> float
+(** [float t bound] is uniform in [\[0, bound)]. *)
+
+val bool : t -> bool
+
+val bernoulli : t -> float -> bool
+(** [bernoulli t p] is [true] with probability [p]. *)
+
+val gaussian : ?mu:float -> ?sigma:float -> t -> float
+(** Normally distributed sample (Box–Muller), default standard normal. *)
+
+val shuffle : t -> 'a array -> unit
+(** In-place Fisher–Yates shuffle. *)
+
+val sample : t -> int -> 'a array -> 'a array
+(** [sample t k arr] draws [k] distinct elements of [arr] uniformly
+    without replacement. Raises [Invalid_argument] if [k] exceeds the
+    array length. *)
+
+val choose : t -> 'a array -> 'a
+(** Uniform element of a non-empty array. *)
+
+val pick_list : t -> 'a list -> 'a
+(** Uniform element of a non-empty list (linear time). *)

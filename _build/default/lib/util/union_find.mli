@@ -1,0 +1,22 @@
+(** Disjoint-set forest with union by rank and path compression.
+
+    Elements are integers in [\[0, n)]. Used by the topology generators to
+    maintain connectivity while wiring random graphs. *)
+
+type t
+
+val create : int -> t
+(** [create n] builds [n] singleton sets [{0}, …, {n-1}]. *)
+
+val find : t -> int -> int
+(** Canonical representative of the element's set. *)
+
+val union : t -> int -> int -> bool
+(** [union t a b] merges the sets of [a] and [b]. Returns [true] if they
+    were previously distinct. *)
+
+val same : t -> int -> int -> bool
+(** Whether the two elements are currently in the same set. *)
+
+val count : t -> int
+(** Number of disjoint sets currently alive. *)

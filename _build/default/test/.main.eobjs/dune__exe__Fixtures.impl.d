@@ -1,0 +1,1 @@
+test/fixtures.ml: Alcotest Format Graph List Nettomo_graph Nettomo_util Prng

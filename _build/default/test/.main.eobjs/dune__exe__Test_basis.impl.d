@@ -1,0 +1,1 @@
+test/test_basis.ml: Alcotest Array Basis Matrix Nettomo_linalg Nettomo_util QCheck2 QCheck_alcotest Rational

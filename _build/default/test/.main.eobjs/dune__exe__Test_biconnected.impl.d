@@ -1,0 +1,1 @@
+test/test_biconnected.ml: Alcotest Biconnected Connectivity Fixtures Graph List Nettomo_graph Nettomo_util QCheck2 QCheck_alcotest Traversal

@@ -1,0 +1,1 @@
+test/test_bigint.ml: Alcotest Bigint List Nettomo_linalg Printf QCheck2 QCheck_alcotest Seq String

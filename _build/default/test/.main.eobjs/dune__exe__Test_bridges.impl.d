@@ -1,0 +1,1 @@
+test/test_bridges.ml: Alcotest Bridges Connectivity Fixtures Graph Nettomo_graph Nettomo_util Printf QCheck2 QCheck_alcotest Traversal

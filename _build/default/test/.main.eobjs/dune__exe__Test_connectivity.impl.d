@@ -1,0 +1,1 @@
+test/test_connectivity.ml: Alcotest Bridges Connectivity Fixtures Graph Nettomo_graph Nettomo_util QCheck2 QCheck_alcotest

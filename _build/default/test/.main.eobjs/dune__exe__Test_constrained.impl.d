@@ -1,0 +1,1 @@
+test/test_constrained.ml: Alcotest Constrained Fixtures Graph List Net Nettomo_core Nettomo_graph Nettomo_util Paper Partial QCheck2 QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_dot.ml: Alcotest Dot Filename Fixtures Fun Graph Nettomo_graph String Sys

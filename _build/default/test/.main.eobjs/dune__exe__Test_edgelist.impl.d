@@ -1,0 +1,1 @@
+test/test_edgelist.ml: Alcotest Edgelist Filename Fixtures Fun Graph Nettomo_graph Nettomo_topo Nettomo_util QCheck2 QCheck_alcotest String Sys

@@ -1,0 +1,1 @@
+test/test_extended.ml: Alcotest Extended Fixtures Graph Interior List Net Nettomo_core Nettomo_graph

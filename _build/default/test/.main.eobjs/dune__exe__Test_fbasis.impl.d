@@ -1,0 +1,1 @@
+test/test_fbasis.ml: Alcotest Array Basis Fbasis Nettomo_linalg Nettomo_util QCheck2 QCheck_alcotest Rational

@@ -1,0 +1,1 @@
+test/test_fixed_routing.ml: Alcotest Array Fixed_routing Fixtures Graph Identifiability List Mmp Net Nettomo_core Nettomo_graph Nettomo_util QCheck2 QCheck_alcotest

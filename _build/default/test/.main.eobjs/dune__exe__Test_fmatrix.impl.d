@@ -1,0 +1,1 @@
+test/test_fmatrix.ml: Alcotest Array Float Fmatrix Matrix Nettomo_linalg Nettomo_util QCheck2 QCheck_alcotest Rational

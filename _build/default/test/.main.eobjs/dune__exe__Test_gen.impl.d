@@ -1,0 +1,1 @@
+test/test_gen.ml: Alcotest Array Gen Graph List Nettomo_graph Nettomo_topo Nettomo_util Printf QCheck2 QCheck_alcotest Stats Traversal

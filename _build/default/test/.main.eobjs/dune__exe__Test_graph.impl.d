@@ -1,0 +1,1 @@
+test/test_graph.ml: Alcotest Array Fixtures Graph Nettomo_graph Nettomo_util Printf QCheck2 QCheck_alcotest

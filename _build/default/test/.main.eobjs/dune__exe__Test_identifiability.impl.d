@@ -1,0 +1,1 @@
+test/test_identifiability.ml: Alcotest Array Fixtures Format Graph Identifiability Interior List Net Nettomo_core Nettomo_graph Nettomo_util QCheck2 QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_interior.ml: Alcotest Fixtures Graph Interior List Net Nettomo_core Nettomo_graph Nettomo_util QCheck2 QCheck_alcotest Traversal

@@ -1,0 +1,1 @@
+test/test_isp.ml: Alcotest Graph Isp List Nettomo_graph Nettomo_topo Nettomo_util Stats Traversal

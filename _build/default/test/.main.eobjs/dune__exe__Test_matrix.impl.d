@@ -1,0 +1,1 @@
+test/test_matrix.ml: Alcotest Array Matrix Nettomo_linalg Nettomo_util QCheck2 QCheck_alcotest Rational

@@ -1,0 +1,1 @@
+test/test_measurement.ml: Alcotest Array Fixtures Graph List Matrix Measurement Net Nettomo_core Nettomo_graph Nettomo_linalg Nettomo_util Printf Rational String

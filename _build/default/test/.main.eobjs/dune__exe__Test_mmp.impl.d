@@ -1,0 +1,1 @@
+test/test_mmp.ml: Alcotest Fixtures Graph Identifiability List Mmp Net Nettomo_core Nettomo_graph Nettomo_util QCheck2 QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_net.ml: Alcotest Fixtures Graph List Net Nettomo_core Nettomo_graph

@@ -1,0 +1,1 @@
+test/test_noisy.ml: Alcotest Float Measurement Net Nettomo_core Nettomo_util Noisy Paper Printf

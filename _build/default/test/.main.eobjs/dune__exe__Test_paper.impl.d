@@ -1,0 +1,1 @@
+test/test_paper.ml: Alcotest Graph Identifiability List Matrix Measurement Mmp Net Nettomo_core Nettomo_graph Nettomo_linalg Paper

@@ -1,0 +1,1 @@
+test/test_partial.ml: Alcotest Array Fixtures Graph Identifiability Interior List Mmp Net Nettomo_core Nettomo_graph Nettomo_topo Nettomo_util Paper Partial QCheck2 QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_paths.ml: Alcotest Fixtures Graph Hashtbl List Nettomo_graph Nettomo_util Paths QCheck2 QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_propositions.ml: Alcotest Array Bridges Connectivity Extended Fixtures Graph Identifiability Net Nettomo_core Nettomo_graph Nettomo_util Paper QCheck2 QCheck_alcotest Separation

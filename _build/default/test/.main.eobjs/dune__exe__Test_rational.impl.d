@@ -1,0 +1,1 @@
+test/test_rational.ml: Alcotest Bigint Nettomo_linalg QCheck2 QCheck_alcotest Rational

@@ -1,0 +1,1 @@
+test/test_rmp.ml: Alcotest Fixtures Graph Identifiability Net Nettomo_core Nettomo_graph Nettomo_util QCheck2 QCheck_alcotest Rmp

@@ -1,0 +1,1 @@
+test/test_robustness.ml: Alcotest Fixtures Format Graph Identifiability List Mmp Net Nettomo_core Nettomo_graph Nettomo_util Paper QCheck2 QCheck_alcotest Robustness Traversal

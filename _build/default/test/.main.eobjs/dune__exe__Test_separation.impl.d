@@ -1,0 +1,1 @@
+test/test_separation.ml: Alcotest Array Biconnected Connectivity Fixtures Graph Nettomo_graph Nettomo_util QCheck2 QCheck_alcotest Separation Traversal

@@ -1,0 +1,1 @@
+test/test_solver.ml: Alcotest Array Basis Fixtures Graph Identifiability List Matrix Measurement Net Nettomo_core Nettomo_graph Nettomo_linalg Nettomo_util QCheck2 QCheck_alcotest Rational Solver

@@ -1,0 +1,1 @@
+test/test_sparsify.ml: Alcotest Biconnected Fixtures Graph List Nettomo_graph Nettomo_topo Nettomo_util QCheck2 QCheck_alcotest Separation Sparsify Traversal

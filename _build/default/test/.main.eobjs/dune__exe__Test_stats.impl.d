@@ -1,0 +1,1 @@
+test/test_stats.ml: Alcotest Fixtures List Nettomo_topo Stats

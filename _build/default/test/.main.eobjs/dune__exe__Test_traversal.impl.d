@@ -1,0 +1,1 @@
+test/test_traversal.ml: Alcotest Fixtures Graph List Nettomo_graph Nettomo_util QCheck2 QCheck_alcotest Traversal

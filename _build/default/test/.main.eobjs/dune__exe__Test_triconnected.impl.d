@@ -1,0 +1,1 @@
+test/test_triconnected.ml: Alcotest Biconnected Fixtures Graph List Nettomo_graph Nettomo_util QCheck2 QCheck_alcotest Separation Triconnected

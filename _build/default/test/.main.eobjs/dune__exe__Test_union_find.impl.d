@@ -1,0 +1,1 @@
+test/test_union_find.ml: Alcotest Hashtbl Nettomo_util Prng QCheck2 QCheck_alcotest Union_find

@@ -1,0 +1,126 @@
+(* Shared graph fixtures for the test suites. *)
+
+open Nettomo_graph
+
+(* Fig. 1 of the paper: 7 nodes, 11 links, monitors m1, m2, m3.
+   Node ids: m1 = 0, m2 = 1, m3 = 2, interior a = 3, b = 4, c = 5, x = 6.
+   Links (paper label → pair):
+     l1 = m1-b, l2 = m1-a, l3 = a-b, l4 = b-c, l5 = a-c, l6 = a-m3,
+     l7 = c-m3, l8 = c-x, l9 = m3-m2, l10 = x-m3, l11 = x-m2. *)
+let fig1_m1 = 0
+let fig1_m2 = 1
+let fig1_m3 = 2
+
+let fig1 =
+  Graph.of_edges
+    [
+      (0, 4); (0, 3); (3, 4); (4, 5); (3, 5); (3, 2);
+      (5, 2); (5, 6); (2, 1); (6, 2); (6, 1);
+    ]
+
+(* Fig. 6 of the paper: monitors m1 = 0, m2 = 6, interior v1 … v5 = 1 … 5.
+   All interior links are identifiable with two monitors. *)
+let fig6_m1 = 0
+let fig6_m2 = 6
+
+let fig6 =
+  Graph.of_edges
+    [
+      (0, 1); (0, 4);           (* exterior at m1 *)
+      (1, 2); (2, 3); (1, 3);   (* triangle v1 v2 v3 *)
+      (3, 4); (2, 5); (4, 5);   (* rest of interior *)
+      (2, 6); (5, 6);           (* exterior at m2 *)
+    ]
+
+(* Small named graphs. *)
+let triangle = Graph.of_edges [ (0, 1); (1, 2); (0, 2) ]
+
+let square = Graph.of_edges [ (0, 1); (1, 2); (2, 3); (3, 0) ]
+
+let k4 = Graph.of_edges [ (0, 1); (0, 2); (0, 3); (1, 2); (1, 3); (2, 3) ]
+
+let k5 =
+  Graph.of_edges
+    [ (0, 1); (0, 2); (0, 3); (0, 4); (1, 2); (1, 3); (1, 4); (2, 3); (2, 4); (3, 4) ]
+
+let path_graph n =
+  Graph.of_edges (List.init (n - 1) (fun i -> (i, i + 1)))
+
+let cycle_graph n =
+  Graph.of_edges ((n - 1, 0) :: List.init (n - 1) (fun i -> (i, i + 1)))
+
+let star n = Graph.of_edges (List.init n (fun i -> (0, i + 1)))
+
+(* Two triangles joined at node 2 (a cut vertex). *)
+let bowtie = Graph.of_edges [ (0, 1); (1, 2); (0, 2); (2, 3); (3, 4); (2, 4) ]
+
+(* Two K4s sharing the (non-adjacent) separation pair {3, 4}:
+   K4 on {0,1,2,3,4}? No: nodes 0..3 complete minus nothing, plus 4..7. *)
+let two_k4_by_pair =
+  (* K4 on {0,1,2,3} and K4 on {2,3,4,5}, sharing pair {2,3} (adjacent). *)
+  Graph.of_edges
+    [
+      (0, 1); (0, 2); (0, 3); (1, 2); (1, 3); (2, 3);
+      (2, 4); (2, 5); (3, 4); (3, 5); (4, 5);
+    ]
+
+(* Wheel W5: hub 0 joined to cycle 1-2-3-4-5. 3-vertex-connected. *)
+let wheel5 =
+  Graph.of_edges
+    [ (0, 1); (0, 2); (0, 3); (0, 4); (0, 5);
+      (1, 2); (2, 3); (3, 4); (4, 5); (5, 1) ]
+
+(* Petersen graph: 3-vertex-connected, 3-regular, girth 5. *)
+let petersen =
+  Graph.of_edges
+    [
+      (0, 1); (1, 2); (2, 3); (3, 4); (4, 0);       (* outer 5-cycle *)
+      (5, 7); (7, 9); (9, 6); (6, 8); (8, 5);       (* inner 5-star *)
+      (0, 5); (1, 6); (2, 7); (3, 8); (4, 9);       (* spokes *)
+    ]
+
+(* Random connected graph for property tests: a random spanning tree plus
+   [extra] random extra links. *)
+let random_connected rng n extra =
+  let open Nettomo_util in
+  let g = ref Graph.empty in
+  for v = 0 to n - 1 do
+    g := Graph.add_node !g v
+  done;
+  for v = 1 to n - 1 do
+    let u = Prng.int rng v in
+    g := Graph.add_edge !g u v
+  done;
+  let added = ref 0 in
+  let attempts = ref 0 in
+  while !added < extra && !attempts < 50 * (extra + 1) do
+    incr attempts;
+    let u = Prng.int rng n and v = Prng.int rng n in
+    if u <> v && not (Graph.mem_edge !g u v) then begin
+      g := Graph.add_edge !g u v;
+      incr added
+    end
+  done;
+  !g
+
+let graph_testable =
+  Alcotest.testable Graph.pp Graph.equal
+
+let edge_testable =
+  Alcotest.testable Graph.pp_edge Graph.edge_equal
+
+let nodeset_testable =
+  Alcotest.testable
+    (fun ppf s ->
+      Format.fprintf ppf "{%a}"
+        (Format.pp_print_list ~pp_sep:Format.pp_print_space Format.pp_print_int)
+        (Graph.NodeSet.elements s))
+    Graph.NodeSet.equal
+
+let edgeset_testable =
+  Alcotest.testable
+    (fun ppf s ->
+      Format.fprintf ppf "{%a}"
+        (Format.pp_print_list ~pp_sep:Format.pp_print_space Graph.pp_edge)
+        (Graph.EdgeSet.elements s))
+    Graph.EdgeSet.equal

@@ -1,0 +1,94 @@
+open Nettomo_graph
+
+let check = Alcotest.check
+let ci = Alcotest.int
+let cb = Alcotest.bool
+
+let test_max_flow_edges () =
+  check ci "k4 has 3 edge-disjoint paths" 3
+    (Connectivity.max_flow_edges Fixtures.k4 0 3);
+  check ci "cycle has 2" 2
+    (Connectivity.max_flow_edges (Fixtures.cycle_graph 6) 0 3);
+  check ci "path has 1" 1
+    (Connectivity.max_flow_edges (Fixtures.path_graph 5) 0 4);
+  check ci "disconnected pair has 0" 0
+    (Connectivity.max_flow_edges (Graph.of_edges [ (0, 1); (2, 3) ]) 0 3)
+
+let test_max_flow_vertices () =
+  check ci "k4 vertices" 3 (Connectivity.max_flow_vertices Fixtures.k4 0 3);
+  check ci "cycle vertices" 2
+    (Connectivity.max_flow_vertices (Fixtures.cycle_graph 6) 0 3);
+  (* Bowtie: all paths between the two triangles go through node 2. *)
+  check ci "bowtie through cut" 1 (Connectivity.max_flow_vertices Fixtures.bowtie 0 4);
+  check ci "petersen is 3-connected" 3
+    (Connectivity.max_flow_vertices Fixtures.petersen 0 7)
+
+let test_edge_connectivity () =
+  check ci "tree" 1 (Connectivity.edge_connectivity (Fixtures.path_graph 4));
+  check ci "cycle" 2 (Connectivity.edge_connectivity (Fixtures.cycle_graph 5));
+  check ci "k4" 3 (Connectivity.edge_connectivity Fixtures.k4);
+  check ci "k5" 4 (Connectivity.edge_connectivity Fixtures.k5);
+  check ci "petersen" 3 (Connectivity.edge_connectivity Fixtures.petersen);
+  check ci "disconnected" 0
+    (Connectivity.edge_connectivity (Graph.of_edges [ (0, 1); (2, 3) ]))
+
+let test_vertex_connectivity () =
+  check ci "path" 1 (Connectivity.vertex_connectivity (Fixtures.path_graph 4));
+  check ci "cycle" 2 (Connectivity.vertex_connectivity (Fixtures.cycle_graph 5));
+  check ci "k4 (complete)" 3 (Connectivity.vertex_connectivity Fixtures.k4);
+  check ci "k5 (complete)" 4 (Connectivity.vertex_connectivity Fixtures.k5);
+  check ci "wheel" 3 (Connectivity.vertex_connectivity Fixtures.wheel5);
+  check ci "petersen" 3 (Connectivity.vertex_connectivity Fixtures.petersen);
+  check ci "bowtie" 1 (Connectivity.vertex_connectivity Fixtures.bowtie)
+
+let test_is_k_connected_predicates () =
+  check cb "petersen 3ec" true (Connectivity.is_k_edge_connected Fixtures.petersen 3);
+  check cb "petersen not 4ec" false
+    (Connectivity.is_k_edge_connected Fixtures.petersen 4);
+  check cb "petersen 3vc" true
+    (Connectivity.is_k_vertex_connected Fixtures.petersen 3);
+  check cb "petersen not 4vc" false
+    (Connectivity.is_k_vertex_connected Fixtures.petersen 4);
+  check cb "k5 4vc" true (Connectivity.is_k_vertex_connected Fixtures.k5 4);
+  check cb "k5 not 5vc (n > k required)" false
+    (Connectivity.is_k_vertex_connected Fixtures.k5 5)
+
+let test_invalid () =
+  Alcotest.check_raises "same endpoints"
+    (Invalid_argument "Connectivity: endpoints must differ") (fun () ->
+      ignore (Connectivity.max_flow_edges Fixtures.k4 1 1))
+
+(* Property: vertex connectivity ≤ edge connectivity ≤ min degree
+   (Whitney's inequalities). *)
+let prop_whitney =
+  QCheck2.Test.make ~name:"Whitney inequalities" ~count:150
+    QCheck2.Gen.(triple (int_bound 100_000) (int_range 2 14) (int_range 0 20))
+    (fun (seed, n, extra) ->
+      let rng = Nettomo_util.Prng.create seed in
+      let g = Fixtures.random_connected rng n extra in
+      let kv = Connectivity.vertex_connectivity g in
+      let ke = Connectivity.edge_connectivity g in
+      kv <= ke && ke <= Graph.min_degree g)
+
+(* Property: edge connectivity matches brute-force single-edge/pair checks
+   for small k. *)
+let prop_lambda_vs_bridges =
+  QCheck2.Test.make ~name:"λ ≥ 2 iff bridge-free and connected" ~count:150
+    QCheck2.Gen.(triple (int_bound 100_000) (int_range 2 16) (int_range 0 14))
+    (fun (seed, n, extra) ->
+      let rng = Nettomo_util.Prng.create seed in
+      let g = Fixtures.random_connected rng n extra in
+      Connectivity.is_k_edge_connected g 2 = Bridges.is_two_edge_connected g)
+
+let suite =
+  [
+    Alcotest.test_case "edge-disjoint max flow" `Quick test_max_flow_edges;
+    Alcotest.test_case "vertex-disjoint max flow" `Quick test_max_flow_vertices;
+    Alcotest.test_case "edge connectivity" `Quick test_edge_connectivity;
+    Alcotest.test_case "vertex connectivity" `Quick test_vertex_connectivity;
+    Alcotest.test_case "k-connectivity predicates" `Quick
+      test_is_k_connected_predicates;
+    Alcotest.test_case "invalid arguments" `Quick test_invalid;
+    QCheck_alcotest.to_alcotest prop_whitney;
+    QCheck_alcotest.to_alcotest prop_lambda_vs_bridges;
+  ]

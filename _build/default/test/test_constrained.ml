@@ -1,0 +1,92 @@
+open Nettomo_graph
+open Nettomo_core
+module Prng = Nettomo_util.Prng
+
+let check = Alcotest.check
+let ci = Alcotest.int
+let cb = Alcotest.bool
+
+let test_unconstrained_fig1 () =
+  (* With every node eligible, greedy must reach full coverage. *)
+  let g = Net.graph Paper.fig1 in
+  let r = Constrained.greedy_place ~rng:(Prng.create 1) g ~candidates:(Graph.nodes g) in
+  check ci "full rank" 11 r.Constrained.rank;
+  check (Alcotest.float 0.0) "full coverage" 1.0 (Partial.coverage r.Constrained.report);
+  check cb "at most a handful of monitors" true (List.length r.Constrained.monitors <= 5)
+
+let test_respects_candidates () =
+  let g = Net.graph Paper.fig1 in
+  let candidates = [ 0; 1; 2; 3 ] in
+  let r = Constrained.greedy_place ~rng:(Prng.create 2) g ~candidates in
+  List.iter
+    (fun m -> check cb "chosen from candidates" true (List.mem m candidates))
+    r.Constrained.monitors
+
+let test_two_candidates_limited () =
+  (* Only the paper's m1 and m2 eligible: Theorem 3.1 says full coverage
+     is impossible; greedy still finds the best two-monitor rank. *)
+  let g = Net.graph Paper.fig1 in
+  let r = Constrained.greedy_place ~rng:(Prng.create 3) g ~candidates:[ 0; 1 ] in
+  check ci "both used" 2 (List.length r.Constrained.monitors);
+  check cb "coverage below 1" true (Partial.coverage r.Constrained.report < 1.0);
+  check cb "rank below links" true (r.Constrained.rank < 11)
+
+let test_max_monitors_cap () =
+  let g = Net.graph Paper.fig1 in
+  let r =
+    Constrained.greedy_place ~rng:(Prng.create 4) ~max_monitors:2 g
+      ~candidates:(Graph.nodes g)
+  in
+  check cb "cap respected" true (List.length r.Constrained.monitors <= 2)
+
+let test_invalid_inputs () =
+  let g = Net.graph Paper.fig1 in
+  check cb "unknown candidate" true
+    (try
+       ignore (Constrained.greedy_place g ~candidates:[ 0; 99 ]);
+       false
+     with Invalid_argument _ -> true);
+  check cb "too few candidates" true
+    (try
+       ignore (Constrained.greedy_place g ~candidates:[ 0 ]);
+       false
+     with Invalid_argument _ -> true)
+
+let prop_coverage_no_worse_than_candidate_set_itself =
+  (* Greedy stops when rank stops improving, so its final report can
+     never beat using ALL candidates — but it must tie the all-candidate
+     rank, since adding monitors it rejected would not have helped
+     (greedy only stops when no single addition improves; with
+     controllable paths, rank gain is monotone submodular-ish — we
+     assert only the sound direction: chosen ⊆ candidates implies
+     chosen-rank ≤ all-candidate rank). *)
+  QCheck2.Test.make ~name:"greedy rank ≤ all-candidates rank" ~count:25
+    QCheck2.Gen.(triple (int_bound 1_000_000) (int_range 5 9) (int_range 2 8))
+    (fun (seed, n, extra) ->
+      let rng = Prng.create seed in
+      let g = Fixtures.random_connected rng n extra in
+      let candidates = Graph.nodes g in
+      let r = Constrained.greedy_place ~rng g ~candidates in
+      let all = Partial.analyze ~rng (Net.create g ~monitors:candidates) in
+      r.Constrained.rank <= all.Partial.rank)
+
+let prop_full_candidates_reach_mmp_coverage =
+  QCheck2.Test.make
+    ~name:"with all nodes eligible greedy reaches full coverage" ~count:25
+    QCheck2.Gen.(triple (int_bound 1_000_000) (int_range 5 9) (int_range 2 8))
+    (fun (seed, n, extra) ->
+      let rng = Prng.create seed in
+      let g = Fixtures.random_connected rng n extra in
+      let r = Constrained.greedy_place ~rng g ~candidates:(Graph.nodes g) in
+      r.Constrained.rank = Graph.n_edges g)
+
+let suite =
+  [
+    Alcotest.test_case "unconstrained fig1" `Quick test_unconstrained_fig1;
+    Alcotest.test_case "respects candidate set" `Quick test_respects_candidates;
+    Alcotest.test_case "two candidates limited" `Quick test_two_candidates_limited;
+    Alcotest.test_case "max_monitors cap" `Quick test_max_monitors_cap;
+    Alcotest.test_case "invalid inputs" `Quick test_invalid_inputs;
+    QCheck_alcotest.to_alcotest prop_coverage_no_worse_than_candidate_set_itself;
+    QCheck_alcotest.to_alcotest prop_full_candidates_reach_mmp_coverage;
+  ]

@@ -1,0 +1,71 @@
+open Nettomo_graph
+open Nettomo_topo
+
+let check = Alcotest.check
+let cb = Alcotest.bool
+
+let test_parse_basic () =
+  let g = Edgelist.of_string "0 1\n1 2\n# comment\n\n2 3 # trailing comment\n" in
+  check Fixtures.graph_testable "parsed"
+    (Graph.of_edges [ (0, 1); (1, 2); (2, 3) ])
+    g
+
+let test_parse_isolated () =
+  let g = Edgelist.of_string "node 7\n0 1\n" in
+  check cb "isolated node present" true (Graph.mem_node g 7);
+  check Alcotest.int "three nodes" 3 (Graph.n_nodes g)
+
+let test_parse_errors () =
+  let fails s =
+    try
+      ignore (Edgelist.of_string s);
+      false
+    with Failure _ -> true
+  in
+  check cb "garbage" true (fails "0 x\n");
+  check cb "self loop" true (fails "3 3\n");
+  check cb "three fields" true (fails "1 2 3\n");
+  check cb "error mentions line number" true
+    (try
+       ignore (Edgelist.of_string "0 1\nbad line\n");
+       false
+     with Failure msg ->
+       (* line 2 *)
+       String.length msg > 0
+       &&
+       let rec contains i =
+         i + 6 <= String.length msg
+         && (String.sub msg i 6 = "line 2" || contains (i + 1))
+       in
+       contains 0)
+
+let test_roundtrip () =
+  let g = Graph.of_edges ~nodes:[ 42 ] [ (0, 1); (5, 2); (2, 0) ] in
+  check Fixtures.graph_testable "roundtrip" g (Edgelist.of_string (Edgelist.to_string g))
+
+let test_file_roundtrip () =
+  let g = Fixtures.petersen in
+  let file = Filename.temp_file "nettomo" ".edges" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove file)
+    (fun () ->
+      Edgelist.write_file file g;
+      check Fixtures.graph_testable "file roundtrip" g (Edgelist.read_file file))
+
+let prop_roundtrip_random =
+  QCheck2.Test.make ~name:"string roundtrip on random graphs" ~count:100
+    QCheck2.Gen.(triple (int_bound 1_000_000) (int_range 2 30) (int_range 0 30))
+    (fun (seed, n, extra) ->
+      let rng = Nettomo_util.Prng.create seed in
+      let g = Fixtures.random_connected rng n extra in
+      Graph.equal g (Edgelist.of_string (Edgelist.to_string g)))
+
+let suite =
+  [
+    Alcotest.test_case "parse basic" `Quick test_parse_basic;
+    Alcotest.test_case "parse isolated nodes" `Quick test_parse_isolated;
+    Alcotest.test_case "parse errors" `Quick test_parse_errors;
+    Alcotest.test_case "string roundtrip" `Quick test_roundtrip;
+    Alcotest.test_case "file roundtrip" `Quick test_file_roundtrip;
+    QCheck_alcotest.to_alcotest prop_roundtrip_random;
+  ]

@@ -1,0 +1,52 @@
+open Nettomo_graph
+open Nettomo_core
+
+let check = Alcotest.check
+let ci = Alcotest.int
+let cb = Alcotest.bool
+
+let test_extend_structure () =
+  let net = Net.create Fixtures.fig1 ~monitors:[ 0; 1; 2 ] in
+  let ext = Extended.extend net in
+  let g = ext.Extended.graph in
+  check ci "two extra nodes" (Graph.n_nodes Fixtures.fig1 + 2) (Graph.n_nodes g);
+  check ci "2κ extra links" (Graph.n_edges Fixtures.fig1 + 6) (Graph.n_edges g);
+  check cb "fresh ids" true
+    (not (Graph.mem_node Fixtures.fig1 ext.Extended.vm1)
+    && not (Graph.mem_node Fixtures.fig1 ext.Extended.vm2));
+  check cb "no virtual-virtual link" false
+    (Graph.mem_edge g ext.Extended.vm1 ext.Extended.vm2);
+  List.iter
+    (fun m ->
+      check cb "vm1 linked to every monitor" true (Graph.mem_edge g ext.Extended.vm1 m);
+      check cb "vm2 linked to every monitor" true (Graph.mem_edge g ext.Extended.vm2 m))
+    [ 0; 1; 2 ];
+  check ci "vm degree = κ" 3 (Graph.degree g ext.Extended.vm1)
+
+let test_original_untouched () =
+  let net = Net.create Fixtures.fig1 ~monitors:[ 0; 1; 2 ] in
+  let ext = Extended.extend net in
+  Graph.iter_edges
+    (fun (u, v) ->
+      check cb "original link kept" true (Graph.mem_edge ext.Extended.graph u v))
+    Fixtures.fig1
+
+let test_as_two_monitor_net () =
+  let net = Net.create Fixtures.fig1 ~monitors:[ 0; 1; 2 ] in
+  let two = Extended.as_two_monitor_net net in
+  check ci "two monitors" 2 (Net.kappa two);
+  (* G is the interior graph of Gex (Section 6). *)
+  let h = Interior.interior_graph two in
+  check cb "interior graph of Gex is G" true (Graph.equal h Fixtures.fig1)
+
+let test_no_monitors_rejected () =
+  Alcotest.check_raises "no monitors" (Invalid_argument "Extended.extend: no monitors")
+    (fun () -> ignore (Extended.extend (Net.create Fixtures.fig1 ~monitors:[])))
+
+let suite =
+  [
+    Alcotest.test_case "extended graph structure" `Quick test_extend_structure;
+    Alcotest.test_case "original links kept" `Quick test_original_untouched;
+    Alcotest.test_case "G is interior graph of Gex" `Quick test_as_two_monitor_net;
+    Alcotest.test_case "rejects empty monitor set" `Quick test_no_monitors_rejected;
+  ]

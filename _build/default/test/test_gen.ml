@@ -1,0 +1,142 @@
+open Nettomo_graph
+open Nettomo_topo
+module Prng = Nettomo_util.Prng
+
+let check = Alcotest.check
+let ci = Alcotest.int
+let cb = Alcotest.bool
+
+let test_erdos_renyi_extremes () =
+  let rng = Prng.create 1 in
+  let g0 = Gen.erdos_renyi rng ~n:10 ~p:0.0 in
+  check ci "p=0: no links" 0 (Graph.n_edges g0);
+  check ci "p=0: all nodes present" 10 (Graph.n_nodes g0);
+  let g1 = Gen.erdos_renyi rng ~n:10 ~p:1.0 in
+  check ci "p=1: complete" 45 (Graph.n_edges g1)
+
+let test_erdos_renyi_density () =
+  let rng = Prng.create 2 in
+  let edges =
+    List.init 20 (fun _ -> Graph.n_edges (Gen.erdos_renyi rng ~n:40 ~p:0.3))
+  in
+  let avg = float_of_int (List.fold_left ( + ) 0 edges) /. 20.0 in
+  (* Expectation is 0.3 · C(40,2) = 234. *)
+  check cb "average density plausible" true (avg > 200.0 && avg < 270.0)
+
+let test_random_geometric () =
+  let rng = Prng.create 3 in
+  let g, coords = Gen.random_geometric_with_coords rng ~n:50 ~radius:0.3 in
+  check ci "coords per node" 50 (Array.length coords);
+  (* Verify the geometric rule exactly. *)
+  Graph.iter_edges
+    (fun (u, v) ->
+      let xu, yu = coords.(u) and xv, yv = coords.(v) in
+      let d2 = ((xu -. xv) ** 2.0) +. ((yu -. yv) ** 2.0) in
+      check cb "edge within radius" true (d2 <= 0.09 +. 1e-12))
+    g;
+  let g_all = Gen.random_geometric rng ~n:8 ~radius:2.0 in
+  check ci "radius √2 covers the square: complete" 28 (Graph.n_edges g_all)
+
+let test_barabasi_albert () =
+  let rng = Prng.create 4 in
+  let g = Gen.barabasi_albert rng ~n:100 ~nmin:3 in
+  check ci "node count" 100 (Graph.n_nodes g);
+  check cb "connected (always)" true (Traversal.is_connected g);
+  (* 3 seed links + 3 per node beyond the seed. *)
+  check ci "link count" (3 + (3 * 96)) (Graph.n_edges g);
+  (* Preferential attachment: the max degree should be well above nmin. *)
+  check cb "hub formed" true (Graph.max_degree g > 8)
+
+let test_barabasi_albert_nmin2 () =
+  let rng = Prng.create 5 in
+  let g = Gen.barabasi_albert rng ~n:150 ~nmin:2 in
+  check ci "link count" (3 + (2 * 146)) (Graph.n_edges g);
+  (* The paper: with nmin = 2 around half the nodes have degree < 3. *)
+  let s = Stats.summary g in
+  check cb "many low-degree nodes" true (s.Stats.degree_lt3_frac > 0.3)
+
+let test_power_law () =
+  let rng = Prng.create 6 in
+  let g = Gen.power_law rng ~n:150 ~alpha:0.42 in
+  check ci "node count" 150 (Graph.n_nodes g);
+  (* Expected links ≈ Σdᵢ/2 ≈ 430 for n=150, α=0.42 (paper's dense PL). *)
+  let m = Graph.n_edges g in
+  check cb (Printf.sprintf "links plausible (%d)" m) true (m > 300 && m < 580);
+  (* Later nodes have higher expected degree. *)
+  let lo = Graph.degree g 0 and hi = Graph.degree g 149 in
+  check cb "degree skew" true (hi >= lo)
+
+let test_waxman () =
+  let rng = Prng.create 55 in
+  let g = Gen.waxman rng ~n:60 ~alpha:0.9 ~beta:0.9 in
+  check ci "node count" 60 (Graph.n_nodes g);
+  check cb "produces links" true (Graph.n_edges g > 0);
+  (* beta scales density down. *)
+  let sparse = Gen.waxman rng ~n:60 ~alpha:0.9 ~beta:0.05 in
+  check cb "smaller beta, fewer links" true
+    (Graph.n_edges sparse < Graph.n_edges g);
+  Alcotest.check_raises "invalid parameters"
+    (Invalid_argument "Gen.waxman: alpha and beta must be in (0, 1]") (fun () ->
+      ignore (Gen.waxman rng ~n:10 ~alpha:0.0 ~beta:0.5))
+
+let test_until_connected () =
+  let rng = Prng.create 7 in
+  let g =
+    Gen.until_connected (fun () -> Gen.erdos_renyi rng ~n:30 ~p:0.15)
+  in
+  check cb "connected" true (Traversal.is_connected g);
+  check cb "gives up eventually" true
+    (try
+       ignore
+         (Gen.until_connected ~max_tries:5 (fun () ->
+              Gen.erdos_renyi rng ~n:30 ~p:0.0));
+       false
+     with Failure _ -> true)
+
+let test_fixtures () =
+  check ci "complete K6 links" 15 (Graph.n_edges (Gen.complete 6));
+  check ci "ring links" 7 (Graph.n_edges (Gen.ring 7));
+  check ci "path links" 6 (Graph.n_edges (Gen.path 7));
+  check ci "star links" 5 (Graph.n_edges (Gen.star 5));
+  let g = Gen.grid 3 4 in
+  check ci "grid nodes" 12 (Graph.n_nodes g);
+  check ci "grid links" 17 (Graph.n_edges g);
+  check cb "grid connected" true (Traversal.is_connected g)
+
+let test_random_tree () =
+  let rng = Prng.create 8 in
+  let g = Gen.random_tree rng ~n:40 in
+  check ci "tree links" 39 (Graph.n_edges g);
+  check cb "connected" true (Traversal.is_connected g)
+
+let prop_generators_reproducible =
+  QCheck2.Test.make ~name:"same seed, same topology" ~count:50
+    QCheck2.Gen.(int_bound 1_000_000)
+    (fun seed ->
+      let g1 = Gen.barabasi_albert (Prng.create seed) ~n:30 ~nmin:2 in
+      let g2 = Gen.barabasi_albert (Prng.create seed) ~n:30 ~nmin:2 in
+      Graph.equal g1 g2)
+
+let prop_ba_min_degree =
+  QCheck2.Test.make ~name:"BA: non-seed nodes have degree ≥ nmin" ~count:50
+    QCheck2.Gen.(pair (int_bound 1_000_000) (int_range 1 3))
+    (fun (seed, nmin) ->
+      let g = Gen.barabasi_albert (Prng.create seed) ~n:40 ~nmin in
+      List.for_all (fun v -> Graph.degree g v >= nmin)
+        (List.filter (fun v -> v >= 4) (Graph.nodes g)))
+
+let suite =
+  [
+    Alcotest.test_case "ER extremes" `Quick test_erdos_renyi_extremes;
+    Alcotest.test_case "ER density" `Quick test_erdos_renyi_density;
+    Alcotest.test_case "RG geometric rule" `Quick test_random_geometric;
+    Alcotest.test_case "BA construction" `Quick test_barabasi_albert;
+    Alcotest.test_case "BA nmin=2 (sparse)" `Quick test_barabasi_albert_nmin2;
+    Alcotest.test_case "PL construction" `Quick test_power_law;
+    Alcotest.test_case "waxman" `Quick test_waxman;
+    Alcotest.test_case "until_connected" `Quick test_until_connected;
+    Alcotest.test_case "deterministic fixtures" `Quick test_fixtures;
+    Alcotest.test_case "random tree" `Quick test_random_tree;
+    QCheck_alcotest.to_alcotest prop_generators_reproducible;
+    QCheck_alcotest.to_alcotest prop_ba_min_degree;
+  ]

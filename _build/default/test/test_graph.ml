@@ -1,0 +1,209 @@
+open Nettomo_graph
+
+let check = Alcotest.check
+let ci = Alcotest.int
+let cb = Alcotest.bool
+
+let test_edge_normalization () =
+  check Fixtures.edge_testable "edge 5 2" (2, 5) (Graph.edge 5 2);
+  check Fixtures.edge_testable "edge 2 5" (2, 5) (Graph.edge 2 5);
+  Alcotest.check_raises "self-loop rejected" (Invalid_argument "Graph.edge: self-loop")
+    (fun () -> ignore (Graph.edge 3 3))
+
+let test_edge_other () =
+  check ci "other of (2,5) from 2" 5 (Graph.edge_other (2, 5) 2);
+  check ci "other of (2,5) from 5" 2 (Graph.edge_other (2, 5) 5)
+
+let test_empty () =
+  check cb "empty is empty" true (Graph.is_empty Graph.empty);
+  check ci "no nodes" 0 (Graph.n_nodes Graph.empty);
+  check ci "no edges" 0 (Graph.n_edges Graph.empty)
+
+let test_add_remove_node () =
+  let g = Graph.add_node Graph.empty 7 in
+  check cb "node present" true (Graph.mem_node g 7);
+  check ci "one node" 1 (Graph.n_nodes g);
+  check ci "degree 0" 0 (Graph.degree g 7);
+  let g = Graph.add_node g 7 in
+  check ci "idempotent add" 1 (Graph.n_nodes g);
+  let g = Graph.remove_node g 7 in
+  check cb "removed" false (Graph.mem_node g 7)
+
+let test_add_edge_implicit_nodes () =
+  let g = Graph.add_edge Graph.empty 1 2 in
+  check cb "node 1" true (Graph.mem_node g 1);
+  check cb "node 2" true (Graph.mem_node g 2);
+  check cb "edge both ways" true (Graph.mem_edge g 2 1);
+  check ci "one edge" 1 (Graph.n_edges g)
+
+let test_add_edge_idempotent () =
+  let g = Graph.add_edge (Graph.add_edge Graph.empty 1 2) 2 1 in
+  check ci "still one edge" 1 (Graph.n_edges g)
+
+let test_add_edge_self_loop () =
+  Alcotest.check_raises "self-loop rejected"
+    (Invalid_argument "Graph.add_edge: self-loop") (fun () ->
+      ignore (Graph.add_edge Graph.empty 4 4))
+
+let test_remove_edge () =
+  let g = Fixtures.triangle in
+  let g' = Graph.remove_edge g 0 1 in
+  check ci "edge count drops" 2 (Graph.n_edges g');
+  check cb "nodes kept" true (Graph.mem_node g' 0 && Graph.mem_node g' 1);
+  check Fixtures.graph_testable "removing absent edge is a no-op" g'
+    (Graph.remove_edge g' 0 1)
+
+let test_remove_node_removes_incident () =
+  let g = Graph.remove_node Fixtures.k4 0 in
+  check ci "3 nodes left" 3 (Graph.n_nodes g);
+  check ci "3 edges left (triangle)" 3 (Graph.n_edges g);
+  check Fixtures.graph_testable "k4 minus node is triangle"
+    (Graph.of_edges [ (1, 2); (1, 3); (2, 3) ])
+    g
+
+let test_of_edges_with_nodes () =
+  let g = Graph.of_edges ~nodes:[ 9 ] [ (0, 1) ] in
+  check ci "two plus isolated" 3 (Graph.n_nodes g);
+  check ci "degree of isolated" 0 (Graph.degree g 9)
+
+let test_nodes_sorted () =
+  let g = Graph.of_edges [ (5, 2); (9, 1) ] in
+  check (Alcotest.list ci) "sorted nodes" [ 1; 2; 5; 9 ] (Graph.nodes g)
+
+let test_edges_normalized_sorted () =
+  let g = Graph.of_edges [ (5, 2); (3, 1); (2, 1) ] in
+  check
+    (Alcotest.list Fixtures.edge_testable)
+    "sorted normalized edges"
+    [ (1, 2); (1, 3); (2, 5) ]
+    (Graph.edges g)
+
+let test_neighbors () =
+  let g = Fixtures.k4 in
+  check Fixtures.nodeset_testable "neighbors of 0"
+    (Graph.NodeSet.of_list [ 1; 2; 3 ])
+    (Graph.neighbors g 0);
+  check Fixtures.nodeset_testable "neighbors of absent node"
+    Graph.NodeSet.empty (Graph.neighbors g 42)
+
+let test_incident_edges () =
+  check
+    (Alcotest.list Fixtures.edge_testable)
+    "L(2) in triangle"
+    [ (0, 2); (1, 2) ]
+    (Graph.incident_edges Fixtures.triangle 2)
+
+let test_induced () =
+  let g = Fixtures.k4 in
+  let sub = Graph.induced g (Graph.NodeSet.of_list [ 0; 1; 2 ]) in
+  check Fixtures.graph_testable "induced triangle" Fixtures.triangle sub
+
+let test_induced_keeps_isolated () =
+  let g = Graph.of_edges ~nodes:[ 5 ] [ (0, 1) ] in
+  let sub = Graph.induced g (Graph.NodeSet.of_list [ 0; 5 ]) in
+  check ci "both nodes kept" 2 (Graph.n_nodes sub);
+  check ci "no edges" 0 (Graph.n_edges sub)
+
+let test_union () =
+  let g1 = Graph.of_edges [ (0, 1) ] in
+  let g2 = Graph.of_edges [ (1, 2) ] in
+  check Fixtures.graph_testable "union" (Graph.of_edges [ (0, 1); (1, 2) ])
+    (Graph.union g1 g2)
+
+let test_degrees () =
+  check ci "min degree of star" 1 (Graph.min_degree (Fixtures.star 4));
+  check ci "max degree of star" 4 (Graph.max_degree (Fixtures.star 4));
+  Alcotest.check_raises "min_degree on empty"
+    (Invalid_argument "Graph.min_degree: empty graph") (fun () ->
+      ignore (Graph.min_degree Graph.empty))
+
+let test_fresh_node () =
+  check ci "fresh on empty" 0 (Graph.fresh_node Graph.empty);
+  check ci "fresh on k4" 4 (Graph.fresh_node Fixtures.k4);
+  let g = Graph.of_edges [ (3, 17) ] in
+  check ci "fresh above max" 18 (Graph.fresh_node g)
+
+let test_fold_edges_each_once () =
+  let count = Graph.fold_edges (fun _ acc -> acc + 1) Fixtures.k4 0 in
+  check ci "k4 has 6 edges" 6 count
+
+let test_compact_roundtrip () =
+  let g = Fixtures.petersen in
+  let c = Graph.Compact.of_graph g in
+  check ci "compact size" 10 c.Graph.Compact.n;
+  (* Every adjacency is mirrored and matches the original graph. *)
+  Array.iteri
+    (fun i nbrs ->
+      let v = Graph.Compact.id c i in
+      check ci
+        (Printf.sprintf "degree of %d" v)
+        (Graph.degree g v) (Array.length nbrs);
+      Array.iter
+        (fun j ->
+          check cb "edge exists" true (Graph.mem_edge g v (Graph.Compact.id c j)))
+        nbrs)
+    c.Graph.Compact.adj;
+  check ci "index of id roundtrip" 3
+    (Graph.Compact.index c (Graph.Compact.id c 3))
+
+let test_equal () =
+  let g1 = Graph.of_edges [ (0, 1); (1, 2) ] in
+  let g2 = Graph.of_edges [ (1, 2); (0, 1) ] in
+  check cb "order independent" true (Graph.equal g1 g2);
+  check cb "different edges differ" false
+    (Graph.equal g1 (Graph.of_edges [ (0, 1); (0, 2) ]));
+  check cb "isolated node matters" false
+    (Graph.equal g1 (Graph.add_node g1 99))
+
+(* Property: add_edge then remove_edge is identity on edge set. *)
+let prop_add_remove_edge =
+  QCheck2.Test.make ~name:"add then remove edge restores graph" ~count:200
+    QCheck2.Gen.(triple (int_bound 1000) (int_range 0 15) (int_range 0 15))
+    (fun (seed, u, v) ->
+      QCheck2.assume (u <> v);
+      let rng = Nettomo_util.Prng.create seed in
+      let g = Fixtures.random_connected rng 16 10 in
+      QCheck2.assume (not (Graph.mem_edge g u v));
+      Graph.equal g (Graph.remove_edge (Graph.add_edge g u v) u v))
+
+(* Property: degree sums to twice the edge count. *)
+let prop_handshake =
+  QCheck2.Test.make ~name:"handshake lemma" ~count:200
+    QCheck2.Gen.(pair (int_bound 1000) (int_range 2 40))
+    (fun (seed, n) ->
+      let rng = Nettomo_util.Prng.create seed in
+      let g = Fixtures.random_connected rng n (n / 2) in
+      let sum = Graph.fold_nodes (fun v acc -> acc + Graph.degree g v) g 0 in
+      sum = 2 * Graph.n_edges g)
+
+let suite =
+  [
+    Alcotest.test_case "edge normalization" `Quick test_edge_normalization;
+    Alcotest.test_case "edge_other" `Quick test_edge_other;
+    Alcotest.test_case "empty graph" `Quick test_empty;
+    Alcotest.test_case "add/remove node" `Quick test_add_remove_node;
+    Alcotest.test_case "add_edge adds endpoints" `Quick test_add_edge_implicit_nodes;
+    Alcotest.test_case "add_edge idempotent" `Quick test_add_edge_idempotent;
+    Alcotest.test_case "add_edge rejects self-loop" `Quick test_add_edge_self_loop;
+    Alcotest.test_case "remove_edge" `Quick test_remove_edge;
+    Alcotest.test_case "remove_node removes incident" `Quick
+      test_remove_node_removes_incident;
+    Alcotest.test_case "of_edges with isolated nodes" `Quick test_of_edges_with_nodes;
+    Alcotest.test_case "nodes sorted" `Quick test_nodes_sorted;
+    Alcotest.test_case "edges normalized and sorted" `Quick
+      test_edges_normalized_sorted;
+    Alcotest.test_case "neighbors" `Quick test_neighbors;
+    Alcotest.test_case "incident edges" `Quick test_incident_edges;
+    Alcotest.test_case "induced subgraph" `Quick test_induced;
+    Alcotest.test_case "induced keeps isolated nodes" `Quick
+      test_induced_keeps_isolated;
+    Alcotest.test_case "union" `Quick test_union;
+    Alcotest.test_case "min/max degree" `Quick test_degrees;
+    Alcotest.test_case "fresh_node" `Quick test_fresh_node;
+    Alcotest.test_case "fold_edges visits each edge once" `Quick
+      test_fold_edges_each_once;
+    Alcotest.test_case "compact roundtrip" `Quick test_compact_roundtrip;
+    Alcotest.test_case "structural equality" `Quick test_equal;
+    QCheck_alcotest.to_alcotest prop_add_remove_edge;
+    QCheck_alcotest.to_alcotest prop_handshake;
+  ]

@@ -1,0 +1,111 @@
+open Nettomo_graph
+open Nettomo_core
+
+let check = Alcotest.check
+let ci = Alcotest.int
+let cb = Alcotest.bool
+
+let fig6_net = Net.create Fixtures.fig6 ~monitors:[ Fixtures.fig6_m1; Fixtures.fig6_m2 ]
+
+let test_interior_graph () =
+  let h = Interior.interior_graph fig6_net in
+  check ci "five interior nodes" 5 (Graph.n_nodes h);
+  check cb "no monitors" false (Graph.mem_node h 0 || Graph.mem_node h 6);
+  check ci "six interior links" 6 (Graph.n_edges h);
+  check cb "H connected" true (Traversal.is_connected h)
+
+let test_link_partition () =
+  let ext = Interior.exterior_links fig6_net in
+  let int_ = Interior.interior_links fig6_net in
+  check ci "four exterior" 4 (Graph.EdgeSet.cardinal ext);
+  check ci "six interior" 6 (Graph.EdgeSet.cardinal int_);
+  check cb "disjoint" true (Graph.EdgeSet.is_empty (Graph.EdgeSet.inter ext int_));
+  check ci "partition covers all links" (Graph.n_edges Fixtures.fig6)
+    (Graph.EdgeSet.cardinal (Graph.EdgeSet.union ext int_))
+
+let test_decompose_connected () =
+  let gis = Interior.decompose_two fig6_net in
+  check ci "single component" 1 (List.length gis);
+  let gi = List.hd gis in
+  check cb "same graph (no m1m2 link existed)" true
+    (Graph.equal (Net.graph gi) Fixtures.fig6)
+
+let test_decompose_disconnected () =
+  (* Two disjoint interior squares, both monitors attached to each. *)
+  let g =
+    Graph.of_edges
+      [
+        (* component A: interior 1-2 *)
+        (0, 1); (1, 2); (2, 9);
+        (* component B: interior 3-4 *)
+        (0, 3); (3, 4); (4, 9);
+      ]
+  in
+  let net = Net.create g ~monitors:[ 0; 9 ] in
+  let gis = Interior.decompose_two net in
+  check ci "two components" 2 (List.length gis);
+  List.iter
+    (fun gi ->
+      check ci "each Gi has 4 nodes" 4 (Graph.n_nodes (Net.graph gi));
+      check ci "each Gi keeps both monitors" 2 (Net.kappa gi))
+    gis
+
+let test_decompose_drops_direct_link () =
+  let g = Graph.add_edge Fixtures.fig6 0 6 in
+  let net = Net.create g ~monitors:[ 0; 6 ] in
+  let gis = Interior.decompose_two net in
+  List.iter
+    (fun gi -> check cb "no m1m2 in Gi" false (Graph.mem_edge (Net.graph gi) 0 6))
+    gis
+
+let test_decompose_requires_two () =
+  Alcotest.check_raises "three monitors rejected"
+    (Invalid_argument "Interior.decompose_two: exactly two monitors required")
+    (fun () ->
+      ignore
+        (Interior.decompose_two (Net.create Fixtures.fig6 ~monitors:[ 0; 6; 3 ])))
+
+let prop_partition =
+  QCheck2.Test.make ~name:"exterior/interior partition the links" ~count:200
+    QCheck2.Gen.(triple (int_bound 100_000) (int_range 4 20) (int_range 0 15))
+    (fun (seed, n, extra) ->
+      let rng = Nettomo_util.Prng.create seed in
+      let g = Fixtures.random_connected rng n extra in
+      let net = Net.create g ~monitors:[ 0; n - 1 ] in
+      let ext = Interior.exterior_links net in
+      let int_ = Interior.interior_links net in
+      Graph.EdgeSet.is_empty (Graph.EdgeSet.inter ext int_)
+      && Graph.EdgeSet.equal (Graph.EdgeSet.union ext int_) (Graph.edge_set g))
+
+let prop_decompose_covers_interior =
+  QCheck2.Test.make ~name:"decomposition covers every interior node once"
+    ~count:200
+    QCheck2.Gen.(triple (int_bound 100_000) (int_range 4 20) (int_range 0 15))
+    (fun (seed, n, extra) ->
+      let rng = Nettomo_util.Prng.create seed in
+      let g = Fixtures.random_connected rng n extra in
+      let net = Net.create g ~monitors:[ 0; n - 1 ] in
+      let gis = Interior.decompose_two net in
+      let interior_nodes =
+        List.concat_map
+          (fun gi ->
+            Graph.NodeSet.elements
+              (Graph.NodeSet.diff (Graph.node_set (Net.graph gi)) (Net.monitors gi)))
+          gis
+      in
+      List.length interior_nodes = n - 2
+      && List.length (List.sort_uniq compare interior_nodes) = n - 2)
+
+let suite =
+  [
+    Alcotest.test_case "interior graph (fig 6)" `Quick test_interior_graph;
+    Alcotest.test_case "link partition" `Quick test_link_partition;
+    Alcotest.test_case "decompose: connected H" `Quick test_decompose_connected;
+    Alcotest.test_case "decompose: disconnected H" `Quick test_decompose_disconnected;
+    Alcotest.test_case "decompose drops direct link" `Quick
+      test_decompose_drops_direct_link;
+    Alcotest.test_case "decompose requires two monitors" `Quick
+      test_decompose_requires_two;
+    QCheck_alcotest.to_alcotest prop_partition;
+    QCheck_alcotest.to_alcotest prop_decompose_covers_interior;
+  ]

@@ -1,0 +1,81 @@
+open Nettomo_graph
+open Nettomo_topo
+module Prng = Nettomo_util.Prng
+
+let check = Alcotest.check
+let ci = Alcotest.int
+let cb = Alcotest.bool
+
+let small_spec =
+  {
+    Isp.name = "test-as";
+    nodes = 120;
+    links = 260;
+    dangling_frac = 0.3;
+    tandem_frac = 0.05;
+    paper_r_mmp = 0.4;
+  }
+
+let test_exact_counts () =
+  let g = Isp.generate (Prng.create 1) small_spec in
+  check ci "exact node count" 120 (Graph.n_nodes g);
+  check ci "exact link count" 260 (Graph.n_edges g);
+  check cb "connected" true (Traversal.is_connected g)
+
+let test_structure () =
+  let g = Isp.generate (Prng.create 2) small_spec in
+  let s = Stats.summary g in
+  (* ≈ 30% dangling + 5% tandem should be visible as low-degree nodes. *)
+  check cb "low-degree population present" true (s.Stats.degree_lt3_frac >= 0.30);
+  let danglings =
+    Graph.fold_nodes (fun v acc -> if Graph.degree g v = 1 then acc + 1 else acc) g 0
+  in
+  check ci "dangling count matches the fraction" 36 danglings
+
+let test_reproducible () =
+  let g1 = Isp.generate (Prng.create 3) small_spec in
+  let g2 = Isp.generate (Prng.create 3) small_spec in
+  check cb "same seed, same topology" true (Graph.equal g1 g2)
+
+let test_all_specs_generate () =
+  (* Every calibrated AS spec must generate with its exact |V| and |L|. *)
+  List.iteri
+    (fun i spec ->
+      let g = Isp.generate (Prng.create (100 + i)) spec in
+      check ci (spec.Isp.name ^ " nodes") spec.Isp.nodes (Graph.n_nodes g);
+      check ci (spec.Isp.name ^ " links") spec.Isp.links (Graph.n_edges g);
+      check cb (spec.Isp.name ^ " connected") true (Traversal.is_connected g))
+    (Isp.rocketfuel @ Isp.caida)
+
+let test_find () =
+  (match Isp.find "level3" with
+  | Some s -> check ci "level3 nodes" 624 s.Isp.nodes
+  | None -> Alcotest.fail "level3 spec must exist");
+  (match Isp.find "AS8717" with
+  | Some s -> check ci "8717 links" 3755 s.Isp.links
+  | None -> Alcotest.fail "AS8717 spec must exist");
+  check cb "unknown name" true (Isp.find "nonexistent-as" = None)
+
+let test_counts () =
+  check ci "nine rocketfuel ASes" 9 (List.length Isp.rocketfuel);
+  check ci "five caida ASes" 5 (List.length Isp.caida)
+
+let test_invalid_spec () =
+  check cb "tiny spec rejected" true
+    (try
+       ignore
+         (Isp.generate (Prng.create 1)
+            { small_spec with Isp.nodes = 4 });
+       false
+     with Invalid_argument _ -> true)
+
+let suite =
+  [
+    Alcotest.test_case "exact node/link counts" `Quick test_exact_counts;
+    Alcotest.test_case "dangling/tandem structure" `Quick test_structure;
+    Alcotest.test_case "reproducible" `Quick test_reproducible;
+    Alcotest.test_case "all AS specs generate" `Slow test_all_specs_generate;
+    Alcotest.test_case "find by name" `Quick test_find;
+    Alcotest.test_case "table sizes" `Quick test_counts;
+    Alcotest.test_case "invalid specs rejected" `Quick test_invalid_spec;
+  ]

@@ -1,0 +1,167 @@
+open Nettomo_linalg
+
+let check = Alcotest.check
+let ci = Alcotest.int
+let cb = Alcotest.bool
+
+let m = Alcotest.testable Matrix.pp Matrix.equal
+let q = Alcotest.testable Rational.pp Rational.equal
+
+let qi = Rational.of_int
+
+let test_identity_rank () =
+  check ci "rank of I5" 5 (Matrix.rank (Matrix.identity 5));
+  check q "det of I5" Rational.one (Matrix.det (Matrix.identity 5))
+
+let test_rank_known () =
+  check ci "rank of dependent rows" 2
+    (Matrix.rank (Matrix.of_int_rows [| [| 1; 2; 3 |]; [| 2; 4; 6 |]; [| 0; 1; 1 |] |]));
+  check ci "rank of zero matrix" 0
+    (Matrix.rank (Matrix.make 3 4 Rational.zero));
+  check ci "wide full-row-rank" 2
+    (Matrix.rank (Matrix.of_int_rows [| [| 1; 0; 5 |]; [| 0; 1; 7 |] |]))
+
+let test_transpose () =
+  let a = Matrix.of_int_rows [| [| 1; 2; 3 |]; [| 4; 5; 6 |] |] in
+  let t = Matrix.transpose a in
+  check ci "rows" 3 (Matrix.rows t);
+  check ci "cols" 2 (Matrix.cols t);
+  check q "entry moved" (qi 6) (Matrix.get t 2 1);
+  check m "double transpose" a (Matrix.transpose t);
+  check ci "rank preserved" (Matrix.rank a) (Matrix.rank t)
+
+let test_mul () =
+  let a = Matrix.of_int_rows [| [| 1; 2 |]; [| 3; 4 |] |] in
+  let b = Matrix.of_int_rows [| [| 0; 1 |]; [| 1; 0 |] |] in
+  check m "swap columns" (Matrix.of_int_rows [| [| 2; 1 |]; [| 4; 3 |] |])
+    (Matrix.mul a b);
+  check m "identity is neutral" a (Matrix.mul a (Matrix.identity 2));
+  Alcotest.check_raises "dimension mismatch"
+    (Invalid_argument "Matrix.mul: dimension mismatch") (fun () ->
+      ignore (Matrix.mul a (Matrix.identity 3)))
+
+let test_mul_vec () =
+  let a = Matrix.of_int_rows [| [| 1; 2 |]; [| 3; 4 |] |] in
+  let v = [| qi 5; qi 6 |] in
+  check (Alcotest.array q) "mul_vec" [| qi 17; qi 39 |] (Matrix.mul_vec a v)
+
+let test_rref () =
+  let a = Matrix.of_int_rows [| [| 2; 4 |]; [| 1; 3 |] |] in
+  check m "rref of invertible is identity" (Matrix.identity 2) (Matrix.rref a);
+  let b = Matrix.of_int_rows [| [| 1; 2; 3 |]; [| 2; 4; 6 |] |] in
+  let r = Matrix.rref b in
+  check q "pivot scaled" Rational.one (Matrix.get r 0 0);
+  check q "dependent row zeroed" Rational.zero (Matrix.get r 1 2)
+
+let test_solve_square () =
+  (* x + 2y = 5, 3x + 4y = 11  →  x = 1, y = 2. *)
+  let a = Matrix.of_int_rows [| [| 1; 2 |]; [| 3; 4 |] |] in
+  match Matrix.solve a [| qi 5; qi 11 |] with
+  | Some x -> check (Alcotest.array q) "solution" [| qi 1; qi 2 |] x
+  | None -> Alcotest.fail "expected solution"
+
+let test_solve_overdetermined () =
+  (* Consistent overdetermined system. *)
+  let a = Matrix.of_int_rows [| [| 1; 0 |]; [| 0; 1 |]; [| 1; 1 |] |] in
+  (match Matrix.solve a [| qi 2; qi 3; qi 5 |] with
+  | Some x -> check (Alcotest.array q) "solution" [| qi 2; qi 3 |] x
+  | None -> Alcotest.fail "expected solution");
+  (* Inconsistent right-hand side. *)
+  check cb "inconsistent" true (Matrix.solve a [| qi 2; qi 3; qi 6 |] = None)
+
+let test_solve_rank_deficient () =
+  let a = Matrix.of_int_rows [| [| 1; 1 |]; [| 2; 2 |] |] in
+  Alcotest.check_raises "rank-deficient rejected"
+    (Invalid_argument "Matrix.solve: matrix does not have full column rank")
+    (fun () -> ignore (Matrix.solve a [| qi 1; qi 2 |]))
+
+let test_inverse () =
+  let a = Matrix.of_int_rows [| [| 1; 2 |]; [| 3; 4 |] |] in
+  (match Matrix.inverse a with
+  | Some inv ->
+      check m "a * a⁻¹ = I" (Matrix.identity 2) (Matrix.mul a inv);
+      check m "a⁻¹ * a = I" (Matrix.identity 2) (Matrix.mul inv a)
+  | None -> Alcotest.fail "invertible");
+  check cb "singular" true
+    (Matrix.inverse (Matrix.of_int_rows [| [| 1; 2 |]; [| 2; 4 |] |]) = None)
+
+let test_det () =
+  check q "2x2 det" (qi (-2))
+    (Matrix.det (Matrix.of_int_rows [| [| 1; 2 |]; [| 3; 4 |] |]));
+  check q "singular det" Rational.zero
+    (Matrix.det (Matrix.of_int_rows [| [| 1; 2 |]; [| 2; 4 |] |]));
+  check q "3x3 det" (qi 1)
+    (Matrix.det (Matrix.of_int_rows [| [| 2; 0; 1 |]; [| 1; 1; 0 |]; [| 1; 0; 1 |] |]))
+
+let test_of_rows_copies () =
+  let rows = [| [| Rational.one |] |] in
+  let a = Matrix.of_rows rows in
+  rows.(0).(0) <- Rational.zero;
+  check q "input mutation ignored" Rational.one (Matrix.get a 0 0)
+
+let random_int_matrix rng rows cols bound =
+  Matrix.init rows cols (fun _ _ ->
+      Rational.of_int (Nettomo_util.Prng.int_in rng (-bound) bound))
+
+let prop_rank_bounds =
+  QCheck2.Test.make ~name:"rank ≤ min(m,n); transpose preserves rank" ~count:200
+    QCheck2.Gen.(triple (int_bound 100_000) (int_range 1 7) (int_range 1 7))
+    (fun (seed, rows, cols) ->
+      let rng = Nettomo_util.Prng.create seed in
+      let a = random_int_matrix rng rows cols 5 in
+      let r = Matrix.rank a in
+      r <= min rows cols && Matrix.rank (Matrix.transpose a) = r)
+
+let prop_solve_roundtrip =
+  QCheck2.Test.make ~name:"solve recovers planted solution" ~count:200
+    QCheck2.Gen.(pair (int_bound 100_000) (int_range 1 7))
+    (fun (seed, n) ->
+      let rng = Nettomo_util.Prng.create seed in
+      let a = random_int_matrix rng n n 5 in
+      QCheck2.assume (not (Rational.is_zero (Matrix.det a)));
+      let x = Array.init n (fun _ -> Rational.of_int (Nettomo_util.Prng.int_in rng (-9) 9)) in
+      let b = Matrix.mul_vec a x in
+      match Matrix.solve a b with
+      | Some y -> Array.for_all2 Rational.equal x y
+      | None -> false)
+
+let prop_inverse_roundtrip =
+  QCheck2.Test.make ~name:"inverse roundtrip" ~count:150
+    QCheck2.Gen.(pair (int_bound 100_000) (int_range 1 6))
+    (fun (seed, n) ->
+      let rng = Nettomo_util.Prng.create seed in
+      let a = random_int_matrix rng n n 5 in
+      match Matrix.inverse a with
+      | None -> Rational.is_zero (Matrix.det a)
+      | Some inv -> Matrix.equal (Matrix.mul a inv) (Matrix.identity n))
+
+let prop_det_multiplicative =
+  QCheck2.Test.make ~name:"det(AB) = det(A)·det(B)" ~count:150
+    QCheck2.Gen.(pair (int_bound 100_000) (int_range 1 5))
+    (fun (seed, n) ->
+      let rng = Nettomo_util.Prng.create seed in
+      let a = random_int_matrix rng n n 4 in
+      let b = random_int_matrix rng n n 4 in
+      Rational.equal
+        (Matrix.det (Matrix.mul a b))
+        (Rational.mul (Matrix.det a) (Matrix.det b)))
+
+let suite =
+  [
+    Alcotest.test_case "identity" `Quick test_identity_rank;
+    Alcotest.test_case "rank of known matrices" `Quick test_rank_known;
+    Alcotest.test_case "transpose" `Quick test_transpose;
+    Alcotest.test_case "multiplication" `Quick test_mul;
+    Alcotest.test_case "matrix-vector product" `Quick test_mul_vec;
+    Alcotest.test_case "rref" `Quick test_rref;
+    Alcotest.test_case "solve square" `Quick test_solve_square;
+    Alcotest.test_case "solve overdetermined" `Quick test_solve_overdetermined;
+    Alcotest.test_case "solve rank-deficient" `Quick test_solve_rank_deficient;
+    Alcotest.test_case "inverse" `Quick test_inverse;
+    Alcotest.test_case "determinant" `Quick test_det;
+    Alcotest.test_case "of_rows copies input" `Quick test_of_rows_copies;
+    QCheck_alcotest.to_alcotest prop_rank_bounds;
+    QCheck_alcotest.to_alcotest prop_solve_roundtrip;
+    QCheck_alcotest.to_alcotest prop_inverse_roundtrip;
+    QCheck_alcotest.to_alcotest prop_det_multiplicative;
+  ]

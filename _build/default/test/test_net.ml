@@ -1,0 +1,45 @@
+open Nettomo_graph
+open Nettomo_core
+
+let check = Alcotest.check
+let ci = Alcotest.int
+let cb = Alcotest.bool
+
+let fig1_net () =
+  Net.create Fixtures.fig1 ~monitors:[ Fixtures.fig1_m1; Fixtures.fig1_m2; Fixtures.fig1_m3 ]
+
+let test_create () =
+  let net = fig1_net () in
+  check ci "kappa" 3 (Net.kappa net);
+  check cb "m1 is monitor" true (Net.is_monitor net 0);
+  check cb "interior is not" false (Net.is_monitor net 3);
+  check ci "non-monitors" 4 (Graph.NodeSet.cardinal (Net.non_monitors net))
+
+let test_create_invalid () =
+  Alcotest.check_raises "unknown monitor"
+    (Invalid_argument "Net.create: monitor is not a node of the graph") (fun () ->
+      ignore (Net.create Fixtures.fig1 ~monitors:[ 99 ]));
+  Alcotest.check_raises "duplicate monitors"
+    (Invalid_argument "Net.create: duplicate monitors") (fun () ->
+      ignore (Net.create Fixtures.fig1 ~monitors:[ 0; 0 ]))
+
+let test_labels () =
+  let labels = Graph.NodeMap.of_seq (List.to_seq [ (0, "m1"); (3, "a") ]) in
+  let net = Net.create ~labels Fixtures.fig1 ~monitors:[ 0; 1; 2 ] in
+  check Alcotest.string "named" "m1" (Net.label net 0);
+  check Alcotest.string "fallback" "4" (Net.label net 4)
+
+let test_monitor_pairs () =
+  let net = fig1_net () in
+  check ci "three pairs" 3 (List.length (Net.monitor_pairs net));
+  let net2 = Net.with_monitors net [ 0; 1 ] in
+  check ci "one pair" 1 (List.length (Net.monitor_pairs net2));
+  check ci "with_monitors changes kappa" 2 (Net.kappa net2)
+
+let suite =
+  [
+    Alcotest.test_case "create" `Quick test_create;
+    Alcotest.test_case "create rejects bad input" `Quick test_create_invalid;
+    Alcotest.test_case "labels" `Quick test_labels;
+    Alcotest.test_case "monitor pairs / with_monitors" `Quick test_monitor_pairs;
+  ]

@@ -1,0 +1,134 @@
+open Nettomo_core
+module Prng = Nettomo_util.Prng
+
+let check = Alcotest.check
+let cb = Alcotest.bool
+
+let fig1 = Paper.fig1
+
+let test_zero_noise_is_exact () =
+  let rng = Prng.create 31 in
+  let truth = Measurement.random_weights ~lo:1 ~hi:40 rng (Net.graph fig1) in
+  match Noisy.recover ~rng fig1 truth ~sigma:0.0 ~repetitions:1 with
+  | Some estimates ->
+      check (Alcotest.float 1e-6) "zero noise, zero error" 0.0
+        (Noisy.max_abs_error estimates)
+  | None -> Alcotest.fail "fig1 is identifiable"
+
+let test_noise_bounded () =
+  let rng = Prng.create 32 in
+  let truth = Measurement.random_weights ~lo:10 ~hi:50 rng (Net.graph fig1) in
+  match Noisy.recover ~rng fig1 truth ~sigma:0.5 ~repetitions:400 with
+  | Some estimates ->
+      (* With 400 repetitions the per-path std-err is 0.5/20 = 0.025;
+         after solving, errors stay well below one metric unit. *)
+      check cb
+        (Printf.sprintf "max error small (%.3f)" (Noisy.max_abs_error estimates))
+        true
+        (Noisy.max_abs_error estimates < 1.0);
+      check cb "rmse below max" true (Noisy.rmse estimates <= Noisy.max_abs_error estimates +. 1e-12)
+  | None -> Alcotest.fail "fig1 is identifiable"
+
+let test_averaging_improves () =
+  (* The error with many repetitions should generally beat the error
+     with one; compare averaged over several seeds to avoid flakes. *)
+  let avg_error repetitions =
+    let total = ref 0.0 in
+    for seed = 1 to 5 do
+      let rng = Prng.create (100 + seed) in
+      let truth = Measurement.random_weights ~lo:10 ~hi:50 rng (Net.graph fig1) in
+      match Noisy.recover ~rng fig1 truth ~sigma:1.0 ~repetitions with
+      | Some estimates -> total := !total +. Noisy.rmse estimates
+      | None -> Alcotest.fail "identifiable"
+    done;
+    !total /. 5.0
+  in
+  let coarse = avg_error 1 and fine = avg_error 200 in
+  check cb
+    (Printf.sprintf "averaging reduces error (%.3f -> %.3f)" coarse fine)
+    true (fine < coarse)
+
+let test_unidentifiable_refused () =
+  let rng = Prng.create 33 in
+  let truth = Measurement.random_weights rng (Net.graph fig1) in
+  let two = Net.with_monitors fig1 [ 0; 1 ] in
+  check cb "two monitors refused" true
+    (Noisy.recover ~rng two truth ~sigma:0.1 ~repetitions:3 = None)
+
+let test_measure_noise_distribution () =
+  (* Measurements of a known path must center on the true metric. *)
+  let rng = Prng.create 34 in
+  let truth = Measurement.random_weights ~lo:10 ~hi:10 rng (Net.graph fig1) in
+  let path = [ 0; 3; 2 ] in
+  let true_value = 20.0 in
+  let n = 2000 in
+  let acc = ref 0.0 in
+  for _ = 1 to n do
+    acc := !acc +. Noisy.measure rng truth ~sigma:2.0 path
+  done;
+  let mean = !acc /. float_of_int n in
+  check cb
+    (Printf.sprintf "sample mean near truth (%.3f)" mean)
+    true
+    (Float.abs (mean -. true_value) < 0.2)
+
+let test_least_squares_zero_noise () =
+  let rng = Prng.create 36 in
+  let truth = Measurement.random_weights ~lo:1 ~hi:40 rng (Net.graph fig1) in
+  match
+    Noisy.recover_least_squares ~rng ~extra_paths:10 fig1 truth ~sigma:0.0
+      ~repetitions:1
+  with
+  | Some estimates ->
+      check (Alcotest.float 1e-6) "LS exact without noise" 0.0
+        (Noisy.max_abs_error estimates)
+  | None -> Alcotest.fail "identifiable"
+
+let test_least_squares_beats_square_on_average () =
+  (* At equal repetitions, 25 extra measurement rows should reduce the
+     error; average over seeds to avoid flakes. *)
+  let avg f =
+    let total = ref 0.0 in
+    for seed = 1 to 6 do
+      let rng = Prng.create (300 + seed) in
+      let truth = Measurement.random_weights ~lo:10 ~hi:50 rng (Net.graph fig1) in
+      match f rng truth with
+      | Some est -> total := !total +. Noisy.rmse est
+      | None -> Alcotest.fail "identifiable"
+    done;
+    !total /. 6.0
+  in
+  let square =
+    avg (fun rng truth -> Noisy.recover ~rng fig1 truth ~sigma:1.0 ~repetitions:5)
+  in
+  let ls =
+    avg (fun rng truth ->
+        Noisy.recover_least_squares ~rng ~extra_paths:25 fig1 truth ~sigma:1.0
+          ~repetitions:5)
+  in
+  check cb
+    (Printf.sprintf "LS improves error (%.3f -> %.3f)" square ls)
+    true (ls < square)
+
+let test_invalid_repetitions () =
+  let rng = Prng.create 35 in
+  let truth = Measurement.random_weights rng (Net.graph fig1) in
+  Alcotest.check_raises "zero repetitions"
+    (Invalid_argument "Noisy.measure_averaged: repetitions must be positive")
+    (fun () ->
+      ignore (Noisy.measure_averaged rng truth ~sigma:1.0 ~repetitions:0 [ 0; 3; 2 ]))
+
+let suite =
+  [
+    Alcotest.test_case "zero noise is exact" `Quick test_zero_noise_is_exact;
+    Alcotest.test_case "error bounded under noise" `Quick test_noise_bounded;
+    Alcotest.test_case "averaging improves accuracy" `Quick test_averaging_improves;
+    Alcotest.test_case "unidentifiable refused" `Quick test_unidentifiable_refused;
+    Alcotest.test_case "noise centers on the mean" `Quick
+      test_measure_noise_distribution;
+    Alcotest.test_case "least squares exact without noise" `Quick
+      test_least_squares_zero_noise;
+    Alcotest.test_case "least squares beats square solve" `Quick
+      test_least_squares_beats_square_on_average;
+    Alcotest.test_case "invalid repetitions" `Quick test_invalid_repetitions;
+  ]

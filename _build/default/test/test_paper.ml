@@ -1,0 +1,78 @@
+open Nettomo_graph
+open Nettomo_core
+open Nettomo_linalg
+
+let check = Alcotest.check
+let ci = Alcotest.int
+let cb = Alcotest.bool
+
+let test_fig1_shape () =
+  let g = Net.graph Paper.fig1 in
+  check ci "7 nodes" 7 (Graph.n_nodes g);
+  check ci "11 links" 11 (Graph.n_edges g);
+  check ci "3 monitors" 3 (Net.kappa Paper.fig1);
+  check Alcotest.string "label of m1" "m1" (Net.label Paper.fig1 0);
+  check Alcotest.string "label of x" "x" (Net.label Paper.fig1 6)
+
+let test_fig1_link_names () =
+  check ci "all 11 links named" 11 (Graph.EdgeMap.cardinal Paper.fig1_link_names);
+  check Alcotest.string "l9 is the m3-m2 link" "l9"
+    (Graph.EdgeMap.find (Graph.edge 2 1) Paper.fig1_link_names)
+
+let test_fig1_paths () =
+  check ci "eleven paths" 11 (List.length Paper.fig1_paths);
+  List.iter
+    (fun p ->
+      check cb "each path is measurable" true
+        (Measurement.is_measurement_path Paper.fig1 p))
+    Paper.fig1_paths;
+  (* One m1→m2 path, seven m1→m3, three m3→m2, as in Section 2.3. *)
+  let count src dst =
+    List.length
+      (List.filter
+         (fun p ->
+           List.hd p = src && List.nth p (List.length p - 1) = dst)
+         Paper.fig1_paths)
+  in
+  check ci "one m1->m2" 1 (count 0 1);
+  check ci "seven m1->m3" 7 (count 0 2);
+  check ci "three m3->m2" 3 (count 2 1)
+
+let test_fig1_full_rank () =
+  let space = Measurement.space (Net.graph Paper.fig1) in
+  check ci "paper's path set has full rank" 11
+    (Matrix.rank (Measurement.matrix space Paper.fig1_paths))
+
+let test_fig6_shape () =
+  let g = Net.graph Paper.fig6 in
+  check ci "7 nodes" 7 (Graph.n_nodes g);
+  check ci "10 links" 10 (Graph.n_edges g);
+  check ci "2 monitors" 2 (Net.kappa Paper.fig6);
+  check cb "interior identifiable" true
+    (Identifiability.interior_identifiable_two Paper.fig6)
+
+let test_fig8_like_shape () =
+  check ci "22 nodes" 22 (Graph.n_nodes Paper.fig8_like);
+  check ci "35 links" 35 (Graph.n_edges Paper.fig8_like);
+  let r = Mmp.place_report Paper.fig8_like in
+  check ci "MMP places 10 monitors" 10 (Graph.NodeSet.cardinal r.Mmp.monitors);
+  (* Exercises all the structural rules. *)
+  check ci "six by degree" 6 (Graph.NodeSet.cardinal r.Mmp.by_degree);
+  check cb "rule (iii) used" true
+    (not (Graph.NodeSet.is_empty r.Mmp.by_triconnected));
+  check cb "rule (iv) used" true
+    (not (Graph.NodeSet.is_empty r.Mmp.by_biconnected));
+  check cb "identifiable" true
+    (Identifiability.network_identifiable
+       (Net.create Paper.fig8_like
+          ~monitors:(Graph.NodeSet.elements r.Mmp.monitors)))
+
+let suite =
+  [
+    Alcotest.test_case "fig1 shape and labels" `Quick test_fig1_shape;
+    Alcotest.test_case "fig1 link names" `Quick test_fig1_link_names;
+    Alcotest.test_case "fig1 paths as in Section 2.3" `Quick test_fig1_paths;
+    Alcotest.test_case "fig1 full-rank path set" `Quick test_fig1_full_rank;
+    Alcotest.test_case "fig6 shape" `Quick test_fig6_shape;
+    Alcotest.test_case "fig8-like shape and MMP" `Quick test_fig8_like_shape;
+  ]

@@ -1,0 +1,106 @@
+open Nettomo_graph
+open Nettomo_core
+module Prng = Nettomo_util.Prng
+
+let check = Alcotest.check
+let ci = Alcotest.int
+let cb = Alcotest.bool
+
+let test_fig1_full_coverage () =
+  let r = Partial.analyze Paper.fig1 in
+  check cb "exact mode on a small graph" true (r.Partial.mode = Partial.Exact);
+  check ci "rank equals links" 11 r.Partial.rank;
+  check (Alcotest.float 0.0) "full coverage" 1.0 (Partial.coverage r);
+  check cb "nothing unidentifiable" true
+    (Graph.EdgeSet.is_empty r.Partial.unidentifiable)
+
+let test_fig1_two_monitors_partial () =
+  let net = Net.with_monitors Paper.fig1 [ 0; 1 ] in
+  let r = Partial.analyze net in
+  check cb "not full" true (Partial.coverage r < 1.0);
+  (* Exterior links must be in the unidentifiable set (Cor 4.1). *)
+  Graph.EdgeSet.iter
+    (fun e ->
+      check cb "exterior unidentifiable" true
+        (Graph.EdgeSet.mem e r.Partial.unidentifiable))
+    (Interior.exterior_links net)
+
+let test_fig6_partial () =
+  let r = Partial.analyze Paper.fig6 in
+  check Fixtures.edgeset_testable "identifiable = interior links"
+    (Interior.interior_links Paper.fig6)
+    r.Partial.identifiable
+
+let test_sampled_mode_on_larger () =
+  let rng = Prng.create 41 in
+  let g = Nettomo_topo.Gen.barabasi_albert rng ~n:40 ~nmin:3 in
+  let net = Mmp.as_net g in
+  let r = Partial.analyze ~rng net in
+  check cb "sampled mode" true (r.Partial.mode = Partial.Sampled);
+  (* MMP net is identifiable, so the sampled analysis reaches full
+     coverage. *)
+  check (Alcotest.float 0.0) "full coverage" 1.0 (Partial.coverage r);
+  check ci "rank equals links" (Graph.n_edges g) r.Partial.rank
+
+let test_requires_two_monitors () =
+  Alcotest.check_raises "one monitor rejected"
+    (Invalid_argument "Partial.analyze: need at least two monitors") (fun () ->
+      ignore (Partial.analyze (Net.with_monitors Paper.fig1 [ 0 ])))
+
+let prop_exact_matches_bruteforce =
+  QCheck2.Test.make ~name:"exact partial analysis = brute-force per-link set"
+    ~count:60
+    QCheck2.Gen.(triple (int_bound 1_000_000) (int_range 4 9) (int_range 0 10))
+    (fun (seed, n, extra) ->
+      let rng = Prng.create seed in
+      let g = Fixtures.random_connected rng n extra in
+      let kappa = 2 + Prng.int rng (min 3 (n - 1)) in
+      let monitors = Array.to_list (Prng.sample rng kappa (Graph.node_array g)) in
+      let net = Net.create g ~monitors in
+      let r = Partial.analyze net in
+      Graph.EdgeSet.equal r.Partial.identifiable
+        (Identifiability.identifiable_links_bruteforce net))
+
+let prop_sampled_is_sound =
+  QCheck2.Test.make
+    ~name:"sampled mode never claims an unidentifiable link (lower bound)"
+    ~count:40
+    QCheck2.Gen.(triple (int_bound 1_000_000) (int_range 5 9) (int_range 0 10))
+    (fun (seed, n, extra) ->
+      let rng = Prng.create seed in
+      let g = Fixtures.random_connected rng n extra in
+      let monitors = [ 0; n - 1 ] in
+      let net = Net.create g ~monitors in
+      (* Force sampled mode even on a small graph. *)
+      let sampled = Partial.analyze ~rng ~exact_node_limit:0 net in
+      let truth = Identifiability.identifiable_links_bruteforce net in
+      Graph.EdgeSet.subset sampled.Partial.identifiable truth)
+
+let prop_monotone_in_monitors =
+  QCheck2.Test.make
+    ~name:"adding a monitor never loses identifiable links (exact mode)"
+    ~count:40
+    QCheck2.Gen.(triple (int_bound 1_000_000) (int_range 5 9) (int_range 0 10))
+    (fun (seed, n, extra) ->
+      let rng = Prng.create seed in
+      let g = Fixtures.random_connected rng n extra in
+      let base = [ 0; n - 1 ] in
+      let more = 1 + Prng.int rng (n - 2) in
+      QCheck2.assume (not (List.mem more base));
+      let r1 = Partial.analyze (Net.create g ~monitors:base) in
+      let r2 = Partial.analyze (Net.create g ~monitors:(more :: base)) in
+      Graph.EdgeSet.subset r1.Partial.identifiable r2.Partial.identifiable)
+
+let suite =
+  [
+    Alcotest.test_case "fig1 full coverage" `Quick test_fig1_full_coverage;
+    Alcotest.test_case "fig1 partial with two monitors" `Quick
+      test_fig1_two_monitors_partial;
+    Alcotest.test_case "fig6 identifiable = interior" `Quick test_fig6_partial;
+    Alcotest.test_case "sampled mode on larger graph" `Quick
+      test_sampled_mode_on_larger;
+    Alcotest.test_case "requires two monitors" `Quick test_requires_two_monitors;
+    QCheck_alcotest.to_alcotest prop_exact_matches_bruteforce;
+    QCheck_alcotest.to_alcotest prop_sampled_is_sound;
+    QCheck_alcotest.to_alcotest prop_monotone_in_monitors;
+  ]

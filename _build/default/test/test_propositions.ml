@@ -1,0 +1,107 @@
+(* The Appendix propositions that consolidate Theorem 3.2's two
+   conditions into Theorem 3.3's single condition on the extended graph:
+
+   Proposition A.3: Gex satisfies Condition ① (Gex - l 2-edge-connected
+   for each link l) iff Gex is 3-edge-connected.
+
+   Proposition A.4: Gex satisfies Condition ② (Gex + m'1m'2
+   3-vertex-connected) iff Gex is 3-vertex-connected.
+
+   These are checked on random networks with κ ≥ 3 monitors, using the
+   independent max-flow connectivity oracles. *)
+
+open Nettomo_graph
+open Nettomo_core
+module Prng = Nettomo_util.Prng
+
+let check = Alcotest.check
+let cb = Alcotest.bool
+
+let random_net seed n extra kappa =
+  let rng = Prng.create seed in
+  let g = Fixtures.random_connected rng n extra in
+  let monitors = Array.to_list (Prng.sample rng kappa (Graph.node_array g)) in
+  Net.create g ~monitors
+
+let condition1 gex =
+  Graph.fold_edges
+    (fun l acc -> acc && Bridges.is_two_edge_connected_without gex l)
+    gex true
+
+let condition2 gex vm1 vm2 =
+  Separation.is_three_vertex_connected (Graph.add_edge gex vm1 vm2)
+
+let test_prop_a3_example () =
+  (* Fig. 1 with its three monitors: Gex is 3-edge-connected, and indeed
+     removing any single link leaves it 2-edge-connected. *)
+  let ext = Extended.extend Paper.fig1 in
+  check cb "3-edge-connected" true
+    (Connectivity.is_k_edge_connected ext.Extended.graph 3);
+  check cb "Condition 1 holds" true (condition1 ext.Extended.graph)
+
+let test_prop_a4_example () =
+  let ext = Extended.extend Paper.fig1 in
+  check cb "3-vertex-connected" true
+    (Separation.is_three_vertex_connected ext.Extended.graph);
+  check cb "Condition 2 holds" true
+    (condition2 ext.Extended.graph ext.Extended.vm1 ext.Extended.vm2)
+
+let prop_a3 =
+  QCheck2.Test.make
+    ~name:"Prop A.3: Condition 1 on Gex iff Gex 3-edge-connected" ~count:80
+    QCheck2.Gen.(
+      quad (int_bound 1_000_000) (int_range 4 10) (int_range 0 12) (int_range 3 5))
+    (fun (seed, n, extra, kappa) ->
+      QCheck2.assume (kappa <= n);
+      let net = random_net seed n extra kappa in
+      let ext = Extended.extend net in
+      condition1 ext.Extended.graph
+      = Connectivity.is_k_edge_connected ext.Extended.graph 3)
+
+let prop_a4 =
+  QCheck2.Test.make
+    ~name:"Prop A.4: Condition 2 on Gex iff Gex 3-vertex-connected" ~count:80
+    QCheck2.Gen.(
+      quad (int_bound 1_000_000) (int_range 4 10) (int_range 0 12) (int_range 3 5))
+    (fun (seed, n, extra, kappa) ->
+      QCheck2.assume (kappa <= n);
+      let net = random_net seed n extra kappa in
+      let ext = Extended.extend net in
+      condition2 ext.Extended.graph ext.Extended.vm1 ext.Extended.vm2
+      = Separation.is_three_vertex_connected ext.Extended.graph)
+
+(* Diestel Prop. 1.4.2 as used in Section 6.2: 3-vertex-connectivity
+   implies 3-edge-connectivity. *)
+let prop_vertex_implies_edge =
+  QCheck2.Test.make ~name:"3-vertex-connected ⇒ 3-edge-connected" ~count:100
+    QCheck2.Gen.(triple (int_bound 1_000_000) (int_range 4 12) (int_range 0 20))
+    (fun (seed, n, extra) ->
+      let rng = Prng.create seed in
+      let g = Fixtures.random_connected rng n extra in
+      (not (Separation.is_three_vertex_connected g))
+      || Connectivity.is_k_edge_connected g 3)
+
+(* Lemma 6.1's reduction: the interior graph of Gex is G itself, and the
+   κ-monitor identifiability of G equals the 2-virtual-monitor interior
+   identifiability of Gex. *)
+let prop_lemma_6_1 =
+  QCheck2.Test.make
+    ~name:"Lemma 6.1: Thm 3.3 on G = Thm 3.2 on Gex's interior" ~count:60
+    QCheck2.Gen.(
+      quad (int_bound 1_000_000) (int_range 4 9) (int_range 0 10) (int_range 3 4))
+    (fun (seed, n, extra, kappa) ->
+      QCheck2.assume (kappa <= n);
+      let net = random_net seed n extra kappa in
+      let two = Extended.as_two_monitor_net net in
+      Identifiability.network_identifiable net
+      = Identifiability.interior_identifiable_two two)
+
+let suite =
+  [
+    Alcotest.test_case "Prop A.3 on Fig. 1" `Quick test_prop_a3_example;
+    Alcotest.test_case "Prop A.4 on Fig. 1" `Quick test_prop_a4_example;
+    QCheck_alcotest.to_alcotest prop_a3;
+    QCheck_alcotest.to_alcotest prop_a4;
+    QCheck_alcotest.to_alcotest prop_vertex_implies_edge;
+    QCheck_alcotest.to_alcotest prop_lemma_6_1;
+  ]

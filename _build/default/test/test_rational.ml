@@ -1,0 +1,101 @@
+open Nettomo_linalg
+
+let check = Alcotest.check
+let cb = Alcotest.bool
+let cs = Alcotest.string
+
+let q = Alcotest.testable Rational.pp Rational.equal
+
+let test_normalization () =
+  check q "6/8 = 3/4" (Rational.of_ints 3 4) (Rational.of_ints 6 8);
+  check q "negative denominator" (Rational.of_ints (-1) 2) (Rational.of_ints 1 (-2));
+  check q "0/n = 0" Rational.zero (Rational.of_ints 0 17);
+  check cs "den positive" "2" (Bigint.to_string (Rational.den (Rational.of_ints 1 (-2))));
+  Alcotest.check_raises "zero denominator" Division_by_zero (fun () ->
+      ignore (Rational.of_ints 1 0))
+
+let test_arith () =
+  let half = Rational.of_ints 1 2 and third = Rational.of_ints 1 3 in
+  check q "1/2 + 1/3" (Rational.of_ints 5 6) (Rational.add half third);
+  check q "1/2 - 1/3" (Rational.of_ints 1 6) (Rational.sub half third);
+  check q "1/2 * 1/3" (Rational.of_ints 1 6) (Rational.mul half third);
+  check q "1/2 ÷ 1/3" (Rational.of_ints 3 2) (Rational.div half third);
+  check q "neg" (Rational.of_ints (-1) 2) (Rational.neg half);
+  check q "abs" half (Rational.abs (Rational.neg half));
+  check q "inv" (Rational.of_int 2) (Rational.inv half);
+  Alcotest.check_raises "inv zero" Division_by_zero (fun () ->
+      ignore (Rational.inv Rational.zero))
+
+let test_compare () =
+  check cb "1/2 < 2/3" true Rational.(compare (of_ints 1 2) (of_ints 2 3) < 0);
+  check cb "-1/2 < 1/3" true Rational.(compare (of_ints (-1) 2) (of_ints 1 3) < 0);
+  check cb "equal" true Rational.(compare (of_ints 2 4) (of_ints 1 2) = 0);
+  check q "min" (Rational.of_ints 1 3) Rational.(min (of_ints 1 2) (of_ints 1 3));
+  check q "max" (Rational.of_ints 1 2) Rational.(max (of_ints 1 2) (of_ints 1 3))
+
+let test_predicates () =
+  check cb "is_zero" true (Rational.is_zero Rational.zero);
+  check cb "sign of -3/4" true (Rational.sign (Rational.of_ints (-3) 4) = -1);
+  check cb "is_integer 4/2" true (Rational.is_integer (Rational.of_ints 4 2));
+  check cb "is_integer 1/2" false (Rational.is_integer (Rational.of_ints 1 2))
+
+let test_strings () =
+  check cs "integer render" "5" (Rational.to_string (Rational.of_int 5));
+  check cs "fraction render" "-3/4" (Rational.to_string (Rational.of_ints 3 (-4)));
+  check q "parse int" (Rational.of_int 12) (Rational.of_string "12");
+  check q "parse fraction" (Rational.of_ints 7 3) (Rational.of_string "7/3");
+  check q "parse decimal" (Rational.of_ints 13 4) (Rational.of_string "3.25");
+  check q "parse negative decimal" (Rational.of_ints (-1) 2)
+    (Rational.of_string "-0.5");
+  Alcotest.check_raises "malformed"
+    (Invalid_argument "Rational.of_string: malformed rational") (fun () ->
+      ignore (Rational.of_string "1/2/3"))
+
+let test_to_float () =
+  check (Alcotest.float 1e-12) "to_float" 0.75
+    (Rational.to_float (Rational.of_ints 3 4))
+
+let gen_q =
+  QCheck2.Gen.(
+    map
+      (fun (n, d) -> Rational.of_ints n (if d = 0 then 1 else d))
+      (pair (int_range (-10_000) 10_000) (int_range (-10_000) 10_000)))
+
+let prop_field_axioms =
+  QCheck2.Test.make ~name:"field identities" ~count:300
+    QCheck2.Gen.(triple gen_q gen_q gen_q)
+    (fun (a, b, c) ->
+      let open Rational in
+      equal (add a b) (add b a)
+      && equal (add (add a b) c) (add a (add b c))
+      && equal (mul a (add b c)) (add (mul a b) (mul a c))
+      && equal (add a (neg a)) zero
+      && equal (mul a one) a)
+
+let prop_inverse =
+  QCheck2.Test.make ~name:"multiplicative inverse" ~count:300 gen_q (fun a ->
+      QCheck2.assume (not (Rational.is_zero a));
+      Rational.(equal (mul a (inv a)) one))
+
+let prop_string_roundtrip =
+  QCheck2.Test.make ~name:"to_string/of_string roundtrip" ~count:300 gen_q
+    (fun a -> Rational.equal a (Rational.of_string (Rational.to_string a)))
+
+let prop_compare_consistent_with_sub =
+  QCheck2.Test.make ~name:"compare consistent with subtraction sign" ~count:300
+    (QCheck2.Gen.pair gen_q gen_q) (fun (a, b) ->
+      Rational.compare a b = Rational.sign (Rational.sub a b))
+
+let suite =
+  [
+    Alcotest.test_case "normalization" `Quick test_normalization;
+    Alcotest.test_case "arithmetic" `Quick test_arith;
+    Alcotest.test_case "comparison" `Quick test_compare;
+    Alcotest.test_case "predicates" `Quick test_predicates;
+    Alcotest.test_case "strings" `Quick test_strings;
+    Alcotest.test_case "to_float" `Quick test_to_float;
+    QCheck_alcotest.to_alcotest prop_field_axioms;
+    QCheck_alcotest.to_alcotest prop_inverse;
+    QCheck_alcotest.to_alcotest prop_string_roundtrip;
+    QCheck_alcotest.to_alcotest prop_compare_consistent_with_sub;
+  ]

@@ -1,0 +1,103 @@
+open Nettomo_graph
+module Prng = Nettomo_util.Prng
+
+let check = Alcotest.check
+let ci = Alcotest.int
+let cb = Alcotest.bool
+
+let test_forest_partition_disjoint () =
+  let g = Fixtures.k5 in
+  let forests = Sparsify.forest_partition g ~k:3 in
+  check ci "three forests" 3 (List.length forests);
+  (* Pairwise disjoint and each is a forest (≤ n-1 links, acyclic). *)
+  let rec pairwise = function
+    | [] -> true
+    | f :: rest ->
+        List.for_all (fun f' -> Graph.EdgeSet.is_empty (Graph.EdgeSet.inter f f')) rest
+        && pairwise rest
+  in
+  check cb "disjoint" true (pairwise forests);
+  List.iter
+    (fun f ->
+      check cb "forest size" true (Graph.EdgeSet.cardinal f <= Graph.n_nodes g - 1);
+      let fg =
+        Graph.EdgeSet.fold (fun (u, v) acc -> Graph.add_edge acc u v) f Graph.empty
+      in
+      (* acyclic: links = nodes - components *)
+      check ci "acyclic" (Graph.n_nodes fg - Traversal.n_components fg)
+        (Graph.n_edges fg))
+    forests
+
+let test_certificate_size () =
+  let g = Fixtures.k5 in
+  let c = Sparsify.certificate g ~k:3 in
+  check cb "sparse" true (Graph.n_edges c <= 3 * (Graph.n_nodes g - 1));
+  check ci "same node set" (Graph.n_nodes g) (Graph.n_nodes c);
+  check cb "subgraph" true
+    (Graph.EdgeSet.subset (Graph.edge_set c) (Graph.edge_set g))
+
+let test_certificate_preserves_3vc_known () =
+  List.iter
+    (fun (name, g) ->
+      check cb name (Separation.is_three_vertex_connected g)
+        (Sparsify.is_three_vertex_connected g))
+    [
+      ("k4", Fixtures.k4); ("k5", Fixtures.k5); ("wheel", Fixtures.wheel5);
+      ("petersen", Fixtures.petersen); ("cycle", Fixtures.cycle_graph 8);
+      ("bowtie", Fixtures.bowtie); ("two k4s", Fixtures.two_k4_by_pair);
+      ("complete K10", Nettomo_topo.Gen.complete 10);
+    ]
+
+let test_invalid_k () =
+  check cb "k = 0 rejected" true
+    (try
+       ignore (Sparsify.certificate Fixtures.k4 ~k:0);
+       false
+     with Invalid_argument _ -> true)
+
+let prop_certificate_preserves_3vc =
+  QCheck2.Test.make
+    ~name:"3-vertex-connectivity of certificate = of graph" ~count:250
+    QCheck2.Gen.(triple (int_bound 1_000_000) (int_range 4 20) (int_range 0 60))
+    (fun (seed, n, extra) ->
+      let rng = Prng.create seed in
+      let g = Fixtures.random_connected rng n extra in
+      Sparsify.is_three_vertex_connected g
+      = Separation.is_three_vertex_connected g)
+
+let prop_certificate_preserves_biconnectivity =
+  QCheck2.Test.make
+    ~name:"certificate (k=3) preserves connectivity and biconnectivity"
+    ~count:200
+    QCheck2.Gen.(triple (int_bound 1_000_000) (int_range 3 18) (int_range 0 40))
+    (fun (seed, n, extra) ->
+      let rng = Prng.create seed in
+      let g = Fixtures.random_connected rng n extra in
+      let c = Sparsify.certificate g ~k:3 in
+      Traversal.is_connected c = Traversal.is_connected g
+      && Biconnected.is_biconnected c = Biconnected.is_biconnected g)
+
+let prop_first_forest_spans =
+  QCheck2.Test.make ~name:"first forest spans each component" ~count:200
+    QCheck2.Gen.(triple (int_bound 1_000_000) (int_range 2 20) (int_range 0 20))
+    (fun (seed, n, extra) ->
+      let rng = Prng.create seed in
+      let g = Fixtures.random_connected rng n extra in
+      match Sparsify.forest_partition g ~k:1 with
+      | [ f ] ->
+          Graph.EdgeSet.cardinal f = Graph.n_nodes g - Traversal.n_components g
+      | _ -> false)
+
+let suite =
+  [
+    Alcotest.test_case "forest partition disjoint and acyclic" `Quick
+      test_forest_partition_disjoint;
+    Alcotest.test_case "certificate size and containment" `Quick
+      test_certificate_size;
+    Alcotest.test_case "3vc preserved on known graphs" `Quick
+      test_certificate_preserves_3vc_known;
+    Alcotest.test_case "invalid k" `Quick test_invalid_k;
+    QCheck_alcotest.to_alcotest prop_certificate_preserves_3vc;
+    QCheck_alcotest.to_alcotest prop_certificate_preserves_biconnectivity;
+    QCheck_alcotest.to_alcotest prop_first_forest_spans;
+  ]

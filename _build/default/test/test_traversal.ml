@@ -1,0 +1,139 @@
+open Nettomo_graph
+
+let check = Alcotest.check
+let ci = Alcotest.int
+let cb = Alcotest.bool
+
+let ns = Graph.NodeSet.of_list
+
+let test_reachable () =
+  let g = Graph.of_edges ~nodes:[ 9 ] [ (0, 1); (1, 2); (3, 4) ] in
+  check Fixtures.nodeset_testable "component of 0" (ns [ 0; 1; 2 ])
+    (Traversal.reachable g 0);
+  check Fixtures.nodeset_testable "component of 4" (ns [ 3; 4 ])
+    (Traversal.reachable g 4);
+  check Fixtures.nodeset_testable "isolated node" (ns [ 9 ])
+    (Traversal.reachable g 9)
+
+let test_reachable_avoid_node () =
+  let g = Fixtures.path_graph 5 in
+  check Fixtures.nodeset_testable "path cut at 2" (ns [ 0; 1 ])
+    (Traversal.reachable ~avoid_nodes:(ns [ 2 ]) g 0)
+
+let test_reachable_avoid_edge () =
+  let g = Fixtures.path_graph 5 in
+  check Fixtures.nodeset_testable "path cut at edge (2,3)" (ns [ 0; 1; 2 ])
+    (Traversal.reachable ~avoid_edge:(Graph.edge 3 2) g 0);
+  (* On a cycle, removing one edge keeps everything reachable. *)
+  check Fixtures.nodeset_testable "cycle minus edge stays connected"
+    (ns [ 0; 1; 2; 3; 4 ])
+    (Traversal.reachable ~avoid_edge:(Graph.edge 0 1) (Fixtures.cycle_graph 5) 0)
+
+let test_components () =
+  let g = Graph.of_edges ~nodes:[ 7 ] [ (0, 1); (2, 3) ] in
+  let comps = Traversal.components g in
+  check ci "three components" 3 (List.length comps);
+  check ci "count matches" 3 (Traversal.n_components g)
+
+let test_components_avoiding () =
+  let comps =
+    Traversal.components ~avoid_nodes:(ns [ 2 ]) (Fixtures.path_graph 5)
+  in
+  check ci "two pieces" 2 (List.length comps)
+
+let test_is_connected () =
+  check cb "empty connected" true (Traversal.is_connected Graph.empty);
+  check cb "singleton connected" true
+    (Traversal.is_connected (Graph.add_node Graph.empty 0));
+  check cb "path connected" true (Traversal.is_connected (Fixtures.path_graph 6));
+  check cb "two parts" false
+    (Traversal.is_connected (Graph.of_edges [ (0, 1); (2, 3) ]));
+  check cb "path minus middle node" false
+    (Traversal.is_connected ~avoid_nodes:(ns [ 2 ]) (Fixtures.path_graph 5));
+  check cb "path minus middle edge" false
+    (Traversal.is_connected ~avoid_edge:(2, 3) (Fixtures.path_graph 5));
+  check cb "cycle minus edge" true
+    (Traversal.is_connected ~avoid_edge:(0, 1) (Fixtures.cycle_graph 5))
+
+let test_bfs_distances () =
+  let d = Traversal.bfs_distances (Fixtures.cycle_graph 6) 0 in
+  check ci "dist to self" 0 (Graph.NodeMap.find 0 d);
+  check ci "dist to 1" 1 (Graph.NodeMap.find 1 d);
+  check ci "dist to 3 (opposite)" 3 (Graph.NodeMap.find 3 d);
+  check ci "dist to 5 (other way)" 1 (Graph.NodeMap.find 5 d)
+
+let test_bfs_unreachable_absent () =
+  let g = Graph.of_edges [ (0, 1); (2, 3) ] in
+  let d = Traversal.bfs_distances g 0 in
+  check cb "unreachable absent from map" true
+    (not (Graph.NodeMap.mem 2 d))
+
+let test_shortest_path () =
+  let g = Fixtures.cycle_graph 6 in
+  (match Traversal.shortest_path g 0 2 with
+  | Some p -> check (Alcotest.list ci) "path 0-1-2" [ 0; 1; 2 ] p
+  | None -> Alcotest.fail "expected path");
+  (match Traversal.shortest_path g 0 0 with
+  | Some p -> check (Alcotest.list ci) "trivial path" [ 0 ] p
+  | None -> Alcotest.fail "expected trivial path");
+  let g2 = Graph.of_edges [ (0, 1); (2, 3) ] in
+  check cb "unreachable" true (Traversal.shortest_path g2 0 3 = None)
+
+let test_spanning_tree () =
+  let g = Fixtures.k4 in
+  let t = Traversal.spanning_tree g in
+  check ci "tree has n-1 edges" 3 (Graph.EdgeSet.cardinal t);
+  let tree_graph =
+    Graph.EdgeSet.fold (fun (u, v) acc -> Graph.add_edge acc u v) t Graph.empty
+  in
+  check cb "tree connected" true (Traversal.is_connected tree_graph);
+  check ci "tree covers all nodes" 4 (Graph.n_nodes tree_graph)
+
+let test_spanning_forest () =
+  let g = Graph.of_edges [ (0, 1); (1, 2); (0, 2); (5, 6) ] in
+  let t = Traversal.spanning_tree g in
+  check ci "forest edges = n - #components" 3 (Graph.EdgeSet.cardinal t)
+
+(* Property: components partition the node set. *)
+let prop_components_partition =
+  QCheck2.Test.make ~name:"components partition nodes" ~count:200
+    QCheck2.Gen.(pair (int_bound 10_000) (int_range 1 30))
+    (fun (seed, n) ->
+      let rng = Nettomo_util.Prng.create seed in
+      (* Possibly disconnected: take a connected graph and delete a node's
+         edges by removing a random node. *)
+      let g = Fixtures.random_connected rng n (n / 3) in
+      let g = if n > 2 then Graph.remove_node g (Nettomo_util.Prng.int rng n) else g in
+      let comps = Traversal.components g in
+      let total = List.fold_left (fun a c -> a + Graph.NodeSet.cardinal c) 0 comps in
+      let union =
+        List.fold_left Graph.NodeSet.union Graph.NodeSet.empty comps
+      in
+      total = Graph.n_nodes g && Graph.NodeSet.equal union (Graph.node_set g))
+
+(* Property: spanning tree always has n - c edges. *)
+let prop_spanning_tree_size =
+  QCheck2.Test.make ~name:"spanning forest size" ~count:200
+    QCheck2.Gen.(pair (int_bound 10_000) (int_range 2 40))
+    (fun (seed, n) ->
+      let rng = Nettomo_util.Prng.create seed in
+      let g = Fixtures.random_connected rng n (n / 2) in
+      Graph.EdgeSet.cardinal (Traversal.spanning_tree g)
+      = Graph.n_nodes g - Traversal.n_components g)
+
+let suite =
+  [
+    Alcotest.test_case "reachable" `Quick test_reachable;
+    Alcotest.test_case "reachable avoiding node" `Quick test_reachable_avoid_node;
+    Alcotest.test_case "reachable avoiding edge" `Quick test_reachable_avoid_edge;
+    Alcotest.test_case "components" `Quick test_components;
+    Alcotest.test_case "components avoiding nodes" `Quick test_components_avoiding;
+    Alcotest.test_case "is_connected variants" `Quick test_is_connected;
+    Alcotest.test_case "bfs distances" `Quick test_bfs_distances;
+    Alcotest.test_case "bfs omits unreachable" `Quick test_bfs_unreachable_absent;
+    Alcotest.test_case "shortest path" `Quick test_shortest_path;
+    Alcotest.test_case "spanning tree" `Quick test_spanning_tree;
+    Alcotest.test_case "spanning forest" `Quick test_spanning_forest;
+    QCheck_alcotest.to_alcotest prop_components_partition;
+    QCheck_alcotest.to_alcotest prop_spanning_tree_size;
+  ]

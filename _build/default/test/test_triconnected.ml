@@ -1,0 +1,217 @@
+open Nettomo_graph
+
+let check = Alcotest.check
+let ci = Alcotest.int
+let cb = Alcotest.bool
+let ns = Graph.NodeSet.of_list
+
+let graph_of_component (c : Triconnected.component) =
+  Graph.EdgeSet.fold
+    (fun (u, v) acc -> Graph.add_edge acc u v)
+    c.edges
+    (Graph.NodeSet.fold (fun v acc -> Graph.add_node acc v) c.nodes Graph.empty)
+
+(* Every emitted component must be "final": 3-vertex-connected, a polygon
+   (cycle), or a triangle/small complete graph. *)
+let component_is_final (c : Triconnected.component) =
+  let g = graph_of_component c in
+  let n = Graph.n_nodes g in
+  n <= 3
+  || Separation.is_three_vertex_connected g
+  || Graph.fold_nodes (fun v acc -> acc && Graph.degree g v = 2) g true
+
+let test_k4_single () =
+  let comps = Triconnected.split_biconnected Fixtures.k4 in
+  check ci "one component" 1 (List.length comps);
+  let c = List.hd comps in
+  check cb "no virtual links" true (Graph.EdgeSet.is_empty c.virtuals)
+
+let test_cycle_polygon () =
+  let comps = Triconnected.split_biconnected (Fixtures.cycle_graph 8) in
+  check ci "cycle stays whole" 1 (List.length comps);
+  let c = List.hd comps in
+  check ci "all nodes" 8 (Graph.NodeSet.cardinal c.nodes);
+  check cb "no virtuals" true (Graph.EdgeSet.is_empty c.virtuals)
+
+let test_two_k4_split () =
+  let comps = Triconnected.split_biconnected Fixtures.two_k4_by_pair in
+  check ci "two components" 2 (List.length comps);
+  List.iter
+    (fun (c : Triconnected.component) ->
+      check ci "each is a K4" 4 (Graph.NodeSet.cardinal c.nodes);
+      (* {2,3} is adjacent in the original graph, so no virtual link. *)
+      check cb "no virtual link" true (Graph.EdgeSet.is_empty c.virtuals);
+      check cb "contains the shared pair" true
+        (Graph.NodeSet.subset (ns [ 2; 3 ]) c.nodes))
+    comps
+
+let test_nonadjacent_pair_virtual () =
+  (* Two squares glued on the non-adjacent pair {0, 2}:
+     square 0-1-2-3 and square 0-4-2-5. The pair {0,2} splits the graph
+     and is non-adjacent, so a virtual link 0-2 must be minted, and the
+     parts become polygons (triangles via the virtual edge). *)
+  let g = Graph.of_edges [ (0, 1); (1, 2); (2, 3); (3, 0); (0, 4); (4, 2); (2, 5); (5, 0) ] in
+  let comps = Triconnected.split_biconnected g in
+  check cb "at least two components" true (List.length comps >= 2);
+  check cb "some virtual link exists" true
+    (List.exists
+       (fun (c : Triconnected.component) ->
+         Graph.EdgeSet.mem (0, 2) c.virtuals)
+       comps);
+  List.iter
+    (fun c -> check cb "component final" true (component_is_final c))
+    comps
+
+let test_wheel_single () =
+  let comps = Triconnected.split_biconnected Fixtures.wheel5 in
+  check ci "3-connected wheel stays whole" 1 (List.length comps)
+
+let test_decompose_full () =
+  (* Bowtie: two triangle blocks, cut vertex 2, no separation pairs. *)
+  let t = Triconnected.decompose Fixtures.bowtie in
+  check Fixtures.nodeset_testable "cut vertices" (ns [ 2 ]) t.cut_vertices;
+  check ci "no separation pairs" 0 (List.length t.separation_pairs);
+  check Fixtures.nodeset_testable "separation vertices = cuts" (ns [ 2 ])
+    t.separation_vertices;
+  let tricomps = List.concat_map snd t.blocks in
+  check ci "two triangles" 2 (List.length tricomps)
+
+let test_decompose_mixed () =
+  (* Pendant edge on two_k4_by_pair: adds a K2 block and a cut vertex. *)
+  let g = Graph.add_edge Fixtures.two_k4_by_pair 0 99 in
+  let t = Triconnected.decompose g in
+  check Fixtures.nodeset_testable "cut vertex 0" (ns [ 0 ]) t.cut_vertices;
+  check
+    (Alcotest.list Fixtures.edge_testable)
+    "separation pair {2,3}"
+    [ (2, 3) ]
+    t.separation_pairs;
+  check Fixtures.nodeset_testable "separation vertices" (ns [ 0; 2; 3 ])
+    t.separation_vertices;
+  (* One block of <3 nodes (the pendant edge) with no tricomps. *)
+  check cb "pendant block has no tricomps" true
+    (List.exists
+       (fun ((b : Biconnected.component), tc) ->
+         Graph.NodeSet.cardinal b.nodes = 2 && tc = [])
+       t.blocks)
+
+let test_invalid_inputs () =
+  check cb "rejects non-biconnected" true
+    (try
+       ignore (Triconnected.split_biconnected Fixtures.bowtie);
+       false
+     with Invalid_argument _ -> true);
+  check cb "rejects tiny graphs" true
+    (try
+       ignore (Triconnected.split_biconnected (Graph.of_edges [ (0, 1) ]));
+       false
+     with Invalid_argument _ -> true)
+
+(* Properties over random biconnected graphs. We obtain biconnected
+   inputs by taking the largest block of a random connected graph. *)
+let largest_block g =
+  let r = Biconnected.decompose g in
+  let best =
+    List.fold_left
+      (fun acc (c : Biconnected.component) ->
+        match acc with
+        | None -> Some c
+        | Some b ->
+            if Graph.NodeSet.cardinal c.nodes > Graph.NodeSet.cardinal b.nodes
+            then Some c
+            else acc)
+      None r.components
+  in
+  match best with
+  | Some b when Graph.NodeSet.cardinal b.nodes >= 3 ->
+      Some (Graph.induced g b.nodes)
+  | _ -> None
+
+let prop_components_final =
+  QCheck2.Test.make ~name:"tricomponents are 3-connected, polygons or triangles"
+    ~count:250
+    QCheck2.Gen.(triple (int_bound 100_000) (int_range 4 20) (int_range 2 25))
+    (fun (seed, n, extra) ->
+      let rng = Nettomo_util.Prng.create seed in
+      let g = Fixtures.random_connected rng n extra in
+      match largest_block g with
+      | None -> true
+      | Some b ->
+          List.for_all component_is_final (Triconnected.split_biconnected b))
+
+let prop_real_edges_covered =
+  QCheck2.Test.make
+    ~name:"non-virtual component edges cover the block edge set" ~count:250
+    QCheck2.Gen.(triple (int_bound 100_000) (int_range 4 20) (int_range 2 25))
+    (fun (seed, n, extra) ->
+      let rng = Nettomo_util.Prng.create seed in
+      let g = Fixtures.random_connected rng n extra in
+      match largest_block g with
+      | None -> true
+      | Some b ->
+          let comps = Triconnected.split_biconnected b in
+          let real =
+            List.fold_left
+              (fun acc (c : Triconnected.component) ->
+                Graph.EdgeSet.union acc (Graph.EdgeSet.diff c.edges c.virtuals))
+              Graph.EdgeSet.empty comps
+          in
+          Graph.EdgeSet.equal real (Graph.edge_set b))
+
+let prop_component_nodes_cover =
+  QCheck2.Test.make ~name:"component nodes cover the block" ~count:250
+    QCheck2.Gen.(triple (int_bound 100_000) (int_range 4 20) (int_range 2 25))
+    (fun (seed, n, extra) ->
+      let rng = Nettomo_util.Prng.create seed in
+      let g = Fixtures.random_connected rng n extra in
+      match largest_block g with
+      | None -> true
+      | Some b ->
+          let comps = Triconnected.split_biconnected b in
+          let nodes =
+            List.fold_left
+              (fun acc (c : Triconnected.component) ->
+                Graph.NodeSet.union acc c.nodes)
+              Graph.NodeSet.empty comps
+          in
+          Graph.NodeSet.equal nodes (Graph.node_set b))
+
+let prop_virtual_endpoints_are_pair_members =
+  QCheck2.Test.make
+    ~name:"virtual link endpoints are separation-pair members" ~count:200
+    QCheck2.Gen.(triple (int_bound 100_000) (int_range 4 18) (int_range 2 20))
+    (fun (seed, n, extra) ->
+      let rng = Nettomo_util.Prng.create seed in
+      let g = Fixtures.random_connected rng n extra in
+      match largest_block g with
+      | None -> true
+      | Some b ->
+          let t = Triconnected.decompose b in
+          let members =
+            List.fold_left
+              (fun acc (a, c) -> Graph.NodeSet.add a (Graph.NodeSet.add c acc))
+              Graph.NodeSet.empty t.separation_pairs
+          in
+          List.concat_map snd t.blocks
+          |> List.for_all (fun (c : Triconnected.component) ->
+                 Graph.EdgeSet.for_all
+                   (fun (u, v) ->
+                     Graph.NodeSet.mem u members && Graph.NodeSet.mem v members)
+                   c.virtuals))
+
+let suite =
+  [
+    Alcotest.test_case "K4 stays whole" `Quick test_k4_single;
+    Alcotest.test_case "cycle reported as polygon" `Quick test_cycle_polygon;
+    Alcotest.test_case "two K4s split at shared pair" `Quick test_two_k4_split;
+    Alcotest.test_case "virtual link for non-adjacent pair" `Quick
+      test_nonadjacent_pair_virtual;
+    Alcotest.test_case "3-connected wheel stays whole" `Quick test_wheel_single;
+    Alcotest.test_case "full decomposition (bowtie)" `Quick test_decompose_full;
+    Alcotest.test_case "full decomposition (mixed)" `Quick test_decompose_mixed;
+    Alcotest.test_case "invalid inputs rejected" `Quick test_invalid_inputs;
+    QCheck_alcotest.to_alcotest prop_components_final;
+    QCheck_alcotest.to_alcotest prop_real_edges_covered;
+    QCheck_alcotest.to_alcotest prop_component_nodes_cover;
+    QCheck_alcotest.to_alcotest prop_virtual_endpoints_are_pair_members;
+  ]

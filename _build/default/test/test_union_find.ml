@@ -1,0 +1,54 @@
+open Nettomo_util
+
+let check = Alcotest.check
+let ci = Alcotest.int
+let cb = Alcotest.bool
+
+let test_initial () =
+  let uf = Union_find.create 5 in
+  check ci "five sets" 5 (Union_find.count uf);
+  check cb "distinct" false (Union_find.same uf 0 1);
+  check ci "own representative" 3 (Union_find.find uf 3)
+
+let test_union () =
+  let uf = Union_find.create 5 in
+  check cb "first union merges" true (Union_find.union uf 0 1);
+  check cb "repeat union is no-op" false (Union_find.union uf 1 0);
+  check cb "now same" true (Union_find.same uf 0 1);
+  check ci "four sets" 4 (Union_find.count uf)
+
+let test_transitivity () =
+  let uf = Union_find.create 6 in
+  ignore (Union_find.union uf 0 1);
+  ignore (Union_find.union uf 1 2);
+  ignore (Union_find.union uf 3 4);
+  check cb "0 ~ 2" true (Union_find.same uf 0 2);
+  check cb "3 ~ 4" true (Union_find.same uf 3 4);
+  check cb "0 !~ 3" false (Union_find.same uf 0 3);
+  check ci "three sets (with {5})" 3 (Union_find.count uf);
+  ignore (Union_find.union uf 2 3);
+  check cb "now 0 ~ 4" true (Union_find.same uf 0 4)
+
+let prop_count_consistent =
+  QCheck2.Test.make ~name:"count equals number of distinct representatives"
+    ~count:200
+    QCheck2.Gen.(pair (int_bound 100_000) (int_range 1 40))
+    (fun (seed, n) ->
+      let rng = Prng.create seed in
+      let uf = Union_find.create n in
+      for _ = 1 to n do
+        ignore (Union_find.union uf (Prng.int rng n) (Prng.int rng n))
+      done;
+      let reps = Hashtbl.create 16 in
+      for i = 0 to n - 1 do
+        Hashtbl.replace reps (Union_find.find uf i) ()
+      done;
+      Hashtbl.length reps = Union_find.count uf)
+
+let suite =
+  [
+    Alcotest.test_case "initial state" `Quick test_initial;
+    Alcotest.test_case "union" `Quick test_union;
+    Alcotest.test_case "transitivity" `Quick test_transitivity;
+    QCheck_alcotest.to_alcotest prop_count_consistent;
+  ]
