@@ -17,6 +17,7 @@ open Nettomo_core
 module Prng = Nettomo_util.Prng
 module Q = Nettomo_linalg.Rational
 module Matrix = Nettomo_linalg.Matrix
+module Inv = Nettomo_util.Invariant
 
 type config = { full : bool; seed : int }
 
@@ -34,6 +35,7 @@ let e1 cfg =
   let g = Net.graph net in
   let space = Measurement.space g in
   let r = Measurement.matrix space Paper.fig1_paths in
+  Inv.check (fun () -> Invariant.check_measurement space Paper.fig1_paths r);
   Printf.printf "measurement matrix R: %d paths x %d links, rank %d\n"
     (Matrix.rows r) (Matrix.cols r) (Matrix.rank r);
   Printf.printf "paper: R is invertible             -> ours: %b\n"
@@ -158,6 +160,7 @@ let e4 _cfg =
         (nodeset_to_string b.nodes) (List.length tricomps))
     blocks3;
   let r = Mmp.place_report g in
+  Inv.check (fun () -> Invariant.check_mmp g r.Mmp.monitors);
   Printf.printf "rule (i)-(ii) degree < 3 : %s\n" (nodeset_to_string r.Mmp.by_degree);
   Printf.printf "rule (iii) triconnected  : %s\n"
     (nodeset_to_string r.Mmp.by_triconnected);
@@ -566,6 +569,7 @@ let ablation cfg =
 
   section "Ablation A5: exact rational vs floating-point solve";
   let plan = Solver.independent_paths ~rng net in
+  Inv.check (fun () -> Invariant.check_plan net plan);
   let r = Measurement.matrix plan.Solver.space plan.Solver.paths in
   let c = Measurement.measure_all truth plan.Solver.paths in
   let reps = if cfg.full then 200 else 50 in
@@ -611,6 +615,8 @@ let () =
   let selected = if selected = [] then all_ids else selected in
   Printf.printf "nettomo experiment harness (seed %d, %s volume)\n" seed
     (if full then "paper-scale" else "reduced");
+  if Inv.enabled () then
+    print_endline "NETTOMO_CHECK=1: runtime invariant verification enabled";
   (* Tables and their RMP figures share generated topologies. *)
   let table2_pairs = ref None and table3_pairs = ref None in
   List.iter

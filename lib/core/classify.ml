@@ -1,3 +1,4 @@
+module Errors = Nettomo_util.Errors
 open Nettomo_graph
 module Q = Nettomo_linalg.Rational
 module NS = Graph.NodeSet
@@ -40,7 +41,7 @@ let join_via_link p1 p2 = p1 @ p2
 let join_via_path p1 via p2 =
   (* via starts at a (= last of p1) and ends at b (= head of p2). *)
   match via with
-  | [] -> invalid_arg "Classify: empty detour"
+  | [] -> Errors.invalid_arg "Classify: empty detour"
   | _ :: via_tail ->
       let via_middle = List.filteri (fun i _ -> i < List.length via_tail - 1) via_tail in
       p1 @ via_middle @ p2
@@ -48,7 +49,7 @@ let join_via_path p1 via p2 =
 let two_monitors net =
   match Net.monitor_list net with
   | [ m1; m2 ] -> (m1, m2)
-  | _ -> invalid_arg "Classify: exactly two monitors required"
+  | _ -> Errors.invalid_arg "Classify: exactly two monitors required"
 
 (* Memoized simple-path enumeration. *)
 let path_cache limit g =
@@ -245,7 +246,7 @@ let non_separating_cycles ?(limit = 100_000) net =
   let consider cycle_nodes =
     incr examined;
     if !examined > limit then raise Paths.Limit_exceeded;
-    let key = List.sort compare cycle_nodes in
+    let key = List.sort Int.compare cycle_nodes in
     if not (Hashtbl.mem seen key) then begin
       Hashtbl.replace seen key ();
       if is_non_separating_cycle net cycle_nodes then out := cycle_nodes :: !out

@@ -1,3 +1,4 @@
+module Errors = Nettomo_util.Errors
 open Nettomo_graph
 module Prng = Nettomo_util.Prng
 
@@ -18,14 +19,14 @@ let rank_of rng g monitors =
 
 let greedy_place ?rng ?max_monitors g ~candidates =
   let rng = match rng with Some r -> r | None -> Prng.create 0x636f6e73 in
-  let candidates = List.sort_uniq compare candidates in
+  let candidates = List.sort_uniq Int.compare candidates in
   List.iter
     (fun v ->
       if not (Graph.mem_node g v) then
-        invalid_arg "Constrained.greedy_place: candidate is not a node")
+        Errors.invalid_arg "Constrained.greedy_place: candidate is not a node")
     candidates;
   if List.length candidates < 2 then
-    invalid_arg "Constrained.greedy_place: need at least two candidates";
+    Errors.invalid_arg "Constrained.greedy_place: need at least two candidates";
   let cap = Option.value max_monitors ~default:(List.length candidates) in
   let full = Graph.n_edges g in
   let rec grow chosen rank =

@@ -1,3 +1,4 @@
+module Errors = Nettomo_util.Errors
 open Nettomo_graph
 module Q = Nettomo_linalg.Rational
 module Basis = Nettomo_linalg.Basis
@@ -9,14 +10,14 @@ module Basis = Nettomo_linalg.Basis
    not in general — so symmetry is enforced by routing from the smaller
    endpoint and reversing when needed). *)
 let route g u v =
-  if u = v then invalid_arg "Fixed_routing.route: equal endpoints";
+  if u = v then Errors.invalid_arg "Fixed_routing.route: equal endpoints";
   let src = min u v and dst = max u v in
   match Traversal.shortest_path g src dst with
   | None -> None
   | Some p -> if src = u then Some p else Some (List.rev p)
 
 let measurement_paths g ~monitors =
-  let sorted = List.sort_uniq compare monitors in
+  let sorted = List.sort_uniq Int.compare monitors in
   List.concat_map
     (fun m1 ->
       List.filter_map

@@ -1,10 +1,11 @@
+module Errors = Nettomo_util.Errors
 open Nettomo_graph
 module Q = Nettomo_linalg.Rational
 module Basis = Nettomo_linalg.Basis
 
 let require_connected fname net =
   if not (Traversal.is_connected (Net.graph net)) then
-    invalid_arg (fname ^ ": the network graph must be connected")
+    Errors.invalid_arg (fname ^ ": the network graph must be connected")
 
 type two_monitor_failure = Condition1 of Graph.edge | Condition2
 
@@ -56,7 +57,7 @@ let two_monitor_failures ~stop_at_first net =
       in
       over_components [] (Interior.decompose_two net)
   | _ ->
-      invalid_arg
+      Errors.invalid_arg
         "Identifiability.interior_identifiable_two: exactly two monitors required"
 
 let interior_identifiable_two net =
@@ -67,7 +68,7 @@ let interior_two_failures net = two_monitor_failures ~stop_at_first:false net
 let network_identifiable net =
   require_connected "Identifiability.network_identifiable" net;
   if Graph.n_edges (Net.graph net) = 0 then
-    invalid_arg "Identifiability.network_identifiable: the graph has no links";
+    Errors.invalid_arg "Identifiability.network_identifiable: the graph has no links";
   let g = Net.graph net in
   match Net.kappa net with
   | 0 | 1 -> false

@@ -1,3 +1,4 @@
+module Errors = Nettomo_util.Errors
 open Nettomo_graph
 
 let interior_graph net = Graph.remove_nodes (Net.graph net) (Net.monitors net)
@@ -22,4 +23,4 @@ let decompose_two net =
              let keep = Graph.NodeSet.add m1 (Graph.NodeSet.add m2 comp) in
              Net.create ~labels:(Net.labels net) (Graph.induced g keep)
                ~monitors:[ m1; m2 ])
-  | _ -> invalid_arg "Interior.decompose_two: exactly two monitors required"
+  | _ -> Errors.invalid_arg "Interior.decompose_two: exactly two monitors required"

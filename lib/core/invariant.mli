@@ -1,0 +1,35 @@
+(** Cross-module structural verification for the tomography core, part
+    of the debug invariant layer (see {!Nettomo_util.Invariant}).
+
+    These checks tie the paper's data structures together: the
+    measurement matrix must stay consistent with its path set (Section
+    2.1), solver plans must consist of valid measurement paths of the
+    claimed rank, and MMP placements must satisfy the Theorem 3.3
+    postcondition — the extended graph [Gex] of the placement is
+    3-vertex-connected. All checks are unconditional when called and
+    raise [Nettomo_util.Invariant.Violation] on the first breach;
+    {!Mmp.place} invokes {!check_mmp} automatically whenever
+    verification is enabled. *)
+
+open Nettomo_graph
+
+val check_net : Net.t -> unit
+(** Topology invariants plus monitor-set coherence: every monitor is a
+    node and κ equals the monitor count. *)
+
+val check_measurement :
+  Measurement.space -> Paths.path list -> Nettomo_linalg.Matrix.t -> unit
+(** The matrix is the measurement matrix of the path set over the space:
+    one row per path, one column per link, each row the 0/1 incidence
+    row of its path. *)
+
+val check_plan : Net.t -> Solver.plan -> unit
+(** Every plan path is a valid measurement path of the network, the
+    claimed rank equals the path count, and the measurement matrix
+    really has that rank. *)
+
+val check_mmp : Graph.t -> Graph.NodeSet.t -> unit
+(** Algorithm 1 postcondition: monitors are nodes; graphs with < 3 nodes
+    monitor every node; otherwise ≥ 3 monitors, every node of degree < 3
+    is a monitor (rules i–ii), and the extended graph of the placement
+    is 3-vertex-connected (Theorem 3.3). *)

@@ -1,3 +1,4 @@
+module Errors = Nettomo_util.Errors
 open Nettomo_graph
 open Nettomo_linalg
 
@@ -38,19 +39,19 @@ let incidence_row s p =
     (fun e ->
       match Graph.EdgeMap.find_opt e s.index with
       | Some j -> row.(j) <- Rational.one
-      | None -> invalid_arg "Measurement.incidence_row: link outside the space")
+      | None -> Errors.invalid_arg "Measurement.incidence_row: link outside the space")
     (Nettomo_graph.Paths.path_edges p);
   row
 
 let matrix s paths =
   match paths with
-  | [] -> invalid_arg "Measurement.matrix: no paths"
+  | [] -> Errors.invalid_arg "Measurement.matrix: no paths"
   | _ -> Matrix.of_rows (Array.of_list (List.map (incidence_row s) paths))
 
 type weights = Rational.t Graph.EdgeMap.t
 
 let random_weights ?(lo = 1) ?(hi = 100) rng g =
-  if lo > hi then invalid_arg "Measurement.random_weights: empty range";
+  if lo > hi then Errors.invalid_arg "Measurement.random_weights: empty range";
   Graph.fold_edges
     (fun e acc ->
       Graph.EdgeMap.add e (Rational.of_int (Nettomo_util.Prng.int_in rng lo hi)) acc)
@@ -59,7 +60,7 @@ let random_weights ?(lo = 1) ?(hi = 100) rng g =
 let weight w e =
   match Graph.EdgeMap.find_opt e w with
   | Some x -> x
-  | None -> invalid_arg "Measurement.weight: link without a metric"
+  | None -> Errors.invalid_arg "Measurement.weight: link without a metric"
 
 let measure w p =
   List.fold_left

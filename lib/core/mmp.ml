@@ -1,3 +1,4 @@
+module Errors = Nettomo_util.Errors
 open Nettomo_graph
 module NS = Graph.NodeSet
 module Prng = Nettomo_util.Prng
@@ -21,8 +22,8 @@ let pick ?rng k pool =
     | Some rng -> Array.to_list (Prng.sample rng k (Array.of_list elems))
 
 let place_report ?rng g =
-  if Graph.is_empty g then invalid_arg "Mmp.place: empty graph";
-  if not (Traversal.is_connected g) then invalid_arg "Mmp.place: disconnected graph";
+  if Graph.is_empty g then Errors.invalid_arg "Mmp.place: empty graph";
+  if not (Traversal.is_connected g) then Errors.invalid_arg "Mmp.place: disconnected graph";
   (* Rules (i)-(ii): dangling and tandem nodes have degree < 3 and can
      never be avoided. *)
   let by_degree =
@@ -86,6 +87,7 @@ let place_report ?rng g =
         top_up := NS.add v !top_up)
       chosen
   end;
+  Nettomo_util.Invariant.check (fun () -> Invariant.check_mmp g !monitors);
   {
     monitors = !monitors;
     by_degree;

@@ -1,3 +1,4 @@
+module Errors = Nettomo_util.Errors
 open Nettomo_graph
 
 type t = {
@@ -9,11 +10,11 @@ type t = {
 let create ?(labels = Graph.NodeMap.empty) graph ~monitors =
   let set = Graph.NodeSet.of_list monitors in
   if Graph.NodeSet.cardinal set <> List.length monitors then
-    invalid_arg "Net.create: duplicate monitors";
+    Errors.invalid_arg "Net.create: duplicate monitors";
   Graph.NodeSet.iter
     (fun m ->
       if not (Graph.mem_node graph m) then
-        invalid_arg "Net.create: monitor is not a node of the graph")
+        Errors.invalid_arg "Net.create: monitor is not a node of the graph")
     set;
   { graph; monitors = set; labels }
 

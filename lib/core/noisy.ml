@@ -1,3 +1,4 @@
+module Errors = Nettomo_util.Errors
 open Nettomo_graph
 module Prng = Nettomo_util.Prng
 module Q = Nettomo_linalg.Rational
@@ -7,7 +8,7 @@ let measure rng weights ~sigma path =
   Q.to_float (Measurement.measure weights path) +. Prng.gaussian ~sigma rng
 
 let measure_averaged rng weights ~sigma ~repetitions path =
-  if repetitions <= 0 then invalid_arg "Noisy.measure_averaged: repetitions must be positive";
+  if repetitions <= 0 then Errors.invalid_arg "Noisy.measure_averaged: repetitions must be positive";
   let acc = ref 0.0 in
   for _ = 1 to repetitions do
     acc := !acc +. measure rng weights ~sigma path
@@ -45,7 +46,7 @@ let recover ?rng net weights ~sigma ~repetitions =
   end
 
 let recover_least_squares ?rng ~extra_paths net weights ~sigma ~repetitions =
-  if extra_paths < 0 then invalid_arg "Noisy.recover_least_squares: negative extra_paths";
+  if extra_paths < 0 then Errors.invalid_arg "Noisy.recover_least_squares: negative extra_paths";
   let rng = match rng with Some r -> r | None -> Prng.create 0x6c737121 in
   let plan = Solver.independent_paths ~rng net in
   if not (Solver.full_rank net plan) then None

@@ -1,3 +1,4 @@
+module Errors = Nettomo_util.Errors
 open Nettomo_graph
 module Q = Nettomo_linalg.Rational
 module Basis = Nettomo_linalg.Basis
@@ -25,7 +26,7 @@ let membership_sets space basis =
   (!yes, !no)
 
 let analyze ?rng ?(exact_node_limit = 12) net =
-  if Net.kappa net < 2 then invalid_arg "Partial.analyze: need at least two monitors";
+  if Net.kappa net < 2 then Errors.invalid_arg "Partial.analyze: need at least two monitors";
   let g = Net.graph net in
   let space = Measurement.space g in
   let mode = if Graph.n_nodes g <= exact_node_limit then Exact else Sampled in

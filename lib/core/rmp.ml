@@ -1,10 +1,11 @@
+module Errors = Nettomo_util.Errors
 open Nettomo_graph
 module Prng = Nettomo_util.Prng
 
 let place rng g ~kappa =
   let nodes = Graph.node_array g in
   if kappa < 0 || kappa > Array.length nodes then
-    invalid_arg "Rmp.place: kappa out of range";
+    Errors.invalid_arg "Rmp.place: kappa out of range";
   Graph.NodeSet.of_list (Array.to_list (Prng.sample rng kappa nodes))
 
 let trial rng g ~kappa =
@@ -13,7 +14,7 @@ let trial rng g ~kappa =
   kappa >= 2 && Identifiability.network_identifiable net
 
 let success_fraction rng g ~kappa ~runs =
-  if runs <= 0 then invalid_arg "Rmp.success_fraction: runs must be positive";
+  if runs <= 0 then Errors.invalid_arg "Rmp.success_fraction: runs must be positive";
   let hits = ref 0 in
   for _ = 1 to runs do
     if trial rng g ~kappa then incr hits

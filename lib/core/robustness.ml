@@ -1,3 +1,4 @@
+module Errors = Nettomo_util.Errors
 open Nettomo_graph
 
 (* Identifiability of a possibly-disconnected survivor network: every
@@ -19,13 +20,13 @@ let identifiable_possibly_disconnected g monitors =
 let survives_link_failure net (u, v) =
   let g = Net.graph net in
   if not (Graph.mem_edge g u v) then
-    invalid_arg "Robustness.survives_link_failure: link not in graph";
+    Errors.invalid_arg "Robustness.survives_link_failure: link not in graph";
   identifiable_possibly_disconnected (Graph.remove_edge g u v) (Net.monitors net)
 
 let survives_node_failure net x =
   let g = Net.graph net in
   if not (Graph.mem_node g x) then
-    invalid_arg "Robustness.survives_node_failure: node not in graph";
+    Errors.invalid_arg "Robustness.survives_node_failure: node not in graph";
   identifiable_possibly_disconnected (Graph.remove_node g x)
     (Graph.NodeSet.remove x (Net.monitors net))
 

@@ -1,3 +1,4 @@
+module Errors = Nettomo_util.Errors
 open Nettomo_graph
 module Q = Nettomo_linalg.Rational
 module Basis = Nettomo_linalg.Basis
@@ -74,15 +75,15 @@ let full_rank net plan =
 let solve plan c =
   let n = Measurement.n_links plan.space in
   if plan.rank <> n || List.length plan.paths <> n then
-    invalid_arg "Solver.solve: plan is not full rank";
-  if Array.length c <> n then invalid_arg "Solver.solve: measurement length mismatch";
+    Errors.invalid_arg "Solver.solve: plan is not full rank";
+  if Array.length c <> n then Errors.invalid_arg "Solver.solve: measurement length mismatch";
   let r = Measurement.matrix plan.space plan.paths in
   match Matrix.solve r c with
   | None ->
       (* The plan rows are independent, so R is invertible and any
          consistent c has a solution; an inconsistent c means the
          measurements do not come from this plan. *)
-      invalid_arg "Solver.solve: inconsistent measurements"
+      Errors.invalid_arg "Solver.solve: inconsistent measurements"
   | Some w ->
       let order = Measurement.link_order plan.space in
       Array.to_list (Array.mapi (fun j x -> (order.(j), x)) w)

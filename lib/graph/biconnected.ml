@@ -1,3 +1,4 @@
+module Errors = Nettomo_util.Errors
 module C = Graph.Compact
 module NS = Graph.NodeSet
 module ES = Graph.EdgeSet
@@ -144,7 +145,7 @@ let is_biconnected g =
 
 let is_connected_and_cut_free_without g v =
   if not (Graph.mem_node g v) then
-    invalid_arg "Biconnected.is_connected_and_cut_free_without: unknown node";
+    Errors.invalid_arg "Biconnected.is_connected_and_cut_free_without: unknown node";
   let c = C.of_graph g in
   Internal.connected_and_cut_free c (Some (C.index c v))
 

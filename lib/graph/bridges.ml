@@ -1,3 +1,4 @@
+module Errors = Nettomo_util.Errors
 module C = Graph.Compact
 
 (* Iterative Tarjan lowlink computation. [skip] is an optional edge (as a
@@ -91,6 +92,6 @@ let is_two_edge_connected g =
 
 let is_two_edge_connected_without g (u, v) =
   if not (Graph.mem_edge g u v) then
-    invalid_arg "Bridges.is_two_edge_connected_without: edge not in graph";
+    Errors.invalid_arg "Bridges.is_two_edge_connected_without: edge not in graph";
   let c = C.of_graph g in
   two_edge_connected_compact c ~skip:(Some (C.index c u, C.index c v))

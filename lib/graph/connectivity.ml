@@ -1,3 +1,4 @@
+module Errors = Nettomo_util.Errors
 module C = Graph.Compact
 
 (* Unit-capacity max flow on a directed residual network given by arrays,
@@ -89,9 +90,9 @@ module Flow = struct
 end
 
 let check_pair g s d =
-  if s = d then invalid_arg "Connectivity: endpoints must differ";
+  if s = d then Errors.invalid_arg "Connectivity: endpoints must differ";
   if not (Graph.mem_node g s && Graph.mem_node g d) then
-    invalid_arg "Connectivity: unknown endpoint"
+    Errors.invalid_arg "Connectivity: unknown endpoint"
 
 let edge_flow_network c =
   (* Each undirected link becomes two unit arcs. *)
@@ -155,7 +156,7 @@ let is_complete g =
 
 let vertex_connectivity g =
   let n = Graph.n_nodes g in
-  if n < 2 then invalid_arg "Connectivity.vertex_connectivity: too small";
+  if n < 2 then Errors.invalid_arg "Connectivity.vertex_connectivity: too small";
   if not (Traversal.is_connected g) then 0
   else if is_complete g then n - 1
   else begin
@@ -174,7 +175,7 @@ let vertex_connectivity g =
   end
 
 let is_k_edge_connected g k =
-  if k <= 0 then invalid_arg "Connectivity.is_k_edge_connected: k must be ≥ 1";
+  if k <= 0 then Errors.invalid_arg "Connectivity.is_k_edge_connected: k must be ≥ 1";
   Graph.n_nodes g >= 2
   && Traversal.is_connected g
   &&
@@ -184,7 +185,7 @@ let is_k_edge_connected g k =
       List.for_all (fun v -> max_flow_edges_limited g s v (Some k) >= k) rest
 
 let is_k_vertex_connected g k =
-  if k <= 0 then invalid_arg "Connectivity.is_k_vertex_connected: k must be ≥ 1";
+  if k <= 0 then Errors.invalid_arg "Connectivity.is_k_vertex_connected: k must be ≥ 1";
   let n = Graph.n_nodes g in
   n > k
   && Traversal.is_connected g

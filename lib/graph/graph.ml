@@ -1,3 +1,4 @@
+module Errors = Nettomo_util.Errors
 type node = int
 
 module NodeSet = Set.Make (Int)
@@ -6,17 +7,17 @@ module NodeMap = Map.Make (Int)
 type edge = node * node
 
 let edge u v =
-  if u = v then invalid_arg "Graph.edge: self-loop"
+  if u = v then Errors.invalid_arg "Graph.edge: self-loop"
   else if u < v then (u, v)
   else (v, u)
 
 let edge_other (u, v) x =
   if x = u then v
   else if x = v then u
-  else invalid_arg "Graph.edge_other: not an endpoint"
+  else Errors.invalid_arg "Graph.edge_other: not an endpoint"
 
 let edge_compare (a1, b1) (a2, b2) =
-  match compare a1 a2 with 0 -> compare b1 b2 | c -> c
+  match Int.compare a1 a2 with 0 -> Int.compare b1 b2 | c -> c
 
 let edge_equal a b = edge_compare a b = 0
 
@@ -55,7 +56,7 @@ let add_node g v =
   if mem_node g v then g else { g with adj = NodeMap.add v NodeSet.empty g.adj }
 
 let add_edge g u v =
-  if u = v then invalid_arg "Graph.add_edge: self-loop"
+  if u = v then Errors.invalid_arg "Graph.add_edge: self-loop"
   else if mem_edge g u v then g
   else
     let adj =
@@ -136,11 +137,11 @@ let union g1 g2 =
   fold_edges (fun (u, v) acc -> add_edge acc u v) g2 g
 
 let min_degree g =
-  if is_empty g then invalid_arg "Graph.min_degree: empty graph"
+  if is_empty g then Errors.invalid_arg "Graph.min_degree: empty graph"
   else NodeMap.fold (fun _ nbrs acc -> min acc (NodeSet.cardinal nbrs)) g.adj max_int
 
 let max_degree g =
-  if is_empty g then invalid_arg "Graph.max_degree: empty graph"
+  if is_empty g then Errors.invalid_arg "Graph.max_degree: empty graph"
   else NodeMap.fold (fun _ nbrs acc -> max acc (NodeSet.cardinal nbrs)) g.adj 0
 
 let fresh_node g =
@@ -185,7 +186,43 @@ module Compact = struct
   let index t v =
     match NodeMap.find_opt v t.index_of with
     | Some i -> i
-    | None -> invalid_arg "Graph.Compact.index: unknown node"
+    | None -> Errors.invalid_arg "Graph.Compact.index: unknown node"
 
   let id t i = t.ids.(i)
+end
+
+module Invariant = struct
+  module I = Nettomo_util.Invariant
+
+  let check g =
+    let incidences = ref 0 in
+    NodeMap.iter
+      (fun u nbrs ->
+        NodeSet.iter
+          (fun v ->
+            I.require (u <> v) "Graph: self-loop at node %d" u;
+            (match NodeMap.find_opt v g.adj with
+            | None ->
+                I.violationf "Graph: neighbor %d of node %d is not a node" v u
+            | Some back ->
+                I.require (NodeSet.mem u back)
+                  "Graph: asymmetric adjacency %d->%d without %d->%d" u v v u);
+            incr incidences)
+          nbrs)
+      g.adj;
+    (* Sum of degrees must be twice the cached link count (handshake). *)
+    I.require (!incidences = 2 * g.m)
+      "Graph: cached link count %d but adjacency holds %d incidences (expected %d)"
+      g.m !incidences (2 * g.m)
+
+  module Testing = struct
+    let half_add s v = Some (NodeSet.add v (Option.value s ~default:NodeSet.empty))
+
+    let with_edge_count g m = { g with m }
+
+    let with_half_edge g u v = { g with adj = NodeMap.update u (fun s -> half_add s v) g.adj }
+
+    let with_self_loop g v =
+      { adj = NodeMap.update v (fun s -> half_add s v) g.adj; m = g.m + 1 }
+  end
 end

@@ -132,3 +132,28 @@ module Compact : sig
   val index : t -> node -> int
   val id : t -> int -> node
 end
+
+(** Verification of the representation invariants, part of the debug
+    invariant layer (see {!Nettomo_util.Invariant}). *)
+module Invariant : sig
+  val check : t -> unit
+  (** Verify adjacency symmetry, absence of self-loops, and the
+      degree-sum / cached-link-count accounting. Raises
+      [Nettomo_util.Invariant.Violation] describing the first breach.
+      Unconditional — callers gate it with
+      [Nettomo_util.Invariant.check]. *)
+
+  (** Deliberately corrupted graphs for exercising {!check} in tests.
+      Never use outside tests: the results violate the representation
+      invariants every other function relies on. *)
+  module Testing : sig
+    val with_edge_count : t -> int -> t
+    (** Override the cached link count. *)
+
+    val with_half_edge : t -> node -> node -> t
+    (** Record [v] as a neighbor of [u] without the converse. *)
+
+    val with_self_loop : t -> node -> t
+    (** Add [v] to its own neighbor set. *)
+  end
+end

@@ -1,3 +1,4 @@
+module Errors = Nettomo_util.Errors
 module NS = Graph.NodeSet
 module Prng = Nettomo_util.Prng
 
@@ -19,23 +20,23 @@ let path_edges p =
   let rec loop acc = function
     | u :: (v :: _ as rest) -> loop (Graph.edge u v :: acc) rest
     | [ _ ] -> List.rev acc
-    | [] -> invalid_arg "Paths.path_edges: empty path"
+    | [] -> Errors.invalid_arg "Paths.path_edges: empty path"
   in
   match p with
-  | [] | [ _ ] -> invalid_arg "Paths.path_edges: need at least two nodes"
+  | [] | [ _ ] -> Errors.invalid_arg "Paths.path_edges: need at least two nodes"
   | _ -> loop [] p
 
 let length p =
   match p with
-  | [] -> invalid_arg "Paths.length: empty path"
+  | [] -> Errors.invalid_arg "Paths.length: empty path"
   | _ -> List.length p - 1
 
 exception Limit_exceeded
 
 let all_simple_paths ?(limit = 200_000) g src dst =
-  if src = dst then invalid_arg "Paths.all_simple_paths: equal endpoints";
+  if src = dst then Errors.invalid_arg "Paths.all_simple_paths: equal endpoints";
   if not (Graph.mem_node g src && Graph.mem_node g dst) then
-    invalid_arg "Paths.all_simple_paths: unknown endpoint";
+    Errors.invalid_arg "Paths.all_simple_paths: unknown endpoint";
   let acc = ref [] in
   let count = ref 0 in
   (* DFS with an explicit visited set; [prefix] is reversed. *)
@@ -56,9 +57,9 @@ let all_simple_paths ?(limit = 200_000) g src dst =
   List.rev !acc
 
 let count_simple_paths ?(limit = 5_000_000) g src dst =
-  if src = dst then invalid_arg "Paths.count_simple_paths: equal endpoints";
+  if src = dst then Errors.invalid_arg "Paths.count_simple_paths: equal endpoints";
   if not (Graph.mem_node g src && Graph.mem_node g dst) then
-    invalid_arg "Paths.count_simple_paths: unknown endpoint";
+    Errors.invalid_arg "Paths.count_simple_paths: unknown endpoint";
   let count = ref 0 in
   let rec dfs v visited =
     if v = dst then begin
@@ -74,9 +75,9 @@ let count_simple_paths ?(limit = 5_000_000) g src dst =
   !count
 
 let random_simple_path rng g src dst =
-  if src = dst then invalid_arg "Paths.random_simple_path: equal endpoints";
+  if src = dst then Errors.invalid_arg "Paths.random_simple_path: equal endpoints";
   if not (Graph.mem_node g src && Graph.mem_node g dst) then
-    invalid_arg "Paths.random_simple_path: unknown endpoint";
+    Errors.invalid_arg "Paths.random_simple_path: unknown endpoint";
   (* Randomized DFS with permanent marks: each node is expanded at most
      once, so the search is linear, it still reaches [dst] whenever the
      two nodes are connected, and the DFS-tree path to [dst] is simple.

@@ -1,3 +1,4 @@
+module Errors = Nettomo_util.Errors
 module NS = Graph.NodeSet
 module ES = Graph.EdgeSet
 
@@ -28,7 +29,7 @@ let bfs_forest g ~used =
   !forest
 
 let forest_partition g ~k =
-  if k < 1 then invalid_arg "Sparsify.forest_partition: k must be >= 1";
+  if k < 1 then Errors.invalid_arg "Sparsify.forest_partition: k must be >= 1";
   let rec loop i used acc =
     if i = 0 then List.rev acc
     else begin

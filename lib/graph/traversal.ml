@@ -1,11 +1,12 @@
+module Errors = Nettomo_util.Errors
 module NS = Graph.NodeSet
 module NM = Graph.NodeMap
 
 let reachable ?(avoid_nodes = NS.empty) ?avoid_edge g start =
   if NS.mem start avoid_nodes then
-    invalid_arg "Traversal.reachable: start node is avoided";
+    Errors.invalid_arg "Traversal.reachable: start node is avoided";
   if not (Graph.mem_node g start) then
-    invalid_arg "Traversal.reachable: unknown start node";
+    Errors.invalid_arg "Traversal.reachable: unknown start node";
   let blocked u v =
     match avoid_edge with
     | None -> false
@@ -51,7 +52,7 @@ let n_components ?avoid_nodes g = List.length (components ?avoid_nodes g)
 
 let bfs_distances g src =
   if not (Graph.mem_node g src) then
-    invalid_arg "Traversal.bfs_distances: unknown source";
+    Errors.invalid_arg "Traversal.bfs_distances: unknown source";
   let dist = ref (NM.singleton src 0) in
   let q = Queue.create () in
   Queue.add src q;
@@ -70,7 +71,7 @@ let bfs_distances g src =
 
 let shortest_path g src dst =
   if not (Graph.mem_node g src && Graph.mem_node g dst) then
-    invalid_arg "Traversal.shortest_path: unknown endpoint";
+    Errors.invalid_arg "Traversal.shortest_path: unknown endpoint";
   if src = dst then Some [ src ]
   else begin
     let parent = ref (NM.singleton src src) in

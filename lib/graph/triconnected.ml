@@ -1,3 +1,4 @@
+module Errors = Nettomo_util.Errors
 module NS = Graph.NodeSet
 module ES = Graph.EdgeSet
 
@@ -25,9 +26,9 @@ let is_polygon g =
 
 let split_biconnected g0 =
   if Graph.n_nodes g0 < 3 then
-    invalid_arg "Triconnected.split_biconnected: fewer than 3 nodes";
+    Errors.invalid_arg "Triconnected.split_biconnected: fewer than 3 nodes";
   if not (Biconnected.is_biconnected g0) then
-    invalid_arg "Triconnected.split_biconnected: input not biconnected";
+    Errors.invalid_arg "Triconnected.split_biconnected: input not biconnected";
   (* [virtuals] accumulates every virtual link minted so far; each
      component intersects it with its own link set at the end. *)
   let rec split g virtuals =

@@ -1,3 +1,4 @@
+module Errors = Nettomo_util.Errors
 module Q = Rational
 
 type t = { n : int; mutable rows : (int * Q.t array) list }
@@ -7,7 +8,7 @@ type t = { n : int; mutable rows : (int * Q.t array) list }
    still exact because eliminating pivot p only perturbs columns > p. *)
 
 let create n =
-  if n < 0 then invalid_arg "Basis.create: negative dimension";
+  if n < 0 then Errors.invalid_arg "Basis.create: negative dimension";
   { n; rows = [] }
 
 let dimension t = t.n
@@ -17,7 +18,7 @@ let rank t = List.length t.rows
 let is_full t = rank t = t.n
 
 let check_dim t v =
-  if Array.length v <> t.n then invalid_arg "Basis: dimension mismatch"
+  if Array.length v <> t.n then Errors.invalid_arg "Basis: dimension mismatch"
 
 let reduce t v =
   check_dim t v;

@@ -2,6 +2,7 @@
    limbs with no trailing (most-significant) zero limbs; zero is the empty
    array. All magnitude helpers below maintain that invariant. *)
 
+module Errors = Nettomo_util.Errors
 let limb_bits = 30
 let base = 1 lsl limb_bits
 let mask = base - 1
@@ -25,11 +26,11 @@ let normalize m =
 
 let mag_compare a b =
   let la = Array.length a and lb = Array.length b in
-  if la <> lb then compare la lb
+  if la <> lb then Int.compare la lb
   else begin
     let rec loop i =
       if i < 0 then 0
-      else if a.(i) <> b.(i) then compare a.(i) b.(i)
+      else if a.(i) <> b.(i) then Int.compare a.(i) b.(i)
       else loop (i - 1)
     in
     loop (la - 1)
@@ -250,7 +251,7 @@ let rec gcd a b =
   if is_zero b then a else gcd b (rem a b)
 
 let pow a k =
-  if k < 0 then invalid_arg "Bigint.pow: negative exponent";
+  if k < 0 then Errors.invalid_arg "Bigint.pow: negative exponent";
   let rec loop acc base k =
     if k = 0 then acc
     else begin
@@ -299,7 +300,7 @@ let to_string t =
   end
 
 let of_string s =
-  let fail () = invalid_arg "Bigint.of_string: malformed integer" in
+  let fail () = Errors.invalid_arg "Bigint.of_string: malformed integer" in
   let len = String.length s in
   if len = 0 then fail ();
   let negative = s.[0] = '-' in

@@ -1,3 +1,4 @@
+module Errors = Nettomo_util.Errors
 type t = {
   n : int;
   epsilon : float;
@@ -6,7 +7,7 @@ type t = {
 }
 
 let create ?(epsilon = 1e-9) n =
-  if n < 0 then invalid_arg "Fbasis.create: negative dimension";
+  if n < 0 then Errors.invalid_arg "Fbasis.create: negative dimension";
   { n; epsilon; rows = [] }
 
 let dimension t = t.n
@@ -14,7 +15,7 @@ let rank t = List.length t.rows
 let is_full t = rank t = t.n
 
 let check_dim t v =
-  if Array.length v <> t.n then invalid_arg "Fbasis: dimension mismatch"
+  if Array.length v <> t.n then Errors.invalid_arg "Fbasis: dimension mismatch"
 
 let reduce t v =
   check_dim t v;

@@ -1,20 +1,21 @@
+module Errors = Nettomo_util.Errors
 type t = { m : int; n : int; a : float array array }
 
 let make m n x =
-  if m <= 0 || n <= 0 then invalid_arg "Fmatrix.make: non-positive dimension";
+  if m <= 0 || n <= 0 then Errors.invalid_arg "Fmatrix.make: non-positive dimension";
   { m; n; a = Array.init m (fun _ -> Array.make n x) }
 
 let init m n f =
-  if m <= 0 || n <= 0 then invalid_arg "Fmatrix.init: non-positive dimension";
+  if m <= 0 || n <= 0 then Errors.invalid_arg "Fmatrix.init: non-positive dimension";
   { m; n; a = Array.init m (fun i -> Array.init n (f i)) }
 
 let of_rows rows =
   let m = Array.length rows in
-  if m = 0 then invalid_arg "Fmatrix.of_rows: no rows";
+  if m = 0 then Errors.invalid_arg "Fmatrix.of_rows: no rows";
   let n = Array.length rows.(0) in
-  if n = 0 then invalid_arg "Fmatrix.of_rows: empty rows";
+  if n = 0 then Errors.invalid_arg "Fmatrix.of_rows: empty rows";
   if not (Array.for_all (fun r -> Array.length r = n) rows) then
-    invalid_arg "Fmatrix.of_rows: ragged rows";
+    Errors.invalid_arg "Fmatrix.of_rows: ragged rows";
   { m; n; a = Array.map Array.copy rows }
 
 let of_matrix x =
@@ -25,11 +26,11 @@ let cols t = t.n
 
 let get t i j =
   if i < 0 || i >= t.m || j < 0 || j >= t.n then
-    invalid_arg "Fmatrix.get: out of bounds";
+    Errors.invalid_arg "Fmatrix.get: out of bounds";
   t.a.(i).(j)
 
 let mul_vec t v =
-  if Array.length v <> t.n then invalid_arg "Fmatrix.mul_vec: dimension mismatch";
+  if Array.length v <> t.n then Errors.invalid_arg "Fmatrix.mul_vec: dimension mismatch";
   Array.init t.m (fun i ->
       let acc = ref 0.0 in
       for j = 0 to t.n - 1 do
@@ -40,8 +41,8 @@ let mul_vec t v =
 let transpose t = init t.n t.m (fun i j -> t.a.(j).(i))
 
 let solve t b =
-  if t.m <> t.n then invalid_arg "Fmatrix.solve: not square";
-  if Array.length b <> t.m then invalid_arg "Fmatrix.solve: dimension mismatch";
+  if t.m <> t.n then Errors.invalid_arg "Fmatrix.solve: not square";
+  if Array.length b <> t.m then Errors.invalid_arg "Fmatrix.solve: dimension mismatch";
   let n = t.n in
   let a = Array.map Array.copy t.a in
   let x = Array.copy b in
@@ -91,8 +92,8 @@ let solve t b =
 
 let least_squares t b =
   if Array.length b <> t.m then
-    invalid_arg "Fmatrix.least_squares: dimension mismatch";
-  if t.m < t.n then invalid_arg "Fmatrix.least_squares: fewer rows than columns";
+    Errors.invalid_arg "Fmatrix.least_squares: dimension mismatch";
+  if t.m < t.n then Errors.invalid_arg "Fmatrix.least_squares: fewer rows than columns";
   (* Normal equations AᵀA x = Aᵀ b — adequate for the well-conditioned
      0/1 measurement matrices this library produces. *)
   let at = transpose t in

@@ -1,3 +1,4 @@
+module Errors = Nettomo_util.Errors
 module Q = Rational
 
 type t = { m : int; n : int; a : Q.t array array }
@@ -5,20 +6,20 @@ type t = { m : int; n : int; a : Q.t array array }
    callers (copied on the way in and out). *)
 
 let make m n x =
-  if m <= 0 || n <= 0 then invalid_arg "Matrix.make: non-positive dimension";
+  if m <= 0 || n <= 0 then Errors.invalid_arg "Matrix.make: non-positive dimension";
   { m; n; a = Array.init m (fun _ -> Array.make n x) }
 
 let init m n f =
-  if m <= 0 || n <= 0 then invalid_arg "Matrix.init: non-positive dimension";
+  if m <= 0 || n <= 0 then Errors.invalid_arg "Matrix.init: non-positive dimension";
   { m; n; a = Array.init m (fun i -> Array.init n (f i)) }
 
 let of_rows rows =
   let m = Array.length rows in
-  if m = 0 then invalid_arg "Matrix.of_rows: no rows";
+  if m = 0 then Errors.invalid_arg "Matrix.of_rows: no rows";
   let n = Array.length rows.(0) in
-  if n = 0 then invalid_arg "Matrix.of_rows: empty rows";
+  if n = 0 then Errors.invalid_arg "Matrix.of_rows: empty rows";
   if not (Array.for_all (fun r -> Array.length r = n) rows) then
-    invalid_arg "Matrix.of_rows: ragged rows";
+    Errors.invalid_arg "Matrix.of_rows: ragged rows";
   { m; n; a = Array.map Array.copy rows }
 
 let of_int_rows rows = of_rows (Array.map (Array.map Q.of_int) rows)
@@ -31,11 +32,11 @@ let cols t = t.n
 
 let get t i j =
   if i < 0 || i >= t.m || j < 0 || j >= t.n then
-    invalid_arg "Matrix.get: out of bounds";
+    Errors.invalid_arg "Matrix.get: out of bounds";
   t.a.(i).(j)
 
 let row t i =
-  if i < 0 || i >= t.m then invalid_arg "Matrix.row: out of bounds";
+  if i < 0 || i >= t.m then Errors.invalid_arg "Matrix.row: out of bounds";
   Array.copy t.a.(i)
 
 let to_rows t = Array.map Array.copy t.a
@@ -43,7 +44,7 @@ let to_rows t = Array.map Array.copy t.a
 let transpose t = init t.n t.m (fun i j -> t.a.(j).(i))
 
 let mul x y =
-  if x.n <> y.m then invalid_arg "Matrix.mul: dimension mismatch";
+  if x.n <> y.m then Errors.invalid_arg "Matrix.mul: dimension mismatch";
   init x.m y.n (fun i j ->
       let acc = ref Q.zero in
       for k = 0 to x.n - 1 do
@@ -52,7 +53,7 @@ let mul x y =
       !acc)
 
 let mul_vec t v =
-  if Array.length v <> t.n then invalid_arg "Matrix.mul_vec: dimension mismatch";
+  if Array.length v <> t.n then Errors.invalid_arg "Matrix.mul_vec: dimension mismatch";
   Array.init t.m (fun i ->
       let acc = ref Q.zero in
       for j = 0 to t.n - 1 do
@@ -114,7 +115,7 @@ let rref t =
   { t with a }
 
 let solve t b =
-  if Array.length b <> t.m then invalid_arg "Matrix.solve: dimension mismatch";
+  if Array.length b <> t.m then Errors.invalid_arg "Matrix.solve: dimension mismatch";
   (* Augment with b, eliminate, and read the solution off the pivots. *)
   let aug =
     Array.init t.m (fun i ->
@@ -123,7 +124,7 @@ let solve t b =
   let a, rank, pivots = eliminate aug (t.n + 1) in
   if List.exists (fun c -> c = t.n) pivots then None (* inconsistent *)
   else if rank < t.n then
-    invalid_arg "Matrix.solve: matrix does not have full column rank"
+    Errors.invalid_arg "Matrix.solve: matrix does not have full column rank"
   else begin
     let x = Array.make t.n Q.zero in
     List.iteri (fun i c -> x.(c) <- a.(i).(t.n)) pivots;
@@ -131,7 +132,7 @@ let solve t b =
   end
 
 let inverse t =
-  if t.m <> t.n then invalid_arg "Matrix.inverse: not square";
+  if t.m <> t.n then Errors.invalid_arg "Matrix.inverse: not square";
   let aug =
     Array.init t.m (fun i ->
         Array.init (2 * t.n) (fun j ->
@@ -148,7 +149,7 @@ let inverse t =
   else Some (init t.n t.n (fun i j -> a.(i).(j + t.n)))
 
 let det t =
-  if t.m <> t.n then invalid_arg "Matrix.det: not square";
+  if t.m <> t.n then Errors.invalid_arg "Matrix.det: not square";
   (* Fraction-free-ish: plain elimination tracking the product of pivots
      and row swaps. *)
   let a = Array.map Array.copy t.a in

@@ -1,3 +1,4 @@
+module Errors = Nettomo_util.Errors
 type t = { num : Bigint.t; den : Bigint.t }
 (* Invariant: den > 0, gcd(|num|, den) = 1, zero is 0/1. *)
 
@@ -61,7 +62,7 @@ let to_string t =
   else Bigint.to_string t.num ^ "/" ^ Bigint.to_string t.den
 
 let of_string s =
-  let fail () = invalid_arg "Rational.of_string: malformed rational" in
+  let fail () = Errors.invalid_arg "Rational.of_string: malformed rational" in
   match String.index_opt s '/' with
   | Some i ->
       let n = String.sub s 0 i

@@ -1,5 +1,16 @@
 open Nettomo_graph
 
+exception Parse_error of { line : int; message : string }
+
+let () =
+  Printexc.register_printer (function
+    | Parse_error { line; message } ->
+        Some (Printf.sprintf "Edgelist: line %d: %s" line message)
+    | _ -> None)
+
+let parse_error line fmt =
+  Printf.ksprintf (fun message -> raise (Parse_error { line; message })) fmt
+
 let strip_comment line =
   match String.index_opt line '#' with
   | Some i -> String.sub line 0 i
@@ -16,25 +27,25 @@ let of_string s =
         | [ "node"; v ] -> (
             match int_of_string_opt v with
             | Some v -> g := Graph.add_node !g v
-            | None ->
-                failwith
-                  (Printf.sprintf "Edgelist: line %d: bad node id %S" (lineno + 1) v))
+            | None -> parse_error (lineno + 1) "bad node id %S" v)
         | [ u; v ] -> (
             match (int_of_string_opt u, int_of_string_opt v) with
             | Some u, Some v when u <> v -> g := Graph.add_edge !g u v
             | Some u, Some v when u = v ->
-                failwith
-                  (Printf.sprintf "Edgelist: line %d: self-loop %d" (lineno + 1) u)
-            | _ ->
-                failwith
-                  (Printf.sprintf "Edgelist: line %d: bad link %S" (lineno + 1) line))
-        | _ ->
-            failwith
-              (Printf.sprintf "Edgelist: line %d: expected two fields, got %S"
-                 (lineno + 1) line)
+                parse_error (lineno + 1) "self-loop %d" u
+            | _ -> parse_error (lineno + 1) "bad link %S" line)
+        | _ -> parse_error (lineno + 1) "expected two fields, got %S" line
       end)
     lines;
-  !g
+  let g = !g in
+  Nettomo_util.Invariant.check (fun () -> Graph.Invariant.check g);
+  g
+
+let parse s =
+  match of_string s with
+  | g -> Ok g
+  | exception Parse_error { line; message } ->
+      Error (Printf.sprintf "line %d: %s" line message)
 
 let to_string g =
   let buf = Buffer.create 1024 in

@@ -7,8 +7,17 @@
 
 open Nettomo_graph
 
+exception Parse_error of { line : int; message : string }
+(** Malformed input: [line] is 1-based. A printer is registered, so an
+    uncaught [Parse_error] displays as ["line N: ..."]. *)
+
 val of_string : string -> Graph.t
-(** Raises [Failure] with a line-numbered message on malformed input. *)
+(** Raises {!Parse_error} with a line-numbered message on malformed
+    input. *)
+
+val parse : string -> (Graph.t, string) result
+(** Exception-free variant of {!of_string}; the error string carries the
+    line number. *)
 
 val to_string : Graph.t -> string
 

@@ -2,7 +2,7 @@ open Nettomo_graph
 open Nettomo_util
 
 let check_n name n lo =
-  if n < lo then invalid_arg (Printf.sprintf "Gen.%s: need at least %d nodes" name lo)
+  if n < lo then Errors.invalid_arg (Printf.sprintf "Gen.%s: need at least %d nodes" name lo)
 
 let with_nodes n = Graph.of_edges ~nodes:(List.init n Fun.id) []
 
@@ -34,7 +34,7 @@ let random_geometric rng ~n ~radius = fst (random_geometric_with_coords rng ~n ~
 
 let barabasi_albert rng ~n ~nmin =
   check_n "barabasi_albert" n 4;
-  if nmin < 1 then invalid_arg "Gen.barabasi_albert: nmin must be ≥ 1";
+  if nmin < 1 then Errors.invalid_arg "Gen.barabasi_albert: nmin must be ≥ 1";
   (* The paper's seed: a 3-leaf star on nodes 0..3. The degree "bag"
      holds each node once per unit of degree, so uniform draws from it
      implement preferential attachment. *)
@@ -68,7 +68,7 @@ let barabasi_albert rng ~n ~nmin =
 
 let power_law rng ~n ~alpha =
   check_n "power_law" n 1;
-  if alpha <= 0.0 then invalid_arg "Gen.power_law: alpha must be positive";
+  if alpha <= 0.0 then Errors.invalid_arg "Gen.power_law: alpha must be positive";
   let d = Array.init n (fun i -> Float.pow (float_of_int (i + 1)) alpha) in
   let total = Array.fold_left ( +. ) 0.0 d in
   let g = ref (with_nodes n) in
@@ -83,7 +83,7 @@ let power_law rng ~n ~alpha =
 let waxman rng ~n ~alpha ~beta =
   check_n "waxman" n 1;
   if alpha <= 0.0 || alpha > 1.0 || beta <= 0.0 || beta > 1.0 then
-    invalid_arg "Gen.waxman: alpha and beta must be in (0, 1]";
+    Errors.invalid_arg "Gen.waxman: alpha and beta must be in (0, 1]";
   let coords = Array.init n (fun _ -> (Prng.float rng 1.0, Prng.float rng 1.0)) in
   let scale = alpha *. Float.sqrt 2.0 in
   let g = ref (with_nodes n) in
@@ -97,10 +97,19 @@ let waxman rng ~n ~alpha ~beta =
   done;
   !g
 
+exception Retries_exhausted of { tries : int }
+
+let () =
+  Printexc.register_printer (function
+    | Retries_exhausted { tries } ->
+        Some
+          (Printf.sprintf
+             "Gen.until_connected: no connected realization in %d tries" tries)
+    | _ -> None)
+
 let until_connected ?(max_tries = 1000) draw =
   let rec loop i =
-    if i >= max_tries then
-      failwith "Gen.until_connected: no connected realization found"
+    if i >= max_tries then raise (Retries_exhausted { tries = max_tries })
     else begin
       let g = draw () in
       if Graph.n_nodes g > 0 && Traversal.is_connected g then g else loop (i + 1)
@@ -128,11 +137,11 @@ let path n =
   else Graph.of_edges (List.init (n - 1) (fun i -> (i, i + 1)))
 
 let star k =
-  if k < 1 then invalid_arg "Gen.star: need at least one leaf";
+  if k < 1 then Errors.invalid_arg "Gen.star: need at least one leaf";
   Graph.of_edges (List.init k (fun i -> (0, i + 1)))
 
 let grid r c =
-  if r < 1 || c < 1 then invalid_arg "Gen.grid: non-positive dimension";
+  if r < 1 || c < 1 then Errors.invalid_arg "Gen.grid: non-positive dimension";
   let id i j = (i * c) + j in
   let edges = ref [] in
   for i = 0 to r - 1 do

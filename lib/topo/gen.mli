@@ -38,11 +38,15 @@ val waxman : Prng.t -> n:int -> alpha:float -> beta:float -> Graph.t
     the pair's Euclidean distance. A classic model for router-level
     topologies; may be disconnected. Requires [alpha, beta ∈ (0, 1]]. *)
 
+exception Retries_exhausted of { tries : int }
+(** No connected realization appeared within the retry budget — the
+    generator parameters are too sparse for the requested size. *)
+
 val until_connected :
   ?max_tries:int -> (unit -> Graph.t) -> Graph.t
 (** Repeatedly draw from the thunk until a connected realization appears
-    (the paper discards disconnected realizations). Raises [Failure]
-    after [max_tries] (default 1000) attempts. *)
+    (the paper discards disconnected realizations). Raises
+    {!Retries_exhausted} after [max_tries] (default 1000) attempts. *)
 
 (** Deterministic fixtures. *)
 

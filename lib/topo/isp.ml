@@ -26,8 +26,8 @@ let weighted_node rng g n_core =
 (* Preferentially-attached connected core with exactly [links] links on
    nodes [0 .. n-1]. *)
 let build_core rng ~n ~links =
-  if links < n - 1 then invalid_arg "Isp.generate: too few links for core";
-  if links > n * (n - 1) / 2 then invalid_arg "Isp.generate: too many links for core";
+  if links < n - 1 then Errors.invalid_arg "Isp.generate: too few links for core";
+  if links > n * (n - 1) / 2 then Errors.invalid_arg "Isp.generate: too many links for core";
   (* Attachment degree: as close to BA(nmin = 3) as the budget allows. *)
   let nmin =
     let fits k = (k * (max 0 (n - 4))) + 3 <= links in
@@ -59,15 +59,15 @@ let build_core rng ~n ~links =
     if u <> v && not (Graph.mem_edge !g u v) then g := Graph.add_edge !g u v
   done;
   if Graph.n_edges !g <> links then
-    invalid_arg "Isp.generate: could not reach the core link budget";
+    Errors.invalid_arg "Isp.generate: could not reach the core link budget";
   !g
 
 let generate rng spec =
-  if spec.nodes < 8 then invalid_arg "Isp.generate: topology too small";
+  if spec.nodes < 8 then Errors.invalid_arg "Isp.generate: topology too small";
   let n_dangling = int_of_float (Float.round (spec.dangling_frac *. float_of_int spec.nodes)) in
   let n_tandem = int_of_float (Float.round (spec.tandem_frac *. float_of_int spec.nodes)) in
   let n_core = spec.nodes - n_dangling - n_tandem in
-  if n_core < 4 then invalid_arg "Isp.generate: core too small";
+  if n_core < 4 then Errors.invalid_arg "Isp.generate: core too small";
   let core_links = spec.links - n_dangling - (2 * n_tandem) in
   let core = build_core rng ~n:n_core ~links:core_links in
   let g = ref core in

@@ -38,7 +38,7 @@ let degree_histogram g =
       Hashtbl.replace tbl d (1 + Option.value ~default:0 (Hashtbl.find_opt tbl d)))
     g;
   Hashtbl.fold (fun d c acc -> (d, c) :: acc) tbl []
-  |> List.sort (fun (a, _) (b, _) -> compare a b)
+  |> List.sort (fun (a, _) (b, _) -> Int.compare a b)
 
 let mean = function
   | [] -> 0.0

@@ -1,0 +1,30 @@
+exception Violation of string
+
+let () =
+  Printexc.register_printer (function
+    | Violation msg -> Some (Printf.sprintf "Invariant violation: %s" msg)
+    | _ -> None)
+
+let enabled_ref =
+  ref
+    (match Sys.getenv_opt "NETTOMO_CHECK" with
+    | None | Some "" | Some "0" | Some "false" -> false
+    | Some _ -> true)
+
+let enabled () = !enabled_ref
+
+let set_enabled b = enabled_ref := b
+
+let with_enabled b f =
+  let saved = !enabled_ref in
+  enabled_ref := b;
+  Fun.protect ~finally:(fun () -> enabled_ref := saved) f
+
+let violation msg = raise (Violation msg)
+
+let violationf fmt = Printf.ksprintf (fun msg -> raise (Violation msg)) fmt
+
+let require cond fmt =
+  Printf.ksprintf (fun msg -> if not cond then raise (Violation msg)) fmt
+
+let check f = if !enabled_ref then f ()

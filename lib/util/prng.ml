@@ -53,7 +53,7 @@ let split t =
   else { s0; s1; s2; s3 }
 
 let int t bound =
-  if bound <= 0 then invalid_arg "Prng.int: bound must be positive";
+  if bound <= 0 then Errors.invalid_arg "Prng.int: bound must be positive";
   (* Rejection sampling over the top 62 bits avoids modulo bias. *)
   let mask = max_int in
   let rec loop () =
@@ -64,7 +64,7 @@ let int t bound =
   loop ()
 
 let int_in t lo hi =
-  if hi < lo then invalid_arg "Prng.int_in: empty range";
+  if hi < lo then Errors.invalid_arg "Prng.int_in: empty range";
   lo + int t (hi - lo + 1)
 
 let float t bound =
@@ -95,7 +95,7 @@ let shuffle t arr =
 
 let sample t k arr =
   let n = Array.length arr in
-  if k < 0 || k > n then invalid_arg "Prng.sample: k out of range";
+  if k < 0 || k > n then Errors.invalid_arg "Prng.sample: k out of range";
   let copy = Array.copy arr in
   (* Partial Fisher–Yates: after i swaps, the prefix is a uniform sample. *)
   for i = 0 to k - 1 do
@@ -107,10 +107,10 @@ let sample t k arr =
   Array.sub copy 0 k
 
 let choose t arr =
-  if Array.length arr = 0 then invalid_arg "Prng.choose: empty array";
+  if Array.length arr = 0 then Errors.invalid_arg "Prng.choose: empty array";
   arr.(int t (Array.length arr))
 
 let pick_list t l =
   match l with
-  | [] -> invalid_arg "Prng.pick_list: empty list"
+  | [] -> Errors.invalid_arg "Prng.pick_list: empty list"
   | _ -> List.nth l (int t (List.length l))

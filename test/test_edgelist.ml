@@ -20,24 +20,28 @@ let test_parse_errors () =
     try
       ignore (Edgelist.of_string s);
       false
-    with Failure _ -> true
+    with Edgelist.Parse_error _ -> true
   in
   check cb "garbage" true (fails "0 x\n");
   check cb "self loop" true (fails "3 3\n");
   check cb "three fields" true (fails "1 2 3\n");
-  check cb "error mentions line number" true
+  check cb "error carries line number" true
     (try
        ignore (Edgelist.of_string "0 1\nbad line\n");
        false
-     with Failure msg ->
-       (* line 2 *)
-       String.length msg > 0
-       &&
-       let rec contains i =
-         i + 6 <= String.length msg
-         && (String.sub msg i 6 = "line 2" || contains (i + 1))
-       in
-       contains 0)
+     with Edgelist.Parse_error { line; message } ->
+       line = 2 && String.length message > 0);
+  check cb "result variant reports the error" true
+    (match Edgelist.parse "0 1\nbad line\n" with
+    | Error msg ->
+        let rec contains i =
+          i + 6 <= String.length msg
+          && (String.sub msg i 6 = "line 2" || contains (i + 1))
+        in
+        contains 0
+    | Ok _ -> false);
+  check cb "result variant parses good input" true
+    (match Edgelist.parse "0 1\n1 2\n" with Ok _ -> true | Error _ -> false)
 
 let test_roundtrip () =
   let g = Graph.of_edges ~nodes:[ 42 ] [ (0, 1); (5, 2); (2, 0) ] in

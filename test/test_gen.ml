@@ -91,7 +91,7 @@ let test_until_connected () =
          (Gen.until_connected ~max_tries:5 (fun () ->
               Gen.erdos_renyi rng ~n:30 ~p:0.0));
        false
-     with Failure _ -> true)
+     with Gen.Retries_exhausted { tries } -> tries = 5)
 
 let test_fixtures () =
   check ci "complete K6 links" 15 (Graph.n_edges (Gen.complete 6));

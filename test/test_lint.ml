@@ -1,0 +1,144 @@
+(* nettomo-lint engine: every rule on inline good/bad fixtures, plus the
+   lexer's string/comment blindness and the scoping/allowlist logic. *)
+
+module L = Lint_engine
+
+let check = Alcotest.check
+let ci = Alcotest.int
+
+let ids ?(path = "lib/x/fixture.ml") src =
+  L.lint_source ~path src |> List.map (fun v -> v.L.rule_id)
+
+let lines_of rule ?(path = "lib/x/fixture.ml") src =
+  L.lint_source ~path src
+  |> List.filter_map (fun v -> if v.L.rule_id = rule then Some v.L.line else None)
+
+let count rule ?path src = List.length (lines_of rule ?path src)
+
+let sl = Alcotest.(slist string String.compare)
+
+let test_clean_source () =
+  check sl "clean module" []
+    (ids
+       "let f x = x + 1\n\
+        let g = match [] with [] -> 0 | _ -> 1\n\
+        let h = try List.hd [] with Failure _ -> 0\n")
+
+let test_obj_magic () =
+  check ci "flagged" 1 (count "obj-magic" "let f x = Obj.magic x\n");
+  check ci "line number" 3
+    (List.hd (lines_of "obj-magic" "let a = 1\nlet b = 2\nlet c = Obj.magic b\n"));
+  check ci "fires outside lib too" 1
+    (count "obj-magic" ~path:"bin/cli.ml" "let f x = Obj.magic x\n");
+  check ci "not in strings" 0 (count "obj-magic" "let s = \"Obj.magic\"\n");
+  check ci "not in comments" 0 (count "obj-magic" "(* Obj.magic *) let x = 1\n")
+
+let test_bare_failwith () =
+  check ci "failwith" 1 (count "bare-failwith" "let f () = failwith \"x\"\n");
+  check ci "invalid_arg" 1 (count "bare-failwith" "let f () = invalid_arg \"x\"\n");
+  check ci "qualified is fine" 0
+    (count "bare-failwith" "let f () = Errors.invalid_arg \"x\"\n");
+  check ci "lib-scoped: bin exempt" 0
+    (count "bare-failwith" ~path:"bin/cli.ml" "let f () = failwith \"x\"\n");
+  check ci "mli exempt" 0
+    (count "bare-failwith" ~path:"lib/x/fixture.mli" "val failwith : string -> 'a\n");
+  check ci "errors module allowlisted" 0
+    (count "bare-failwith" ~path:"lib/util/errors.ml"
+       "let invalid_arg = Stdlib.invalid_arg\n")
+
+let test_poly_compare () =
+  check ci "bare compare" 1 (count "poly-compare" "let f a b = compare a b\n");
+  check ci "Stdlib.compare" 1
+    (count "poly-compare" "let f a b = Stdlib.compare a b\n");
+  check ci "Int.compare fine" 0 (count "poly-compare" "let f a b = Int.compare a b\n");
+  check ci "edge_compare fine" 0
+    (count "poly-compare" "let f a b = Graph.edge_compare a b\n");
+  check ci "own definition exempts the file" 0
+    (count "poly-compare" "let compare a b = Int.compare a.x b.x\nlet m a b = compare a b\n");
+  check ci "lib-scoped: test exempt" 0
+    (count "poly-compare" ~path:"test/t.ml" "let f a b = compare a b\n")
+
+let test_catch_all () =
+  check ci "canonical" 1 (count "catch-all-try" "let f g = try g () with _ -> 0\n");
+  check ci "with leading bar" 1
+    (count "catch-all-try" "let f g = try g () with | _ -> 0\n");
+  check ci "line is the try" 2
+    (List.hd
+       (lines_of "catch-all-try" "let a = 1\nlet f g = try g ()\nwith _ -> 0\n"));
+  check ci "named handler fine" 0
+    (count "catch-all-try" "let f g = try g () with Not_found -> 0\n");
+  check ci "match wildcard fine" 0
+    (count "catch-all-try" "let f x = match x with _ -> 0\n");
+  check ci "record update fine" 0
+    (count "catch-all-try" "let f r = { r with contents = 1 }\n");
+  check ci "nested: inner match does not eat the try" 1
+    (count "catch-all-try"
+       "let f g = try (match g () with [] -> 0 | _ -> 1) with _ -> 2\n");
+  check ci "module constraint with-type fine" 0
+    (count "catch-all-try"
+       "let f (m : (module S with type t = int)) = ignore m\n");
+  check ci "fires in every directory" 1
+    (count "catch-all-try" ~path:"bench/main.ml" "let f g = try g () with _ -> 0\n")
+
+let test_todo_issue () =
+  check ci "TODO without ref" 1 (count "todo-issue" "(* TODO tighten this *)\n");
+  check ci "XXX without ref" 1 (count "todo-issue" "(* XXX wat *)\n");
+  check ci "TODO with ref fine" 0 (count "todo-issue" "(* TODO(#42) tighten *)\n");
+  check ci "plain ref fine" 0 (count "todo-issue" "(* XXX see #7 *)\n");
+  check ci "TODO in code ignored" 0 (count "todo-issue" "let _TODO = 1\n");
+  check ci "nested comments scanned once" 1
+    (count "todo-issue" "(* outer (* TODO inner *) rest *)\n")
+
+let test_missing_mli () =
+  let v =
+    L.missing_mli [ "lib/core/a.ml"; "lib/core/a.mli"; "lib/core/b.ml" ]
+  in
+  check
+    Alcotest.(list string)
+    "only the interface-less module" [ "lib/core/b.ml" ]
+    (List.map (fun v -> v.L.file) v);
+  check ci "non-lib files exempt" 0
+    (List.length (L.missing_mli [ "bin/cli.ml"; "test/t.ml" ]))
+
+let test_lint_files_end_to_end () =
+  let violations =
+    L.lint_files
+      [
+        ("lib/x/good.ml", "let f = 1\n");
+        ("lib/x/good.mli", "val f : int\n");
+        ("lib/x/bad.ml", "let f g = try g () with _ -> failwith \"x\"\n");
+      ]
+  in
+  check sl "both rules plus missing-mli" [ "bare-failwith"; "catch-all-try"; "missing-mli" ]
+    (List.map (fun v -> v.L.rule_id) violations);
+  check Alcotest.string "machine-readable rendering"
+    "lib/x/bad.ml:1: [catch-all-try] catch-all exception handler (try ... \
+     with _ ->); name the exceptions you expect"
+    (L.violation_to_string
+       (List.find (fun v -> v.L.rule_id = "catch-all-try") violations))
+
+let test_lexer_robustness () =
+  (* Violations spelled inside literals must not fire, and quoted
+     strings / char literals must not derail the lexer. *)
+  check sl "all quiet" []
+    (ids
+       "let s = \"try x with _ -> failwith\"\n\
+        let q = {q|compare Obj.magic|q}\n\
+        let c = 'a'\n\
+        let esc = '\\n'\n\
+        let f (x : 'a) = x\n");
+  check ci "code after literals still linted" 1
+    (count "bare-failwith" "let s = \"harmless\"\nlet f () = failwith s\n")
+
+let suite =
+  [
+    Alcotest.test_case "clean source" `Quick test_clean_source;
+    Alcotest.test_case "obj-magic" `Quick test_obj_magic;
+    Alcotest.test_case "bare-failwith" `Quick test_bare_failwith;
+    Alcotest.test_case "poly-compare" `Quick test_poly_compare;
+    Alcotest.test_case "catch-all-try" `Quick test_catch_all;
+    Alcotest.test_case "todo-issue" `Quick test_todo_issue;
+    Alcotest.test_case "missing-mli" `Quick test_missing_mli;
+    Alcotest.test_case "lint_files end to end" `Quick test_lint_files_end_to_end;
+    Alcotest.test_case "lexer robustness" `Quick test_lexer_robustness;
+  ]

@@ -1,0 +1,41 @@
+(** The [nettomo-lint] engine: a comment/string-aware OCaml lexer and a
+    table of project rules, separated from the CLI so the test suite can
+    exercise every rule on inline sources.
+
+    Rules are lexical by design (no typedtree, zero build dependencies);
+    each rule's implementation documents the approximation it makes.
+    See DESIGN.md ("Correctness tooling") for the rule table and how to
+    add a rule. *)
+
+type violation = {
+  file : string;
+  line : int;  (** 1-based *)
+  rule_id : string;
+  message : string;
+}
+
+val violation_to_string : violation -> string
+(** Machine-readable [file:line: [rule-id] message]. *)
+
+val rule_ids : (string * string) list
+(** Token/comment-level rules: id and one-line description. *)
+
+val missing_mli_description : string
+
+val lint_source : path:string -> string -> violation list
+(** Run every applicable token/comment-level rule on one source file.
+    [path] decides applicability (rule scope and allowlists); the
+    content is lexed once. *)
+
+val missing_mli : string list -> violation list
+(** File-set-level rule: every [lib/**.ml] in the list must have its
+    [.mli] in the list too. *)
+
+val lint_files : (string * string) list -> violation list
+(** [lint_files [(path, content); …]] = all rules, sorted by
+    file/line. *)
+
+val run_paths : string list -> violation list
+(** Walk directories (files are taken as-is), reading [.ml]/[.mli]
+    files, skipping dot- and underscore-prefixed directories, and lint
+    everything found. *)

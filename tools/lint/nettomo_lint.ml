@@ -1,0 +1,46 @@
+(* nettomo-lint: project static-analysis pass.
+
+   Usage: nettomo_lint.exe [--list-rules] [-q] [DIR_OR_FILE ...]
+
+   Walks the given directories (default: lib bin bench examples test
+   tools), lints every .ml/.mli, prints one "file:line: [rule-id]
+   message" diagnostic per violation, and exits 0 when clean, 1 on
+   violations, 2 on usage or I/O errors — suitable for CI and the
+   `dune build @lint` alias. *)
+
+let default_dirs = [ "lib"; "bin"; "bench"; "examples"; "test"; "tools" ]
+
+let () =
+  let args = List.tl (Array.to_list Sys.argv) in
+  let quiet = List.mem "-q" args in
+  if List.mem "--list-rules" args then begin
+    List.iter
+      (fun (id, descr) -> Printf.printf "%-14s %s\n" id descr)
+      (Lint_engine.rule_ids
+      @ [ ("missing-mli", Lint_engine.missing_mli_description) ]);
+    exit 0
+  end;
+  let paths =
+    match List.filter (fun a -> a <> "-q") args with
+    | [] -> List.filter Sys.file_exists default_dirs
+    | paths -> paths
+  in
+  let missing = List.filter (fun p -> not (Sys.file_exists p)) paths in
+  if missing <> [] then begin
+    List.iter (Printf.eprintf "nettomo-lint: no such path: %s\n") missing;
+    exit 2
+  end;
+  match Lint_engine.run_paths paths with
+  | [] ->
+      if not quiet then
+        Printf.printf "nettomo-lint: clean (%s)\n" (String.concat " " paths);
+      exit 0
+  | violations ->
+      List.iter
+        (fun v -> print_endline (Lint_engine.violation_to_string v))
+        violations;
+      Printf.eprintf "nettomo-lint: %d violation(s)\n" (List.length violations);
+      exit 1
+  | exception Sys_error msg ->
+      Printf.eprintf "nettomo-lint: %s\n" msg;
+      exit 2
