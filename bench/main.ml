@@ -7,6 +7,12 @@
      dune exec bench/main.exe -- fig9 table2  (selected experiments)
      dune exec bench/main.exe -- --full       (paper-scale Monte-Carlo volume)
      dune exec bench/main.exe -- --seed 42
+     dune exec bench/main.exe -- --jobs 4     (parallel Monte-Carlo trials)
+     dune exec bench/main.exe -- --json b.json (machine-readable report)
+
+   The Monte-Carlo experiments (fig9 fig10 fig11 fig12 table2 table3)
+   run their trials on a Domain pool; per-trial PRNG substreams make
+   the statistics bit-identical for every --jobs value.
 
    Experiment ids match the per-experiment index in DESIGN.md:
      e1 e2 e3 e4 fig9 fig10 table2 fig11 table3 fig12 e11 ablation perf *)
@@ -15,11 +21,13 @@ open Nettomo_graph
 open Nettomo_topo
 open Nettomo_core
 module Prng = Nettomo_util.Prng
+module Pool = Nettomo_util.Pool
+module Jsonx = Nettomo_util.Jsonx
 module Q = Nettomo_linalg.Rational
 module Matrix = Nettomo_linalg.Matrix
 module Inv = Nettomo_util.Invariant
 
-type config = { full : bool; seed : int }
+type config = { full : bool; seed : int; pool : Pool.t; report : Report.t }
 
 let section title =
   Printf.printf "\n%s\n%s\n" title (String.make (String.length title) '=')
@@ -236,10 +244,13 @@ let random_models cfg tag models =
         let rng = Prng.create (cfg.seed + Hashtbl.hash m.mname) in
         let graphs = List.init realizations (fun _ -> m.draw rng) in
         let links = List.map (fun g -> float_of_int (Graph.n_edges g)) graphs in
+        (* MMP is deterministic per graph, so placements for the
+           realizations are independent work items. *)
         let kappas =
-          List.map
-            (fun g -> float_of_int (Graph.NodeSet.cardinal (Mmp.place g)))
-            graphs
+          Array.to_list
+            (Pool.map cfg.pool
+               (fun g -> float_of_int (Graph.NodeSet.cardinal (Mmp.place g)))
+               (Array.of_list graphs))
         in
         Printf.printf "%-4s %10.0f %10.1f %14.2f %14.2f\n" m.mname m.paper_n
           (Stats.mean links) m.paper_kappa (Stats.mean kappas);
@@ -250,30 +261,50 @@ let random_models cfg tag models =
   Printf.printf "%-9s" "kappa";
   List.iter (fun k -> Printf.printf " %5d" k) kappa_grid;
   print_newline ();
+  let curve_series model method_ fractions =
+    Jsonx.Obj
+      [
+        ("model", Jsonx.String model);
+        ("method", Jsonx.String method_);
+        ("kappa", Jsonx.List (List.map (fun k -> Jsonx.Int k) kappa_grid));
+        ("fraction", Jsonx.List (List.map (fun f -> Jsonx.Float f) fractions));
+      ]
+  in
   List.iter
     (fun (m, graphs, kappas) ->
+      let mmp_curve =
+        List.map
+          (fun k ->
+            let hits =
+              List.length (List.filter (fun km -> km <= float_of_int k) kappas)
+            in
+            float_of_int hits /. float_of_int (List.length kappas))
+          kappa_grid
+      in
       Printf.printf "MMP %-5s" m.mname;
-      List.iter
-        (fun k ->
-          let hits =
-            List.length (List.filter (fun km -> km <= float_of_int k) kappas)
-          in
-          Printf.printf " %5.2f"
-            (float_of_int hits /. float_of_int (List.length kappas)))
-        kappa_grid;
+      List.iter (fun f -> Printf.printf " %5.2f" f) mmp_curve;
       print_newline ();
+      Report.add_series cfg.report (curve_series m.mname "mmp" mmp_curve);
       let rng = Prng.create (cfg.seed + 1 + Hashtbl.hash m.mname) in
+      let rmp_curve =
+        List.map
+          (fun k ->
+            let fracs =
+              List.map
+                (fun g ->
+                  Rmp.success_fraction_par ~pool:cfg.pool rng g ~kappa:k
+                    ~runs:rmp_runs)
+                graphs
+            in
+            Stats.mean fracs)
+          kappa_grid
+      in
+      Report.add_trials cfg.report
+        (List.length kappa_grid * List.length graphs * rmp_runs);
       Printf.printf "RMP %-5s" m.mname;
-      List.iter
-        (fun k ->
-          let fracs =
-            List.map
-              (fun g -> Rmp.success_fraction rng g ~kappa:k ~runs:rmp_runs)
-              graphs
-          in
-          Printf.printf " %5.2f" (Stats.mean fracs))
-        kappa_grid;
-      print_newline ())
+      List.iter (fun f -> Printf.printf " %5.2f" f) rmp_curve;
+      print_newline ();
+      Report.add_series cfg.report (curve_series m.mname "rmp" rmp_curve))
     per_model;
   print_endline
     "expected shape (paper): MMP reaches 1.0 at small kappa; RMP needs far\n\
@@ -294,20 +325,40 @@ let isp_table cfg tag specs =
   section tag;
   Printf.printf "%-18s %6s %6s %12s %12s %12s %12s\n" "AS" "|L|" "|V|"
     "kMMP(paper)" "kMMP(ours)" "rMMP(paper)" "rMMP(ours)";
-  List.mapi
-    (fun i spec ->
-      let rng = Prng.create (cfg.seed + (31 * i)) in
-      let g = Isp.generate rng spec in
-      let kappa = Graph.NodeSet.cardinal (Mmp.place g) in
-      let r = float_of_int kappa /. float_of_int spec.Isp.nodes in
-      let paper_kappa =
-        int_of_float
-          (Float.round (spec.Isp.paper_r_mmp *. float_of_int spec.Isp.nodes))
-      in
-      Printf.printf "%-18s %6d %6d %12d %12d %12.2f %12.2f\n" spec.Isp.name
-        spec.Isp.links spec.Isp.nodes paper_kappa kappa spec.Isp.paper_r_mmp r;
-      (spec, g))
-    specs
+  (* Each AS row seeds its own generator, so generation + placement of
+     the rows are independent work items for the pool. *)
+  let rows =
+    Pool.map cfg.pool
+      (fun (i, spec) ->
+        let rng = Prng.create (cfg.seed + (31 * i)) in
+        let g = Isp.generate rng spec in
+        let kappa = Graph.NodeSet.cardinal (Mmp.place g) in
+        (spec, g, kappa))
+      (Array.of_list (List.mapi (fun i spec -> (i, spec)) specs))
+  in
+  Array.to_list
+    (Array.map
+       (fun (spec, g, kappa) ->
+         let r = float_of_int kappa /. float_of_int spec.Isp.nodes in
+         let paper_kappa =
+           int_of_float
+             (Float.round (spec.Isp.paper_r_mmp *. float_of_int spec.Isp.nodes))
+         in
+         Printf.printf "%-18s %6d %6d %12d %12d %12.2f %12.2f\n" spec.Isp.name
+           spec.Isp.links spec.Isp.nodes paper_kappa kappa spec.Isp.paper_r_mmp
+           r;
+         Report.add_series cfg.report
+           (Jsonx.Obj
+              [
+                ("as", Jsonx.String spec.Isp.name);
+                ("nodes", Jsonx.Int spec.Isp.nodes);
+                ("links", Jsonx.Int spec.Isp.links);
+                ("kappa_mmp", Jsonx.Int kappa);
+                ("r_mmp", Jsonx.Float r);
+                ("r_mmp_paper", Jsonx.Float spec.Isp.paper_r_mmp);
+              ]);
+         (spec, g))
+       rows)
 
 let rmp_fractions = [ 0.95; 0.96; 0.97; 0.98; 0.99; 1.0 ]
 
@@ -322,14 +373,30 @@ let isp_rmp_curves cfg tag pairs =
     (fun ((spec : Isp.spec), g) ->
       let rng = Prng.create (cfg.seed + Hashtbl.hash spec.Isp.name) in
       Printf.printf "%-18s" spec.Isp.name;
-      List.iter
-        (fun f ->
-          let kappa =
-            min spec.Isp.nodes
-              (int_of_float (Float.round (f *. float_of_int spec.Isp.nodes)))
-          in
-          Printf.printf " %5.2f" (Rmp.success_fraction rng g ~kappa ~runs))
-        rmp_fractions;
+      let curve =
+        List.map
+          (fun f ->
+            let kappa =
+              min spec.Isp.nodes
+                (int_of_float (Float.round (f *. float_of_int spec.Isp.nodes)))
+            in
+            let frac =
+              Rmp.success_fraction_par ~pool:cfg.pool rng g ~kappa ~runs
+            in
+            Printf.printf " %5.2f" frac;
+            frac)
+          rmp_fractions
+      in
+      Report.add_trials cfg.report (List.length rmp_fractions * runs);
+      Report.add_series cfg.report
+        (Jsonx.Obj
+           [
+             ("as", Jsonx.String spec.Isp.name);
+             ("method", Jsonx.String "rmp");
+             ( "monitor_fraction",
+               Jsonx.List (List.map (fun f -> Jsonx.Float f) rmp_fractions) );
+             ("fraction", Jsonx.List (List.map (fun f -> Jsonx.Float f) curve));
+           ]);
       Printf.printf "  (rMMP ours: %.2f)\n"
         (float_of_int (Graph.NodeSet.cardinal (Mmp.place g))
         /. float_of_int spec.Isp.nodes))
@@ -602,48 +669,75 @@ let all_ids =
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
   let full = List.mem "--full" args in
-  let seed =
+  let int_opt flag default =
     let rec find = function
-      | "--seed" :: v :: _ -> int_of_string v
+      | f :: v :: _ when String.equal f flag -> int_of_string v
       | _ :: rest -> find rest
-      | [] -> 7
+      | [] -> default
     in
     find args
   in
-  let cfg = { full; seed } in
+  let str_opt flag =
+    let rec find = function
+      | f :: v :: _ when String.equal f flag -> Some v
+      | _ :: rest -> find rest
+      | [] -> None
+    in
+    find args
+  in
+  let seed = int_opt "--seed" 7 in
+  let jobs = int_opt "--jobs" 1 in
+  let json_path = str_opt "--json" in
+  let pool = Pool.create ~jobs in
+  let report = Report.create () in
+  let cfg = { full; seed; pool; report } in
   let selected = List.filter (fun a -> List.mem a all_ids) args in
   let selected = if selected = [] then all_ids else selected in
-  Printf.printf "nettomo experiment harness (seed %d, %s volume)\n" seed
-    (if full then "paper-scale" else "reduced");
+  Printf.printf "nettomo experiment harness (seed %d, %s volume, %d job%s)\n"
+    seed
+    (if full then "paper-scale" else "reduced")
+    jobs
+    (if jobs = 1 then "" else "s");
   if Inv.enabled () then
     print_endline "NETTOMO_CHECK=1: runtime invariant verification enabled";
   (* Tables and their RMP figures share generated topologies. *)
   let table2_pairs = ref None and table3_pairs = ref None in
-  List.iter
-    (fun id ->
-      match id with
-      | "e1" -> e1 cfg
-      | "e2" -> e2 cfg
-      | "e3" -> e3 cfg
-      | "e4" -> e4 cfg
-      | "fig9" -> fig9 cfg
-      | "fig10" -> fig10 cfg
-      | "table2" -> table2_pairs := Some (table2 cfg)
-      | "fig11" ->
-          let pairs =
-            match !table2_pairs with Some p -> p | None -> table2 cfg
-          in
-          table2_pairs := Some pairs;
-          fig11 cfg pairs
-      | "table3" -> table3_pairs := Some (table3 cfg)
-      | "fig12" ->
-          let pairs =
-            match !table3_pairs with Some p -> p | None -> table3 cfg
-          in
-          table3_pairs := Some pairs;
-          fig12 cfg pairs
-      | "e11" -> e11 cfg
-      | "ablation" -> ablation cfg
-      | "perf" -> perf cfg
-      | _ -> ())
-    selected
+  let timed id f = Report.timed report ~id f in
+  Fun.protect
+    ~finally:(fun () -> Pool.close pool)
+    (fun () ->
+      List.iter
+        (fun id ->
+          match id with
+          | "e1" -> timed id (fun () -> e1 cfg)
+          | "e2" -> timed id (fun () -> e2 cfg)
+          | "e3" -> timed id (fun () -> e3 cfg)
+          | "e4" -> timed id (fun () -> e4 cfg)
+          | "fig9" -> timed id (fun () -> fig9 cfg)
+          | "fig10" -> timed id (fun () -> fig10 cfg)
+          | "table2" ->
+              table2_pairs := Some (timed id (fun () -> table2 cfg))
+          | "fig11" ->
+              timed id (fun () ->
+                  let pairs =
+                    match !table2_pairs with Some p -> p | None -> table2 cfg
+                  in
+                  table2_pairs := Some pairs;
+                  fig11 cfg pairs)
+          | "table3" ->
+              table3_pairs := Some (timed id (fun () -> table3 cfg))
+          | "fig12" ->
+              timed id (fun () ->
+                  let pairs =
+                    match !table3_pairs with Some p -> p | None -> table3 cfg
+                  in
+                  table3_pairs := Some pairs;
+                  fig12 cfg pairs)
+          | "e11" -> timed id (fun () -> e11 cfg)
+          | "ablation" -> timed id (fun () -> ablation cfg)
+          | "perf" -> timed id (fun () -> perf cfg)
+          | _ -> ())
+        selected);
+  match json_path with
+  | None -> ()
+  | Some path -> Report.write report ~path ~seed ~jobs ~full

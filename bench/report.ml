@@ -1,0 +1,67 @@
+(* Machine-readable run report for the experiment harness.
+
+   Each experiment runs inside [timed], which records its wall-clock
+   time; experiments attach Monte-Carlo trial counts and data series
+   (success-fraction curves, table rows) to the innermost open entry.
+   [write] serializes everything as one JSON document so the perf
+   trajectory of the repo (BENCH_*.json) can track speedups and
+   statistics across commits. Entries nest ([fig11] runs [table2] when
+   the latter was not selected), hence the entry stack. *)
+
+module Jsonx = Nettomo_util.Jsonx
+
+type entry = {
+  id : string;
+  mutable wall_s : float;
+  mutable trials : int;
+  mutable series : Jsonx.t list; (* newest first *)
+}
+
+type t = {
+  mutable entries : entry list; (* newest first *)
+  mutable stack : entry list; (* innermost open entry first *)
+}
+
+let create () = { entries = []; stack = [] }
+
+let timed t ~id f =
+  let entry = { id; wall_s = 0.0; trials = 0; series = [] } in
+  t.stack <- entry :: t.stack;
+  let t0 = Unix.gettimeofday () in
+  Fun.protect
+    ~finally:(fun () ->
+      entry.wall_s <- Unix.gettimeofday () -. t0;
+      t.stack <- (match t.stack with [] -> [] | _ :: rest -> rest);
+      t.entries <- entry :: t.entries)
+    f
+
+let add_trials t n =
+  match t.stack with [] -> () | entry :: _ -> entry.trials <- entry.trials + n
+
+let add_series t json =
+  match t.stack with
+  | [] -> ()
+  | entry :: _ -> entry.series <- json :: entry.series
+
+let entry_to_json entry =
+  Jsonx.Obj
+    [
+      ("id", Jsonx.String entry.id);
+      ("wall_s", Jsonx.Float entry.wall_s);
+      ("trials", Jsonx.Int entry.trials);
+      ("series", Jsonx.List (List.rev entry.series));
+    ]
+
+let to_json t ~seed ~jobs ~full =
+  Jsonx.Obj
+    [
+      ("schema", Jsonx.String "nettomo-bench/1");
+      ("seed", Jsonx.Int seed);
+      ("jobs", Jsonx.Int jobs);
+      ("full", Jsonx.Bool full);
+      ("experiments", Jsonx.List (List.rev_map entry_to_json t.entries));
+    ]
+
+let write t ~path ~seed ~jobs ~full =
+  Jsonx.write_file path (to_json t ~seed ~jobs ~full);
+  Printf.printf "\nwrote JSON report to %s\n" path

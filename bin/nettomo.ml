@@ -10,6 +10,7 @@
      partial    per-link identifiability of an arbitrary placement
      routing    fixed shortest-path-routing baseline vs MMP
      robust     single-failure robustness of a placement
+     experiment RMP Monte-Carlo sweep (parallel via --jobs, JSON via --json)
      dot        Graphviz export
 
    Topologies are read and written in the edge-list format of
@@ -20,6 +21,8 @@ open Nettomo_graph
 open Nettomo_topo
 open Nettomo_core
 module Prng = Nettomo_util.Prng
+module Pool = Nettomo_util.Pool
+module Jsonx = Nettomo_util.Jsonx
 module Q = Nettomo_linalg.Rational
 
 (* ------------------------------------------------------------------ *)
@@ -398,6 +401,98 @@ let routing_cmd =
     Term.(const run $ topology_arg)
 
 (* ------------------------------------------------------------------ *)
+(* experiment                                                          *)
+
+let experiment_cmd =
+  let kappa_arg =
+    let doc =
+      "Comma-separated monitor budgets to sweep, e.g. --kappa 3,5,10."
+    in
+    Arg.(value & opt (list int) [ 3 ] & info [ "kappa" ] ~docv:"LIST" ~doc)
+  in
+  let runs_arg =
+    let doc = "Monte-Carlo trials per budget (default 100)." in
+    Arg.(value & opt int 100 & info [ "runs" ] ~docv:"N" ~doc)
+  in
+  let jobs_arg =
+    let doc =
+      "Worker domains running the trials. Per-trial PRNG substreams make \
+       the measured fractions identical for every value of $(docv)."
+    in
+    Arg.(value & opt int 1 & info [ "j"; "jobs" ] ~docv:"JOBS" ~doc)
+  in
+  let json_arg =
+    let doc = "Also write the sweep as a JSON report to $(docv)." in
+    Arg.(value & opt (some string) None & info [ "json" ] ~docv:"FILE" ~doc)
+  in
+  let run file kappas runs jobs seed json =
+    let g = load file in
+    if kappas = [] then `Error (false, "at least one --kappa budget is required")
+    else
+      match
+        Pool.with_pool ~jobs (fun pool ->
+            let t0 = Unix.gettimeofday () in
+            let rng = Prng.create seed in
+            let rows =
+              List.map
+                (fun kappa ->
+                  (kappa, Rmp.success_fraction_par ~pool rng g ~kappa ~runs))
+                kappas
+            in
+            (rows, Unix.gettimeofday () -. t0))
+      with
+      | exception Invalid_argument m -> `Error (false, m)
+      | rows, wall_s ->
+          Format.printf
+            "RMP sweep: %d trial(s) per budget, %d job(s), %.3f s@." runs jobs
+            wall_s;
+          Format.printf "%-8s %s@." "kappa" "identifiable fraction";
+          List.iter
+            (fun (kappa, frac) -> Format.printf "%-8d %.4f@." kappa frac)
+            rows;
+          (match Mmp.place g with
+          | monitors ->
+              Format.printf "for comparison, kappa_MMP = %d (guaranteed)@."
+                (Graph.NodeSet.cardinal monitors)
+          | exception Invalid_argument _ -> ());
+          (match json with
+          | None -> ()
+          | Some path ->
+              Jsonx.write_file path
+                (Jsonx.Obj
+                   [
+                     ("schema", Jsonx.String "nettomo-experiment/1");
+                     ("topology", Jsonx.String file);
+                     ("seed", Jsonx.Int seed);
+                     ("jobs", Jsonx.Int jobs);
+                     ("runs", Jsonx.Int runs);
+                     ("wall_s", Jsonx.Float wall_s);
+                     ( "series",
+                       Jsonx.List
+                         (List.map
+                            (fun (kappa, frac) ->
+                              Jsonx.Obj
+                                [
+                                  ("kappa", Jsonx.Int kappa);
+                                  ("fraction", Jsonx.Float frac);
+                                ])
+                            rows) );
+                   ]);
+              Format.printf "wrote JSON report to %s@." path);
+          `Ok ()
+  in
+  Cmd.v
+    (Cmd.info "experiment"
+       ~doc:
+         "RMP Monte-Carlo sweep: identifiable fraction vs monitor budget, \
+          with parallel trials (--jobs) and machine-readable output \
+          (--json).")
+    Term.(
+      ret
+        (const run $ topology_arg $ kappa_arg $ runs_arg $ jobs_arg $ seed_arg
+       $ json_arg))
+
+(* ------------------------------------------------------------------ *)
 (* dot                                                                 *)
 
 let dot_cmd =
@@ -425,5 +520,5 @@ let () =
        (Cmd.group info
           [
             gen_cmd; stats_cmd; decompose_cmd; check_cmd; place_cmd; solve_cmd;
-            partial_cmd; routing_cmd; robust_cmd; dot_cmd;
+            partial_cmd; routing_cmd; robust_cmd; experiment_cmd; dot_cmd;
           ]))

@@ -9,7 +9,10 @@ open Nettomo_graph
 
 val place : Nettomo_util.Prng.t -> Graph.t -> kappa:int -> Graph.NodeSet.t
 (** κ distinct uniform nodes. Raises [Invalid_argument] if κ exceeds the
-    node count or is negative. *)
+    node count, is negative, or the graph has fewer than two nodes (a
+    placement needs two distinct endpoints to measure any path, so on a
+    single-node graph even κ = |V| is rejected rather than accepted or
+    retried forever). *)
 
 val trial : Nettomo_util.Prng.t -> Graph.t -> kappa:int -> bool
 (** One Monte-Carlo trial: place κ random monitors and test whether the
@@ -17,4 +20,22 @@ val trial : Nettomo_util.Prng.t -> Graph.t -> kappa:int -> bool
 
 val success_fraction :
   Nettomo_util.Prng.t -> Graph.t -> kappa:int -> runs:int -> float
-(** Fraction of [runs] independent trials achieving identifiability. *)
+(** Fraction of [runs] independent trials achieving identifiability,
+    drawn serially from one stream. *)
+
+val success_fraction_par :
+  ?pool:Nettomo_util.Pool.t ->
+  Nettomo_util.Prng.t ->
+  Graph.t ->
+  kappa:int ->
+  runs:int ->
+  float
+(** Like {!success_fraction}, but trial [i] draws from
+    [Nettomo_util.Prng.substream] [i] of the generator's state, and the
+    trials run on [pool] when one with more than one job is given. The
+    result is a function of the generator state, [kappa] and [runs]
+    only: every job count — including no pool at all — returns the
+    same fraction, and the caller's generator advances exactly once
+    either way. Note the trial schedule differs from
+    {!success_fraction}'s single sequential stream, so the two
+    functions agree in distribution but not draw-for-draw. *)

@@ -6,7 +6,10 @@
     per-library [Invariant] modules ([Graph.Invariant],
     [Nettomo_linalg.Invariant], [Nettomo_core.Invariant]). All of them
     are gated behind this switch so release builds pay nothing: the
-    gate is one mutable-bool read.
+    gate is one atomic-bool read. The switch is shared across domains,
+    so verifiers stay usable inside {!Pool} worker tasks; flip it
+    before the parallel phase ({!with_enabled}'s save/restore is not
+    scoped per-domain).
 
     The switch starts enabled iff the [NETTOMO_CHECK] environment
     variable is set to anything but [""], ["0"] or ["false"], and can be

@@ -1,0 +1,29 @@
+(** Minimal JSON document builder.
+
+    Just enough JSON to emit machine-readable benchmark and experiment
+    reports (no parser, no streaming): build a {!t}, then serialize.
+    Serialization is deterministic — object members keep insertion
+    order — so reports diff cleanly across runs. No third-party JSON
+    library is available offline, hence this module. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of t_float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+and t_float = float
+(** Non-finite floats serialize as [null] (JSON has no NaN/infinity). *)
+
+val to_string : t -> string
+(** Compact serialization (single line, no trailing newline). *)
+
+val to_channel : out_channel -> t -> unit
+(** [to_string] plus a trailing newline, written to the channel. *)
+
+val write_file : string -> t -> unit
+(** Serialize into a file, truncating it. Raises [Sys_error] on I/O
+    failure. *)

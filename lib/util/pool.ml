@@ -1,0 +1,156 @@
+(* Fixed-size Domain worker pool.
+
+   Layout: [jobs - 1] spawned domains plus the calling domain, all
+   draining one shared task queue. Each [map] call carves its input
+   into chunks; a chunk task writes results into the slots of its own
+   indices, so results are positionally stable and the final serial
+   fold makes the whole computation independent of scheduling.
+
+   Memory-model note: result-slot writes are plain writes to disjoint
+   array cells; the completion edge to the caller goes through the
+   [remaining] atomic (worker decrements after its writes, caller
+   observes zero before reading), which orders them. *)
+
+type t = {
+  jobs : int;
+  queue : (unit -> unit) Queue.t;
+  lock : Mutex.t;
+  work_available : Condition.t;
+  mutable closed : bool;
+  mutable workers : unit Domain.t list;
+}
+
+let max_jobs = 128
+
+let jobs t = t.jobs
+
+let recommended_jobs () = max 1 (Domain.recommended_domain_count ())
+
+let rec worker_loop pool =
+  Mutex.lock pool.lock;
+  let rec next () =
+    if not (Queue.is_empty pool.queue) then Some (Queue.pop pool.queue)
+    else if pool.closed then None
+    else begin
+      Condition.wait pool.work_available pool.lock;
+      next ()
+    end
+  in
+  match next () with
+  | None -> Mutex.unlock pool.lock
+  | Some task ->
+      Mutex.unlock pool.lock;
+      task ();
+      worker_loop pool
+
+let create ~jobs =
+  if jobs < 1 || jobs > max_jobs then
+    Errors.invalid_argf "Pool.create: jobs must be in [1, %d], got %d" max_jobs
+      jobs;
+  let pool =
+    { jobs; queue = Queue.create (); lock = Mutex.create ();
+      work_available = Condition.create (); closed = false; workers = [] }
+  in
+  pool.workers <-
+    List.init (jobs - 1) (fun _ -> Domain.spawn (fun () -> worker_loop pool));
+  pool
+
+let close pool =
+  Mutex.lock pool.lock;
+  pool.closed <- true;
+  Condition.broadcast pool.work_available;
+  Mutex.unlock pool.lock;
+  List.iter Domain.join pool.workers;
+  pool.workers <- []
+
+let with_pool ~jobs f =
+  let pool = create ~jobs in
+  Fun.protect ~finally:(fun () -> close pool) (fun () -> f pool)
+
+let try_pop pool =
+  Mutex.lock pool.lock;
+  let r =
+    if Queue.is_empty pool.queue then None else Some (Queue.pop pool.queue)
+  in
+  Mutex.unlock pool.lock;
+  r
+
+let map ?chunk pool f items =
+  if pool.closed then Errors.invalid_arg "Pool.map: pool is closed";
+  let n = Array.length items in
+  if n = 0 then [||]
+  else begin
+    let chunk =
+      match chunk with
+      | Some c ->
+          if c <= 0 then Errors.invalid_arg "Pool.map: chunk must be positive";
+          c
+      | None ->
+          (* About four chunks per worker keeps the queue short while
+             still smoothing over uneven per-item cost. *)
+          max 1 ((n + (4 * pool.jobs) - 1) / (4 * pool.jobs))
+    in
+    let results = Array.make n None in
+    let n_chunks = (n + chunk - 1) / chunk in
+    let remaining = Atomic.make n_chunks in
+    let failed = Atomic.make None in
+    let fin_lock = Mutex.create () in
+    let fin_cond = Condition.create () in
+    let finish_one () =
+      if Atomic.fetch_and_add remaining (-1) = 1 then begin
+        Mutex.lock fin_lock;
+        Condition.broadcast fin_cond;
+        Mutex.unlock fin_lock
+      end
+    in
+    let run_chunk c =
+      (* A failed call skips the compute of its remaining chunks but
+         still counts them down, so the caller's wait terminates. *)
+      (if Option.is_none (Atomic.get failed) then
+         let lo = c * chunk in
+         let hi = min n (lo + chunk) - 1 in
+         try
+           for i = lo to hi do
+             results.(i) <- Some (f items.(i))
+           done
+         with e ->
+           let bt = Printexc.get_raw_backtrace () in
+           ignore (Atomic.compare_and_set failed None (Some (e, bt))));
+      finish_one ()
+    in
+    Mutex.lock pool.lock;
+    for c = 1 to n_chunks - 1 do
+      Queue.push (fun () -> run_chunk c) pool.queue
+    done;
+    if n_chunks > 1 then Condition.broadcast pool.work_available;
+    Mutex.unlock pool.lock;
+    (* The caller is a worker too: take the first chunk, then help
+       drain the queue, then block until every chunk has settled. *)
+    run_chunk 0;
+    let rec help () =
+      if Atomic.get remaining > 0 then begin
+        match try_pop pool with
+        | Some task ->
+            task ();
+            help ()
+        | None ->
+            Mutex.lock fin_lock;
+            while Atomic.get remaining > 0 do
+              Condition.wait fin_cond fin_lock
+            done;
+            Mutex.unlock fin_lock
+      end
+    in
+    help ();
+    match Atomic.get failed with
+    | Some (e, bt) -> Printexc.raise_with_backtrace e bt
+    | None ->
+        Array.map
+          (function
+            | Some v -> v
+            | None -> Errors.error "Pool.map: unfilled result slot")
+          results
+  end
+
+let map_reduce ?chunk pool ~map:f ~fold ~init items =
+  Array.fold_left fold init (map ?chunk pool f items)

@@ -1,0 +1,63 @@
+(** Fixed-size worker pool over OCaml 5 domains.
+
+    The pool owns [jobs - 1] worker domains; the calling domain is the
+    remaining worker, so a pool with [jobs = 1] spawns nothing and runs
+    every task in the caller — the degenerate case is serial execution,
+    byte-for-byte.
+
+    Determinism contract: {!map} and {!map_reduce} write each result
+    into the slot of its input index and reduce serially in input
+    order, so for a pure [f] the outcome is independent of [jobs],
+    [chunk], and scheduling. Parallel Monte-Carlo sweeps rely on this:
+    a run with [--jobs n] must be bit-identical to [--jobs 1].
+
+    Exception contract: the first exception raised by [f] (in input
+    order of chunks as they fail, first recorded wins) is re-raised in
+    the caller with its original backtrace once every in-flight chunk
+    of the call has settled. Remaining chunks of a failed call are
+    skipped, not run.
+
+    The runtime invariant layer ({!Invariant}) is domain-safe: its
+    switch is an atomic read, so worker tasks may call
+    [Invariant.check] freely. *)
+
+type t
+
+val create : jobs:int -> t
+(** [create ~jobs] spawns [jobs - 1] worker domains. [jobs] must be in
+    [\[1, 128\]]; raises [Invalid_argument] otherwise. *)
+
+val jobs : t -> int
+(** Parallel width of the pool, as given to {!create}. *)
+
+val recommended_jobs : unit -> int
+(** The runtime's recommended domain count for this machine
+    ([Domain.recommended_domain_count]), at least 1. *)
+
+val map : ?chunk:int -> t -> ('a -> 'b) -> 'a array -> 'b array
+(** [map pool f items] is [Array.map f items], computed by the pool in
+    chunks of [chunk] consecutive items (default: items split about
+    four ways per worker, at least 1). Result order matches input
+    order regardless of scheduling. Raises [Invalid_argument] if
+    [chunk <= 0]. *)
+
+val map_reduce :
+  ?chunk:int ->
+  t ->
+  map:('a -> 'b) ->
+  fold:('acc -> 'b -> 'acc) ->
+  init:'acc ->
+  'a array ->
+  'acc
+(** [map_reduce pool ~map ~fold ~init items] maps in parallel, then
+    folds the results serially in input order: for pure functions it
+    equals [Array.fold_left fold init (Array.map map items)] exactly,
+    for every [jobs] and [chunk]. *)
+
+val close : t -> unit
+(** Shut the workers down and join them. Idempotent. Calling {!map} or
+    {!map_reduce} on a closed pool raises [Invalid_argument]. *)
+
+val with_pool : jobs:int -> (t -> 'a) -> 'a
+(** [with_pool ~jobs f] runs [f] with a fresh pool, closing it on the
+    way out (also on exception). *)

@@ -42,8 +42,8 @@ let bits64 t =
   t.s3 <- rotl t.s3 45;
   result
 
-let split t =
-  let state = ref (bits64 t) in
+let of_key key =
+  let state = ref key in
   let s0 = splitmix64 state in
   let s1 = splitmix64 state in
   let s2 = splitmix64 state in
@@ -51,6 +51,34 @@ let split t =
   if Int64.logor (Int64.logor s0 s1) (Int64.logor s2 s3) = 0L then
     { s0 = 1L; s1; s2; s3 }
   else { s0; s1; s2; s3 }
+
+let split t = of_key (bits64 t)
+
+(* Stateless SplitMix64 finalizer: a bijection on 64-bit words with
+   strong avalanche, used to key substreams. *)
+let mix64 z =
+  let open Int64 in
+  let z = mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL in
+  logxor z (shift_right_logical z 31)
+
+let substream t index =
+  (* Absorb the full 256-bit state and the index through mix64 chains.
+     Reading the state (not drawing from it) keeps [t] unadvanced, so a
+     substream depends only on (state, index) — never on how many
+     sibling substreams were derived or drawn from in between. *)
+  let gamma = 0x9E3779B97F4A7C15L in
+  let key = mix64 (Int64.add t.s0 (Int64.mul gamma (Int64.of_int index))) in
+  let key = mix64 (Int64.logxor key t.s1) in
+  let key = mix64 (Int64.logxor key t.s2) in
+  let key = mix64 (Int64.logxor key t.s3) in
+  of_key key
+
+let split_n t n =
+  if n < 0 then Errors.invalid_arg "Prng.split_n: n must be non-negative";
+  let base = copy t in
+  ignore (bits64 t);
+  Array.init n (substream base)
 
 let int t bound =
   if bound <= 0 then Errors.invalid_arg "Prng.int: bound must be positive";

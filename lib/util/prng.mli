@@ -22,6 +22,22 @@ val split : t -> t
 (** [split t] advances [t] and returns a new generator whose stream is
     statistically independent of the remainder of [t]'s stream. *)
 
+val substream : t -> int -> t
+(** [substream t i] derives an independent child generator keyed by
+    [i], {e without} advancing [t]: it is a pure function of [t]'s
+    current state and [i] (SplitMix-style mixing of the full 256-bit
+    state with the index). Distinct indices give pairwise independent
+    streams, and the result never depends on how many sibling
+    substreams were derived or drawn from in between — the property
+    that makes parallel per-trial randomness bit-identical to the
+    serial schedule. *)
+
+val split_n : t -> int -> t array
+(** [split_n t n] advances [t] exactly once (regardless of [n]) and
+    returns [n] substreams keyed [0 .. n-1] off the pre-advance state:
+    [split_n t n = Array.init n (substream t')] for the state [t'] had
+    before the call. Raises [Invalid_argument] if [n < 0]. *)
+
 val bits64 : t -> int64
 (** Next raw 64-bit output. *)
 

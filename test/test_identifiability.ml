@@ -131,6 +131,47 @@ let monitored_random seed n extra kappa =
   in
   Net.create g ~monitors
 
+let test_differential_serial_vs_parallel () =
+  (* Differential suite: on ~50 random small graphs, the Theorem 3.3
+     topological test must agree with the exact-rank ground truth, and
+     running either test on a Domain pool must give verdicts identical
+     to the serial sweep (the test functions are pure, so parallelism
+     must be unobservable). *)
+  let rng = Nettomo_util.Prng.create 31415 in
+  let nets =
+    Array.init 50 (fun _ ->
+        let n = 4 + Nettomo_util.Prng.int rng 6 in
+        let g = Fixtures.random_connected rng n (Nettomo_util.Prng.int rng 10) in
+        let kappa = 2 + Nettomo_util.Prng.int rng (min 3 (n - 1)) in
+        let monitors =
+          Array.to_list
+            (Nettomo_util.Prng.sample rng kappa (Graph.node_array g))
+        in
+        Net.create g ~monitors)
+  in
+  let serial_theory = Array.map Identifiability.network_identifiable nets in
+  let serial_truth =
+    Array.map
+      (fun net -> Identifiability.network_identifiable_bruteforce net)
+      nets
+  in
+  check (Alcotest.array cb) "Theorem 3.3 test = exact rank (serial)"
+    serial_truth serial_theory;
+  Nettomo_util.Pool.with_pool ~jobs:3 (fun pool ->
+      let par_theory =
+        Nettomo_util.Pool.map ~chunk:4 pool Identifiability.network_identifiable
+          nets
+      in
+      let par_truth =
+        Nettomo_util.Pool.map ~chunk:4 pool
+          (fun net -> Identifiability.network_identifiable_bruteforce net)
+          nets
+      in
+      check (Alcotest.array cb) "parallel topological test = serial"
+        serial_theory par_theory;
+      check (Alcotest.array cb) "parallel exact rank = serial" serial_truth
+        par_truth)
+
 let prop_theorem_3_3_matches_bruteforce =
   QCheck2.Test.make
     ~name:"Theorem 3.3 (κ≥3) matches exact-rank ground truth" ~count:120
@@ -201,6 +242,8 @@ let suite =
       test_no_interior_links_vacuous;
     Alcotest.test_case "direct monitor link allowed" `Quick test_direct_link_allowed;
     Alcotest.test_case "invalid inputs rejected" `Quick test_invalid_inputs;
+    Alcotest.test_case "differential: serial = parallel on 50 random graphs"
+      `Quick test_differential_serial_vs_parallel;
     QCheck_alcotest.to_alcotest prop_theorem_3_3_matches_bruteforce;
     QCheck_alcotest.to_alcotest prop_theorem_3_2_matches_bruteforce;
     QCheck_alcotest.to_alcotest prop_corollary_4_1_random;

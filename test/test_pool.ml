@@ -1,0 +1,182 @@
+(* Property tests for the Domain worker pool.
+
+   The contract under test: map/map_reduce equal their serial
+   equivalents for every jobs/chunk combination (positional results +
+   in-order fold), worker exceptions propagate to the caller, a
+   one-job pool degenerates to serial caller-side execution, and the
+   NETTOMO_CHECK invariant layer stays usable inside worker tasks. *)
+
+open Nettomo_util
+
+let check = Alcotest.check
+let ci = Alcotest.int
+let cia = Alcotest.array Alcotest.int
+
+let jobs_grid = [ 1; 2; 3; 4 ]
+let chunk_grid = [ None; Some 1; Some 2; Some 3; Some 7; Some 1000 ]
+
+let test_map_equals_serial () =
+  let rng = Prng.create 101 in
+  List.iter
+    (fun jobs ->
+      Pool.with_pool ~jobs (fun pool ->
+          List.iter
+            (fun chunk ->
+              for _ = 1 to 5 do
+                let n = Prng.int rng 60 in
+                let items = Array.init n (fun _ -> Prng.int_in rng (-50) 50) in
+                let expected = Array.map (fun x -> (x * x) - (3 * x)) items in
+                let got =
+                  Pool.map ?chunk pool (fun x -> (x * x) - (3 * x)) items
+                in
+                check cia
+                  (Printf.sprintf "jobs=%d chunk=%s n=%d" jobs
+                     (match chunk with
+                     | None -> "auto"
+                     | Some c -> string_of_int c)
+                     n)
+                  expected got
+              done)
+            chunk_grid))
+    jobs_grid
+
+let test_map_reduce_equals_serial_fold () =
+  let rng = Prng.create 202 in
+  List.iter
+    (fun jobs ->
+      Pool.with_pool ~jobs (fun pool ->
+          List.iter
+            (fun chunk ->
+              let n = 1 + Prng.int rng 80 in
+              let items = Array.init n (fun _ -> Prng.int_in rng (-9) 9) in
+              (* A non-commutative fold: order mistakes can't cancel. *)
+              let fold acc x = (31 * acc) + x in
+              let expected = Array.fold_left fold 17 (Array.map succ items) in
+              let got =
+                Pool.map_reduce ?chunk pool ~map:succ ~fold ~init:17 items
+              in
+              check ci "non-commutative fold matches serial" expected got)
+            chunk_grid))
+    jobs_grid
+
+let test_empty_input () =
+  Pool.with_pool ~jobs:3 (fun pool ->
+      check cia "map []" [||] (Pool.map pool (fun x -> x * 2) [||]);
+      check ci "map_reduce [] = init" 42
+        (Pool.map_reduce pool ~map:Fun.id ~fold:( + ) ~init:42 [||]))
+
+exception Boom of int
+
+let test_exception_propagates () =
+  List.iter
+    (fun jobs ->
+      Pool.with_pool ~jobs (fun pool ->
+          List.iter
+            (fun chunk ->
+              let raised =
+                try
+                  ignore
+                    (Pool.map ?chunk pool
+                       (fun i -> if i = 13 then raise (Boom i) else i)
+                       (Array.init 40 Fun.id));
+                  None
+                with Boom i -> Some i
+              in
+              check (Alcotest.option ci) "Boom reaches the caller" (Some 13)
+                raised)
+            chunk_grid))
+    jobs_grid
+
+let test_pool_still_usable_after_failure () =
+  Pool.with_pool ~jobs:3 (fun pool ->
+      (try ignore (Pool.map pool (fun _ -> raise (Boom 0)) [| 1; 2; 3 |])
+       with Boom _ -> ());
+      check cia "next call is clean" [| 2; 4; 6 |]
+        (Pool.map pool (fun x -> 2 * x) [| 1; 2; 3 |]))
+
+let test_single_job_degenerates_to_serial () =
+  (* With jobs = 1 there are no worker domains: every item runs in the
+     caller's domain, in input order. *)
+  Pool.with_pool ~jobs:1 (fun pool ->
+      let self = Domain.self () in
+      let order = ref [] in
+      let got =
+        Pool.map ~chunk:2 pool
+          (fun i ->
+            check Alcotest.bool "runs in the caller's domain" true
+              (Domain.self () = self);
+            order := i :: !order;
+            i)
+          (Array.init 17 Fun.id)
+      in
+      check cia "results" (Array.init 17 Fun.id) got;
+      check (Alcotest.list ci) "executed in input order"
+        (List.init 17 Fun.id) (List.rev !order))
+
+let test_invalid_arguments () =
+  Alcotest.check_raises "jobs = 0"
+    (Invalid_argument "Pool.create: jobs must be in [1, 128], got 0") (fun () ->
+      ignore (Pool.create ~jobs:0));
+  Pool.with_pool ~jobs:2 (fun pool ->
+      Alcotest.check_raises "chunk = 0"
+        (Invalid_argument "Pool.map: chunk must be positive") (fun () ->
+          ignore (Pool.map ~chunk:0 pool Fun.id [| 1 |])))
+
+let test_closed_pool_rejected () =
+  let pool = Pool.create ~jobs:2 in
+  Pool.close pool;
+  Pool.close pool;
+  (* idempotent *)
+  Alcotest.check_raises "map on closed pool"
+    (Invalid_argument "Pool.map: pool is closed") (fun () ->
+      ignore (Pool.map pool Fun.id [| 1 |]))
+
+let test_invariant_layer_inside_workers () =
+  (* The NETTOMO_CHECK switch is shared across domains: verifiers run
+     inside worker tasks, and a Violation raised there propagates. *)
+  Invariant.with_enabled true (fun () ->
+      Pool.with_pool ~jobs:4 (fun pool ->
+          let ran = Atomic.make 0 in
+          ignore
+            (Pool.map ~chunk:1 pool
+               (fun i ->
+                 Invariant.check (fun () -> Atomic.incr ran);
+                 i)
+               (Array.init 32 Fun.id));
+          check ci "verifiers ran in workers" 32 (Atomic.get ran);
+          Alcotest.check_raises "Violation propagates"
+            (Invariant.Violation "from a worker") (fun () ->
+              ignore
+                (Pool.map ~chunk:1 pool
+                   (fun i ->
+                     if i = 7 then
+                       Invariant.check (fun () ->
+                           Invariant.violation "from a worker");
+                     i)
+                   (Array.init 16 Fun.id)))))
+
+let test_recommended_jobs_positive () =
+  check Alcotest.bool "at least one" true (Pool.recommended_jobs () >= 1)
+
+let suite =
+  [
+    Alcotest.test_case "map = serial map (all jobs x chunks)" `Quick
+      test_map_equals_serial;
+    Alcotest.test_case "map_reduce = serial fold (non-commutative)" `Quick
+      test_map_reduce_equals_serial_fold;
+    Alcotest.test_case "empty input" `Quick test_empty_input;
+    Alcotest.test_case "worker exception propagates" `Quick
+      test_exception_propagates;
+    Alcotest.test_case "pool usable after a failed call" `Quick
+      test_pool_still_usable_after_failure;
+    Alcotest.test_case "one job degenerates to serial" `Quick
+      test_single_job_degenerates_to_serial;
+    Alcotest.test_case "invalid arguments rejected" `Quick
+      test_invalid_arguments;
+    Alcotest.test_case "closed pool rejected, close idempotent" `Quick
+      test_closed_pool_rejected;
+    Alcotest.test_case "invariant layer usable in workers" `Quick
+      test_invariant_layer_inside_workers;
+    Alcotest.test_case "recommended_jobs >= 1" `Quick
+      test_recommended_jobs_positive;
+  ]

@@ -1,0 +1,181 @@
+(* Determinism of the seed-splitting scheme (Prng.substream / split_n).
+
+   The parallel Monte-Carlo layer relies on three properties:
+   substreams are (observably) non-overlapping, a substream depends
+   only on (parent state, index) — never on sibling derivation or draw
+   interleaving — and the whole scheme is stable across runs (golden
+   values below were fixed when the scheme landed; a change to them is
+   a reproducibility break, not a refactor). *)
+
+open Nettomo_util
+
+let check = Alcotest.check
+let ci = Alcotest.int
+let ci64 = Alcotest.int64
+
+(* --- golden values: seed 42 ----------------------------------------- *)
+
+let golden_substreams =
+  [
+    (0, [ -7989295658697727162L; -7585838417010048480L; -7665893670853533068L ]);
+    (1, [ 7322929102336145910L; 7160841776538327217L; 3294497498895945388L ]);
+    (2, [ 7738609326698752654L; 7488420632833056001L; -6983563112603919665L ]);
+  ]
+
+let test_golden_seed42 () =
+  let t = Prng.create 42 in
+  List.iter
+    (fun (index, expected) ->
+      let s = Prng.substream t index in
+      List.iteri
+        (fun k want ->
+          check ci64
+            (Printf.sprintf "substream %d draw %d" index k)
+            want (Prng.bits64 s))
+        expected)
+    golden_substreams;
+  (* split_n children are the substreams of the pre-advance state. *)
+  let kids = Prng.split_n t 2 in
+  check ci64 "split_n kid 0" (-7989295658697727162L) (Prng.bits64 kids.(0));
+  check ci64 "split_n kid 1" 7322929102336145910L (Prng.bits64 kids.(1));
+  check ci64 "parent after split_n" 6990951692964543102L (Prng.bits64 t)
+
+(* --- non-overlap ----------------------------------------------------- *)
+
+let test_pairwise_non_overlapping () =
+  (* 16 substreams x 256 draws plus 256 parent draws: with 64-bit
+     outputs, any repeat would be an astronomical coincidence — i.e. a
+     keying bug. *)
+  let t = Prng.create 271828 in
+  let streams = Array.init 16 (Prng.substream t) in
+  let seen = Hashtbl.create 8192 in
+  let total = ref 0 in
+  let observe src v =
+    if Hashtbl.mem seen v then
+      Alcotest.failf "draw %Ld repeats (second source: %s)" v src;
+    Hashtbl.add seen v ();
+    incr total
+  in
+  Array.iteri
+    (fun i s ->
+      for _ = 1 to 256 do
+        observe (Printf.sprintf "substream %d" i) (Prng.bits64 s)
+      done)
+    streams;
+  for _ = 1 to 256 do
+    observe "parent" (Prng.bits64 t)
+  done;
+  check ci "all draws distinct" ((16 * 256) + 256) !total
+
+(* --- independence of derivation and draw interleaving ---------------- *)
+
+let test_substream_does_not_advance_parent () =
+  let a = Prng.create 5 and b = Prng.create 5 in
+  for i = 0 to 9 do
+    ignore (Prng.substream a i)
+  done;
+  for _ = 1 to 32 do
+    check ci64 "parent unadvanced" (Prng.bits64 b) (Prng.bits64 a)
+  done
+
+let test_interleaving_independence () =
+  (* Draw from siblings round-robin vs one-at-a-time: each substream's
+     sequence must be identical. *)
+  let n = 4 and draws = 64 in
+  let sequential =
+    let t = Prng.create 99 in
+    Array.init n (fun i ->
+        let s = Prng.substream t i in
+        Array.init draws (fun _ -> Prng.bits64 s))
+  in
+  let interleaved =
+    let t = Prng.create 99 in
+    let streams = Array.init n (Prng.substream t) in
+    let out = Array.make_matrix n draws 0L in
+    for d = 0 to draws - 1 do
+      (* reverse order, to vary the schedule as much as possible *)
+      for i = n - 1 downto 0 do
+        out.(i).(d) <- Prng.bits64 streams.(i)
+      done
+    done;
+    out
+  in
+  for i = 0 to n - 1 do
+    check
+      (Alcotest.array ci64)
+      (Printf.sprintf "substream %d schedule-independent" i)
+      sequential.(i) interleaved.(i)
+  done
+
+let test_late_derivation_equals_early () =
+  (* Deriving substream k after heavy use of siblings gives the same
+     stream as deriving it first. *)
+  let t1 = Prng.create 1234 and t2 = Prng.create 1234 in
+  let early = Prng.substream t1 7 in
+  let s0 = Prng.substream t2 0 in
+  for _ = 1 to 100 do
+    ignore (Prng.bits64 s0)
+  done;
+  let late = Prng.substream t2 7 in
+  for _ = 1 to 64 do
+    check ci64 "same stream" (Prng.bits64 early) (Prng.bits64 late)
+  done
+
+(* --- split_n --------------------------------------------------------- *)
+
+let test_split_n_advances_once () =
+  let a = Prng.create 7 and b = Prng.create 7 in
+  ignore (Prng.split_n a 50);
+  ignore (Prng.split_n b 1);
+  (* Different n, same single advancement: parents stay in lockstep. *)
+  for _ = 1 to 32 do
+    check ci64 "parents in lockstep" (Prng.bits64 b) (Prng.bits64 a)
+  done
+
+let test_split_n_matches_substream () =
+  let a = Prng.create 8 in
+  let pre = Prng.copy a in
+  let kids = Prng.split_n a 5 in
+  Array.iteri
+    (fun i kid ->
+      let reference = Prng.substream pre i in
+      for _ = 1 to 16 do
+        check ci64
+          (Printf.sprintf "kid %d = substream of pre-state" i)
+          (Prng.bits64 reference) (Prng.bits64 kid)
+      done)
+    kids
+
+let test_split_n_negative () =
+  Alcotest.check_raises "negative n"
+    (Invalid_argument "Prng.split_n: n must be non-negative") (fun () ->
+      ignore (Prng.split_n (Prng.create 1) (-1)))
+
+let test_distinct_indices_differ () =
+  let t = Prng.create 3 in
+  let a = Prng.substream t 0 and b = Prng.substream t 1 in
+  let same = ref 0 in
+  for _ = 1 to 64 do
+    if Int64.equal (Prng.bits64 a) (Prng.bits64 b) then incr same
+  done;
+  check ci "adjacent indices decorrelated" 0 !same
+
+let suite =
+  [
+    Alcotest.test_case "golden values (seed 42)" `Quick test_golden_seed42;
+    Alcotest.test_case "substreams pairwise non-overlapping" `Quick
+      test_pairwise_non_overlapping;
+    Alcotest.test_case "substream does not advance parent" `Quick
+      test_substream_does_not_advance_parent;
+    Alcotest.test_case "independent of draw interleaving" `Quick
+      test_interleaving_independence;
+    Alcotest.test_case "late derivation equals early" `Quick
+      test_late_derivation_equals_early;
+    Alcotest.test_case "split_n advances parent exactly once" `Quick
+      test_split_n_advances_once;
+    Alcotest.test_case "split_n = substreams of pre-state" `Quick
+      test_split_n_matches_substream;
+    Alcotest.test_case "split_n rejects negative n" `Quick test_split_n_negative;
+    Alcotest.test_case "adjacent indices decorrelated" `Quick
+      test_distinct_indices_differ;
+  ]

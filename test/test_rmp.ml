@@ -53,6 +53,62 @@ let test_success_fraction_matches_exhaustive () =
   check (Alcotest.float 0.0) "k4 kappa=3" 1.0
     (Rmp.success_fraction rng Fixtures.k4 ~kappa:3 ~runs:40)
 
+let test_single_node_graph_rejected () =
+  (* Regression: asking for kappa = |V| on a single-node graph must be
+     an immediate Invalid_argument — a graph without two distinct
+     endpoints can't host any placement, so there is nothing to
+     sample or retry. *)
+  let g = Graph.add_node Graph.empty 0 in
+  let rng = Prng.create 1 in
+  let expected =
+    Invalid_argument "Rmp.place: graph must have at least 2 nodes"
+  in
+  Alcotest.check_raises "kappa = node count" expected (fun () ->
+      ignore (Rmp.place rng g ~kappa:1));
+  Alcotest.check_raises "kappa = 0 is no better" expected (fun () ->
+      ignore (Rmp.place rng g ~kappa:0));
+  Alcotest.check_raises "trial inherits the guard" expected (fun () ->
+      ignore (Rmp.trial rng g ~kappa:1))
+
+let test_par_identical_across_jobs () =
+  (* The whole point of the substream scheme: every job count (and the
+     no-pool serial path) computes the same fraction from the same
+     generator state, and advances the caller's generator identically. *)
+  let g = Fixtures.two_k4_by_pair in
+  let fractions_and_next jobs =
+    let rng = Prng.create 77 in
+    let f =
+      match jobs with
+      | None -> Rmp.success_fraction_par rng g ~kappa:3 ~runs:64
+      | Some jobs ->
+          Nettomo_util.Pool.with_pool ~jobs (fun pool ->
+              Rmp.success_fraction_par ~pool rng g ~kappa:3 ~runs:64)
+    in
+    (f, Prng.bits64 rng)
+  in
+  let reference = fractions_and_next None in
+  List.iter
+    (fun jobs ->
+      let f, next = fractions_and_next (Some jobs) in
+      check (Alcotest.float 0.0)
+        (Printf.sprintf "fraction identical at jobs=%d" jobs)
+        (fst reference) f;
+      check Alcotest.int64
+        (Printf.sprintf "parent stream identical at jobs=%d" jobs)
+        (snd reference) next)
+    [ 1; 2; 4 ]
+
+let test_par_bounds_and_exhaustive () =
+  Nettomo_util.Pool.with_pool ~jobs:3 (fun pool ->
+      let rng = Prng.create 14 in
+      check (Alcotest.float 0.0) "K4 kappa=3 always identifiable" 1.0
+        (Rmp.success_fraction_par ~pool rng Fixtures.k4 ~kappa:3 ~runs:40);
+      let f =
+        Rmp.success_fraction_par ~pool rng Fixtures.two_k4_by_pair ~kappa:3
+          ~runs:50
+      in
+      check Alcotest.bool "within [0,1]" true (f >= 0.0 && f <= 1.0))
+
 let prop_trial_matches_direct_test =
   QCheck2.Test.make ~name:"trial = placement + identifiability test" ~count:100
     QCheck2.Gen.(triple (int_bound 1_000_000) (int_range 4 15) (int_range 0 15))
@@ -77,5 +133,11 @@ let suite =
     Alcotest.test_case "success fraction bounds" `Quick test_success_fraction_bounds;
     Alcotest.test_case "success fraction on K4" `Quick
       test_success_fraction_matches_exhaustive;
+    Alcotest.test_case "single-node graph rejected (regression)" `Quick
+      test_single_node_graph_rejected;
+    Alcotest.test_case "parallel fraction identical across jobs" `Quick
+      test_par_identical_across_jobs;
+    Alcotest.test_case "parallel fraction bounds / K4" `Quick
+      test_par_bounds_and_exhaustive;
     QCheck_alcotest.to_alcotest prop_trial_matches_direct_test;
   ]
