@@ -11,6 +11,7 @@
      routing    fixed shortest-path-routing baseline vs MMP
      robust     single-failure robustness of a placement
      experiment RMP Monte-Carlo sweep (parallel via --jobs, JSON via --json)
+     serve      dynamic session over a JSON-lines protocol on stdin/stdout
      dot        Graphviz export
 
    Topologies are read and written in the edge-list format of
@@ -493,6 +494,42 @@ let experiment_cmd =
        $ json_arg))
 
 (* ------------------------------------------------------------------ *)
+(* serve                                                               *)
+
+let serve_cmd =
+  let jobs_arg =
+    let doc = "Worker domains for fanning out \"batch\" requests." in
+    Arg.(value & opt int 1 & info [ "j"; "jobs" ] ~docv:"JOBS" ~doc)
+  in
+  let no_wall_time_arg =
+    let doc =
+      "Omit the wall_ms response field, for byte-stable output (golden \
+       tests)."
+    in
+    Arg.(value & flag & info [ "no-wall-time" ] ~doc)
+  in
+  let run jobs seed no_wall_time =
+    match
+      Pool.with_pool ~jobs (fun pool ->
+          let server =
+            Nettomo_engine.Protocol.create ~pool ~seed
+              ~emit_wall_ms:(not no_wall_time) ()
+          in
+          Nettomo_engine.Protocol.serve server stdin stdout)
+    with
+    | () -> `Ok ()
+    | exception Invalid_argument m -> `Error (false, m)
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Dynamic tomography session over a JSON-lines request/response \
+          protocol on stdin/stdout: load a topology, stream deltas, and \
+          query identifiability / classification / MMP / solver plans \
+          incrementally.")
+    Term.(ret (const run $ jobs_arg $ seed_arg $ no_wall_time_arg))
+
+(* ------------------------------------------------------------------ *)
 (* dot                                                                 *)
 
 let dot_cmd =
@@ -520,5 +557,6 @@ let () =
        (Cmd.group info
           [
             gen_cmd; stats_cmd; decompose_cmd; check_cmd; place_cmd; solve_cmd;
-            partial_cmd; routing_cmd; robust_cmd; experiment_cmd; dot_cmd;
+            partial_cmd; routing_cmd; robust_cmd; experiment_cmd; serve_cmd;
+            dot_cmd;
           ]))

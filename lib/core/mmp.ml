@@ -21,7 +21,7 @@ let pick ?rng k pool =
     | None -> List.filteri (fun i _ -> i < k) elems
     | Some rng -> Array.to_list (Prng.sample rng k (Array.of_list elems))
 
-let place_report ?rng g =
+let place_report_decomposed ?rng g (decomposition : Triconnected.t) =
   if Graph.is_empty g then Errors.invalid_arg "Mmp.place: empty graph";
   if not (Traversal.is_connected g) then Errors.invalid_arg "Mmp.place: disconnected graph";
   (* Rules (i)-(ii): dangling and tandem nodes have degree < 3 and can
@@ -33,7 +33,6 @@ let place_report ?rng g =
   let monitors = ref by_degree in
   let by_triconnected = ref NS.empty in
   let by_biconnected = ref NS.empty in
-  let decomposition = Triconnected.decompose g in
   let sep_vertices = decomposition.Triconnected.separation_vertices in
   let cut_vertices = decomposition.Triconnected.cut_vertices in
   List.iter
@@ -95,6 +94,11 @@ let place_report ?rng g =
     by_biconnected = !by_biconnected;
     top_up = !top_up;
   }
+
+let place_report ?rng g =
+  if Graph.is_empty g then Errors.invalid_arg "Mmp.place: empty graph";
+  if not (Traversal.is_connected g) then Errors.invalid_arg "Mmp.place: disconnected graph";
+  place_report_decomposed ?rng g (Triconnected.decompose g)
 
 let place ?rng g = (place_report ?rng g).monitors
 

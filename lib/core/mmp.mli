@@ -34,5 +34,12 @@ val place : ?rng:Nettomo_util.Prng.t -> Graph.t -> Graph.NodeSet.t
 val place_report : ?rng:Nettomo_util.Prng.t -> Graph.t -> report
 (** The placement together with which rule selected each monitor. *)
 
+val place_report_decomposed :
+  ?rng:Nettomo_util.Prng.t -> Graph.t -> Triconnected.t -> report
+(** {!place_report} against a decomposition the caller already holds —
+    the incremental engine reuses cached per-block decompositions this
+    way. The decomposition must be [Triconnected.decompose g] (or equal
+    to it); answers are unspecified otherwise. *)
+
 val as_net : ?rng:Nettomo_util.Prng.t -> Graph.t -> Net.t
 (** The graph equipped with MMP's placement. *)

@@ -1,0 +1,303 @@
+open Nettomo_graph
+module NS = Graph.NodeSet
+module Jsonx = Nettomo_util.Jsonx
+module Pool = Nettomo_util.Pool
+module Net = Nettomo_core.Net
+module Classify = Nettomo_core.Classify
+module Mmp = Nettomo_core.Mmp
+module Solver = Nettomo_core.Solver
+module Edgelist = Nettomo_topo.Edgelist
+
+type t = {
+  pool : Pool.t option;
+  default_seed : int;
+  emit_wall_ms : bool;
+  mutable session : Session.t option;
+}
+
+let create ?pool ?(seed = 7) ?(emit_wall_ms = true) () =
+  { pool; default_seed = seed; emit_wall_ms; session = None }
+
+let session t = t.session
+
+(* ------------------------------------------------------------------ *)
+(* Request field access                                                *)
+
+let ( let* ) = Result.bind
+
+let field name req =
+  match Jsonx.member name req with
+  | Some v -> Ok v
+  | None -> Error (Printf.sprintf "missing field %S" name)
+
+let int_field name req =
+  let* v = field name req in
+  match Jsonx.to_int_opt v with
+  | Some i -> Ok i
+  | None -> Error (Printf.sprintf "field %S must be an integer" name)
+
+let string_field name req =
+  let* v = field name req in
+  match Jsonx.to_string_opt v with
+  | Some s -> Ok s
+  | None -> Error (Printf.sprintf "field %S must be a string" name)
+
+let int_list_field name req =
+  let* v = field name req in
+  match v with
+  | Jsonx.List items ->
+      List.fold_left
+        (fun acc item ->
+          let* acc = acc in
+          match Jsonx.to_int_opt item with
+          | Some i -> Ok (i :: acc)
+          | None -> Error (Printf.sprintf "field %S must list integers" name))
+        (Ok []) items
+      |> Result.map List.rev
+  | Jsonx.Null | Jsonx.Bool _ | Jsonx.Int _ | Jsonx.Float _ | Jsonx.String _
+  | Jsonx.Obj _ ->
+      Error (Printf.sprintf "field %S must be a list" name)
+
+let opt_int_field name ~default req =
+  match Jsonx.member name req with
+  | None -> Ok default
+  | Some v -> (
+      match Jsonx.to_int_opt v with
+      | Some i -> Ok i
+      | None -> Error (Printf.sprintf "field %S must be an integer" name))
+
+(* ------------------------------------------------------------------ *)
+(* Payloads                                                            *)
+
+let node_list vs = Jsonx.List (List.map (fun v -> Jsonx.Int v) vs)
+let node_set_json s = node_list (NS.elements s)
+
+let shape_payload session =
+  let n = Session.net session in
+  let g = Net.graph n in
+  [
+    ("nodes", Jsonx.Int (Graph.n_nodes g));
+    ("links", Jsonx.Int (Graph.n_edges g));
+    ("kappa", Jsonx.Int (Net.kappa n));
+    ( "fingerprint",
+      Jsonx.String (Fingerprint.to_string (Session.fingerprint session)) );
+  ]
+
+let identifiable_payload v = [ ("identifiable", Jsonx.Bool v) ]
+
+let kind_name = function
+  | Classify.Cross_link _ -> "cross_link"
+  | Classify.Shortcut _ -> "shortcut"
+  | Classify.Unclassified -> "unclassified"
+
+let classify_payload map =
+  let links =
+    Graph.EdgeMap.bindings map
+    |> List.map (fun ((u, v), kind) ->
+           Jsonx.Obj
+             [
+               ("link", node_list [ u; v ]);
+               ("kind", Jsonx.String (kind_name kind));
+             ])
+  in
+  [ ("links", Jsonx.List links) ]
+
+let mmp_payload (r : Mmp.report) =
+  [
+    ("monitors", node_set_json r.Mmp.monitors);
+    ("by_degree", node_set_json r.Mmp.by_degree);
+    ("by_triconnected", node_set_json r.Mmp.by_triconnected);
+    ("by_biconnected", node_set_json r.Mmp.by_biconnected);
+    ("top_up", node_set_json r.Mmp.top_up);
+  ]
+
+let plan_payload net (p : Solver.plan) =
+  [
+    ("rank", Jsonx.Int p.Solver.rank);
+    ("links", Jsonx.Int (Graph.n_edges (Net.graph net)));
+    ("full_rank", Jsonx.Bool (Solver.full_rank net p));
+    ("paths", Jsonx.List (List.map node_list p.Solver.paths));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Queries                                                             *)
+
+type query = Q_identifiable | Q_classify | Q_mmp | Q_plan
+
+let query_of_string = function
+  | "identifiable" -> Ok Q_identifiable
+  | "classify" -> Ok Q_classify
+  | "mmp" -> Ok Q_mmp
+  | "plan" -> Ok Q_plan
+  | s -> Error (Printf.sprintf "unknown query %S" s)
+
+let eval_session session = function
+  | Q_identifiable ->
+      Result.map identifiable_payload (Session.identifiable session)
+  | Q_classify -> Result.map classify_payload (Session.classify session)
+  | Q_mmp -> Result.map mmp_payload (Session.mmp session)
+  | Q_plan ->
+      Result.map (plan_payload (Session.net session)) (Session.plan session)
+
+(* Batch sub-queries are evaluated as pure from-scratch computations
+   over an immutable snapshot of the network, so they can fan out over
+   the pool (the mutable session is not domain-safe) and are
+   deterministic across [--jobs] by the {!Pool} contract. The answers
+   still equal the session's — that is the engine's differential
+   invariant. *)
+let eval_scratch ~seed net = function
+  | Q_identifiable ->
+      Result.map identifiable_payload (Session.Scratch.identifiable net)
+  | Q_classify -> Result.map classify_payload (Session.Scratch.classify net)
+  | Q_mmp -> Result.map mmp_payload (Session.Scratch.mmp net)
+  | Q_plan -> Result.map (plan_payload net) (Session.Scratch.plan ~seed net)
+
+(* ------------------------------------------------------------------ *)
+(* Dispatch                                                            *)
+
+let require_session t =
+  match t.session with
+  | Some s -> Ok s
+  | None -> Error "no network loaded (send a \"load\" request first)"
+
+let dispatch t req =
+  let* op = string_field "op" req in
+  match op with
+  | "load" ->
+      let* edges = string_field "edges" req in
+      let* monitors = int_list_field "monitors" req in
+      let* seed = opt_int_field "seed" ~default:t.default_seed req in
+      let* g = Edgelist.parse edges in
+      let* n =
+        match Net.create g ~monitors with
+        | n -> Ok n
+        | exception Invalid_argument m -> Error m
+      in
+      let s = Session.create ~seed n in
+      t.session <- Some s;
+      Ok (shape_payload s)
+  | "delta" ->
+      let* s = require_session t in
+      let* action = string_field "action" req in
+      let* d =
+        match action with
+        | "add_node" ->
+            let* v = int_field "node" req in
+            Ok (Session.Add_node v)
+        | "remove_node" ->
+            let* v = int_field "node" req in
+            Ok (Session.Remove_node v)
+        | "add_link" ->
+            let* u = int_field "u" req in
+            let* v = int_field "v" req in
+            Ok (Session.Add_link (u, v))
+        | "remove_link" ->
+            let* u = int_field "u" req in
+            let* v = int_field "v" req in
+            Ok (Session.Remove_link (u, v))
+        | "set_monitors" ->
+            let* ms = int_list_field "monitors" req in
+            Ok (Session.Set_monitors ms)
+        | a -> Error (Printf.sprintf "unknown delta action %S" a)
+      in
+      let* () = Session.apply s d in
+      Ok (shape_payload s)
+  | ("identifiable" | "classify" | "mmp" | "plan") as q ->
+      let* s = require_session t in
+      let* q = query_of_string q in
+      eval_session s q
+  | "batch" ->
+      let* s = require_session t in
+      let* names = field "queries" req in
+      let* qs =
+        match names with
+        | Jsonx.List items ->
+            List.fold_left
+              (fun acc item ->
+                let* acc = acc in
+                match Jsonx.to_string_opt item with
+                | Some name ->
+                    let* q = query_of_string name in
+                    Ok (q :: acc)
+                | None -> Error "field \"queries\" must list query names")
+              (Ok []) items
+            |> Result.map List.rev
+        | Jsonx.Null | Jsonx.Bool _ | Jsonx.Int _ | Jsonx.Float _
+        | Jsonx.String _ | Jsonx.Obj _ ->
+            Error "field \"queries\" must be a list"
+      in
+      let net = Session.net s in
+      let seed = Session.seed s in
+      let run q = eval_scratch ~seed net q in
+      let results =
+        match t.pool with
+        | Some pool -> Pool.map pool run (Array.of_list qs)
+        | None -> Array.map run (Array.of_list qs)
+      in
+      let results =
+        Array.to_list results
+        |> List.map (function
+             | Ok payload -> Jsonx.Obj (("status", Jsonx.String "ok") :: payload)
+             | Error m ->
+                 Jsonx.Obj
+                   [ ("status", Jsonx.String "error"); ("error", Jsonx.String m) ])
+      in
+      Ok [ ("results", Jsonx.List results) ]
+  | "stats" ->
+      let* s = require_session t in
+      let st = Session.stats s in
+      Ok
+        [
+          ("deltas", Jsonx.Int st.Session.deltas);
+          ("queries", Jsonx.Int st.Session.queries);
+          ("memo_hits", Jsonx.Int st.Session.memo_hits);
+          ("degree_shortcuts", Jsonx.Int st.Session.degree_shortcuts);
+          ("verdict_carries", Jsonx.Int st.Session.verdict_carries);
+          ("block_hits", Jsonx.Int st.Session.block_hits);
+          ("block_misses", Jsonx.Int st.Session.block_misses);
+          ("full_computes", Jsonx.Int st.Session.full_computes);
+        ]
+  | op -> Error (Printf.sprintf "unknown op %S" op)
+
+let handle_line t line =
+  let start = Unix.gettimeofday () in
+  let id, outcome =
+    match Jsonx.parse line with
+    | Error m -> (Jsonx.Null, Error ("request is not valid JSON: " ^ m))
+    | Ok req ->
+        let id = Option.value (Jsonx.member "id" req) ~default:Jsonx.Null in
+        (id, dispatch t req)
+  in
+  let base =
+    [
+      ("id", id);
+      ( "status",
+        Jsonx.String (match outcome with Ok _ -> "ok" | Error _ -> "error") );
+    ]
+  in
+  let base =
+    if t.emit_wall_ms then
+      base @ [ ("wall_ms", Jsonx.Float ((Unix.gettimeofday () -. start) *. 1e3)) ]
+    else base
+  in
+  let fields =
+    match outcome with
+    | Ok payload -> base @ payload
+    | Error m -> base @ [ ("error", Jsonx.String m) ]
+  in
+  Jsonx.to_string (Jsonx.Obj fields)
+
+let serve t ic oc =
+  let rec loop () =
+    match input_line ic with
+    | exception End_of_file -> ()
+    | line ->
+        if String.trim line = "" then loop ()
+        else begin
+          output_string oc (handle_line t line);
+          output_char oc '\n';
+          flush oc;
+          loop ()
+        end
+  in
+  loop ()

@@ -1,0 +1,50 @@
+(** The [nettomo serve] JSON-lines request/response protocol.
+
+    One request per line on stdin, one response per line on stdout,
+    flushed per response. Every request carries an ["id"] (echoed back
+    verbatim) and an ["op"]; every response carries the ["id"], a
+    ["status"] of ["ok"] or ["error"], and — unless disabled — the
+    ["wall_ms"] spent handling the request. Malformed JSON yields an
+    error response with a [null] id; the server never crashes on bad
+    input (invariant violations under [NETTOMO_CHECK] do propagate, by
+    design — they signal an engine bug).
+
+    Operations:
+    - [{"id",…,"op":"load","edges":"0 1\n1 2\n…","monitors":[0,1],
+       "seed":7}] — parse an {!Nettomo_topo.Edgelist} document and
+      start a fresh session ([seed] optional). Responds with the
+      network shape and fingerprint.
+    - [{"op":"delta","action":"add_link","u":4,"v":7}] — apply one
+      {!Session.delta}; actions [add_node]/[remove_node] take
+      ["node"], link actions take ["u"]/["v"], [set_monitors] takes
+      ["monitors"]. Invalid deltas return an error and leave the
+      session unchanged.
+    - [{"op":"identifiable"}], [{"op":"classify"}], [{"op":"mmp"}],
+      [{"op":"plan"}] — the session queries.
+    - [{"op":"batch","queries":["identifiable","mmp"]}] — independent
+      queries fanned out over the pool; responds with a ["results"]
+      array in request order, deterministic across [--jobs].
+    - [{"op":"stats"}] — the session's {!Session.stats} counters.
+
+    See the README for a worked transcript. *)
+
+type t
+
+val create :
+  ?pool:Nettomo_util.Pool.t -> ?seed:int -> ?emit_wall_ms:bool -> unit -> t
+(** A server with no session loaded. [pool] serves batch fan-out
+    (serial when absent); [seed] (default 7) is the default session
+    seed; [emit_wall_ms] (default [true]) controls the ["wall_ms"]
+    response field — golden-file tests turn it off for byte-stable
+    output. *)
+
+val session : t -> Session.t option
+(** The live session, once a [load] succeeded. *)
+
+val handle_line : t -> string -> string
+(** Process one request line into one response line (no trailing
+    newline). Never raises on malformed input. *)
+
+val serve : t -> in_channel -> out_channel -> unit
+(** Read requests until EOF, writing and flushing one response per
+    line. Blank lines are skipped. *)

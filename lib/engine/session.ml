@@ -1,0 +1,570 @@
+open Nettomo_graph
+module NS = Graph.NodeSet
+module ES = Graph.EdgeSet
+module Errors = Nettomo_util.Errors
+module Invariant = Nettomo_util.Invariant
+module Prng = Nettomo_util.Prng
+module Net = Nettomo_core.Net
+module Identifiability = Nettomo_core.Identifiability
+module Classify = Nettomo_core.Classify
+module Mmp = Nettomo_core.Mmp
+module Solver = Nettomo_core.Solver
+module Extended = Nettomo_core.Extended
+
+type delta =
+  | Add_node of Graph.node
+  | Remove_node of Graph.node
+  | Add_link of Graph.node * Graph.node
+  | Remove_link of Graph.node * Graph.node
+  | Set_monitors of Graph.node list
+
+let pp_delta ppf = function
+  | Add_node v -> Format.fprintf ppf "add_node %d" v
+  | Remove_node v -> Format.fprintf ppf "remove_node %d" v
+  | Add_link (u, v) -> Format.fprintf ppf "add_link %d-%d" u v
+  | Remove_link (u, v) -> Format.fprintf ppf "remove_link %d-%d" u v
+  | Set_monitors ms ->
+      Format.fprintf ppf "set_monitors [%a]"
+        (Format.pp_print_list ~pp_sep:Format.pp_print_space Format.pp_print_int)
+        ms
+
+type stats = {
+  deltas : int;
+  queries : int;
+  memo_hits : int;
+  degree_shortcuts : int;
+  verdict_carries : int;
+  block_hits : int;
+  block_misses : int;
+  full_computes : int;
+}
+
+type counters = {
+  mutable c_deltas : int;
+  mutable c_queries : int;
+  mutable c_memo_hits : int;
+  mutable c_degree_shortcuts : int;
+  mutable c_verdict_carries : int;
+  mutable c_block_hits : int;
+  mutable c_block_misses : int;
+  mutable c_full_computes : int;
+}
+
+type entry = {
+  mutable e_identifiable : (bool, string) result option;
+  mutable e_classify : (Classify.kind Graph.EdgeMap.t, string) result option;
+  mutable e_plan : (Solver.plan, string) result option;
+}
+
+type t = {
+  mutable net : Net.t;
+  mutable fp : Fingerprint.t;
+  mutable connected : bool option;  (** lazily maintained connectivity *)
+  mutable deg_lt3 : int;  (** non-monitor nodes with degree < 3 *)
+  mutable verdict : bool option;
+      (** identifiability verdict carried across monotone deltas; only
+          meaningful when κ ≥ 3 and the query preconditions hold *)
+  seed : int;
+  tricache : (int64, Triconnected.component list) Hashtbl.t;
+      (** per-block split, keyed by induced-subgraph fingerprint *)
+  paircache : (int64, Graph.edge list) Hashtbl.t;
+      (** per-block cut pairs, same key *)
+  decomp_memo : (int64, Triconnected.t) Hashtbl.t;
+      (** whole decomposition, keyed by the structure fingerprint *)
+  mmp_memo : (int64, (Mmp.report, string) result) Hashtbl.t;
+  memo : (int64 * int64, entry) Hashtbl.t;
+      (** per-state answers, keyed by the full fingerprint *)
+  counters : counters;
+}
+
+let count_deg_lt3 net =
+  let g = Net.graph net in
+  Graph.fold_nodes
+    (fun v acc ->
+      if (not (Net.is_monitor net v)) && Graph.degree g v < 3 then acc + 1
+      else acc)
+    g 0
+
+let create ?(seed = 7) net =
+  {
+    net;
+    fp = Fingerprint.of_net net;
+    connected = None;
+    deg_lt3 = count_deg_lt3 net;
+    verdict = None;
+    seed;
+    tricache = Hashtbl.create 64;
+    paircache = Hashtbl.create 64;
+    decomp_memo = Hashtbl.create 64;
+    mmp_memo = Hashtbl.create 64;
+    memo = Hashtbl.create 64;
+    counters =
+      {
+        c_deltas = 0;
+        c_queries = 0;
+        c_memo_hits = 0;
+        c_degree_shortcuts = 0;
+        c_verdict_carries = 0;
+        c_block_hits = 0;
+        c_block_misses = 0;
+        c_full_computes = 0;
+      };
+  }
+
+let net t = t.net
+let fingerprint t = t.fp
+let seed t = t.seed
+
+let stats t =
+  let c = t.counters in
+  {
+    deltas = c.c_deltas;
+    queries = c.c_queries;
+    memo_hits = c.c_memo_hits;
+    degree_shortcuts = c.c_degree_shortcuts;
+    verdict_carries = c.c_verdict_carries;
+    block_hits = c.c_block_hits;
+    block_misses = c.c_block_misses;
+    full_computes = c.c_full_computes;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* From-scratch references and equality                                *)
+
+let run_catch f =
+  match f () with
+  | v -> Ok v
+  | exception Invalid_argument m -> Error m
+  | exception Errors.Error m -> Error m
+  | exception Paths.Limit_exceeded -> Error "path enumeration limit exceeded"
+
+module Scratch = struct
+  let identifiable n = run_catch (fun () -> Identifiability.network_identifiable n)
+  let classify n = run_catch (fun () -> Classify.classify n)
+  let mmp n = run_catch (fun () -> Mmp.place_report (Net.graph n))
+
+  let plan ~seed n =
+    run_catch (fun () -> Solver.independent_paths ~rng:(Prng.create seed) n)
+end
+
+let equal_report (a : Mmp.report) (b : Mmp.report) =
+  NS.equal a.monitors b.monitors
+  && NS.equal a.by_degree b.by_degree
+  && NS.equal a.by_triconnected b.by_triconnected
+  && NS.equal a.by_biconnected b.by_biconnected
+  && NS.equal a.top_up b.top_up
+
+let equal_path = List.equal Int.equal
+
+let equal_kind a b =
+  match (a, b) with
+  | ( Classify.Cross_link { pa; pb; pc; pd },
+      Classify.Cross_link { pa = pa'; pb = pb'; pc = pc'; pd = pd' } ) ->
+      equal_path pa pa' && equal_path pb pb' && equal_path pc pc'
+      && equal_path pd pd'
+  | ( Classify.Shortcut { pa; pb; via },
+      Classify.Shortcut { pa = pa'; pb = pb'; via = via' } ) ->
+      equal_path pa pa' && equal_path pb pb' && equal_path via via'
+  | Classify.Unclassified, Classify.Unclassified -> true
+  | (Classify.Cross_link _ | Classify.Shortcut _ | Classify.Unclassified), _ ->
+      false
+
+let equal_classification = Graph.EdgeMap.equal equal_kind
+
+let equal_plan (a : Solver.plan) (b : Solver.plan) =
+  a.Solver.rank = b.Solver.rank
+  && List.equal equal_path a.Solver.paths b.Solver.paths
+
+let equal_bicomp (a : Biconnected.component) (b : Biconnected.component) =
+  NS.equal a.Biconnected.nodes b.Biconnected.nodes
+  && ES.equal a.Biconnected.edges b.Biconnected.edges
+
+let equal_tricomp (a : Triconnected.component) (b : Triconnected.component) =
+  NS.equal a.Triconnected.nodes b.Triconnected.nodes
+  && ES.equal a.Triconnected.edges b.Triconnected.edges
+  && ES.equal a.Triconnected.virtuals b.Triconnected.virtuals
+
+let equal_decomposition (a : Triconnected.t) (b : Triconnected.t) =
+  List.equal
+    (fun (ba, ca) (bb, cb) -> equal_bicomp ba bb && List.equal equal_tricomp ca cb)
+    a.Triconnected.blocks b.Triconnected.blocks
+  && NS.equal a.Triconnected.cut_vertices b.Triconnected.cut_vertices
+  && List.equal Graph.edge_equal a.Triconnected.separation_pairs
+       b.Triconnected.separation_pairs
+  && NS.equal a.Triconnected.separation_vertices b.Triconnected.separation_vertices
+
+let equal_result eq a b =
+  match (a, b) with
+  | Ok x, Ok y -> eq x y
+  | Error x, Error y -> String.equal x y
+  | Ok _, Error _ | Error _, Ok _ -> false
+
+(* NETTOMO_CHECK-gated differential invariant: every answer the session
+   returns — cached, carried or shortcut — must equal the from-scratch
+   computation on the current network. *)
+let differential t name eq got scratch =
+  Invariant.check (fun () ->
+      if not (equal_result eq got (scratch ())) then
+        Invariant.violationf
+          "Session.%s: incremental answer diverges from the from-scratch \
+           computation (state %s)"
+          name
+          (Fingerprint.to_string t.fp))
+
+(* ------------------------------------------------------------------ *)
+(* Deltas                                                              *)
+
+let rebuild t g monitors =
+  t.net <- Net.create ~labels:(Net.labels t.net) g ~monitors:(NS.elements monitors)
+
+let check_state t =
+  Invariant.check (fun () ->
+      if not (Fingerprint.equal t.fp (Fingerprint.of_net t.net)) then
+        Invariant.violationf
+          "Session.apply: incremental fingerprint diverges from of_net";
+      if t.deg_lt3 <> count_deg_lt3 t.net then
+        Invariant.violationf
+          "Session.apply: deg_lt3 counter diverges (have %d, want %d)"
+          t.deg_lt3 (count_deg_lt3 t.net);
+      match t.connected with
+      | None -> ()
+      | Some c ->
+          if c <> Traversal.is_connected (Net.graph t.net) then
+            Invariant.violationf
+              "Session.apply: connectivity cache diverges (cached %b)" c)
+
+let apply t delta =
+  let g = Net.graph t.net in
+  let mon = Net.monitors t.net in
+  (* Contribution of one node to [deg_lt3] in a given graph, with the
+     current monitor set. *)
+  let contrib gr w =
+    if (not (NS.mem w mon)) && Graph.degree gr w < 3 then 1 else 0
+  in
+  let result =
+    match delta with
+    | Add_node v ->
+        if Graph.mem_node g v then
+          Error (Printf.sprintf "add_node: node %d already present" v)
+        else begin
+          let g' = Graph.add_node g v in
+          rebuild t g' mon;
+          t.fp <- Fingerprint.with_node t.fp v;
+          (* The new node is isolated: connected iff it is alone. *)
+          t.connected <- Some (Graph.n_nodes g' <= 1);
+          t.deg_lt3 <- t.deg_lt3 + 1;
+          t.verdict <- None;
+          Ok ()
+        end
+    | Remove_node v ->
+        if not (Graph.mem_node g v) then
+          Error (Printf.sprintf "remove_node: node %d not present" v)
+        else begin
+          let incident = Graph.incident_edges g v in
+          let d = List.length incident in
+          let g' = Graph.remove_node g v in
+          let mon' = NS.remove v mon in
+          rebuild t g' mon';
+          let fp =
+            List.fold_left
+              (fun fp (a, b) -> Fingerprint.with_edge fp a b)
+              (Fingerprint.with_node t.fp v)
+              incident
+          in
+          t.fp <- (if NS.mem v mon then Fingerprint.with_monitor fp v else fp);
+          (* Dropping a pendant or isolated node from a connected graph
+             keeps it connected; anything else can merge or split. *)
+          t.connected <-
+            (if Graph.n_nodes g' <= 1 then Some true
+             else
+               match t.connected with
+               | Some true when d <= 1 -> Some true
+               | Some _ | None -> None);
+          t.deg_lt3 <- count_deg_lt3 t.net;
+          t.verdict <- None;
+          Ok ()
+        end
+    | Add_link (u, v) ->
+        if u = v then Error (Printf.sprintf "add_link: self-loop at node %d" u)
+        else if Graph.mem_edge g u v then
+          Error (Printf.sprintf "add_link: link %d-%d already present" u v)
+        else begin
+          let fresh_u = not (Graph.mem_node g u) in
+          let fresh_v = not (Graph.mem_node g v) in
+          let g' = Graph.add_edge g u v in
+          let old_contrib w fresh = if fresh then 0 else contrib g w in
+          t.deg_lt3 <-
+            t.deg_lt3
+            + (contrib g' u - old_contrib u fresh_u)
+            + (contrib g' v - old_contrib v fresh_v);
+          rebuild t g' mon;
+          let fp = t.fp in
+          let fp = if fresh_u then Fingerprint.with_node fp u else fp in
+          let fp = if fresh_v then Fingerprint.with_node fp v else fp in
+          t.fp <- Fingerprint.with_edge fp u v;
+          t.connected <-
+            (if fresh_u && fresh_v then Some (Graph.n_nodes g' = 2)
+             else if fresh_u || fresh_v then t.connected
+             else
+               match t.connected with Some true -> Some true | Some _ | None -> None);
+          (* Adding a link between existing nodes preserves a positive
+             κ ≥ 3 verdict (the extended graph gains a link on the same
+             node set, and degrees only grow). *)
+          t.verdict <-
+            (if fresh_u || fresh_v then None
+             else match t.verdict with Some true -> Some true | Some _ | None -> None);
+          Ok ()
+        end
+    | Remove_link (u, v) ->
+        if u = v then
+          Error (Printf.sprintf "remove_link: self-loop at node %d" u)
+        else if not (Graph.mem_edge g u v) then
+          Error (Printf.sprintf "remove_link: link %d-%d not present" u v)
+        else begin
+          let g' = Graph.remove_edge g u v in
+          t.deg_lt3 <-
+            t.deg_lt3 + (contrib g' u - contrib g u) + (contrib g' v - contrib g v);
+          rebuild t g' mon;
+          t.fp <- Fingerprint.with_edge t.fp u v;
+          t.connected <-
+            (match t.connected with Some false -> Some false | Some _ | None -> None);
+          (* Removing a link preserves a negative verdict: it can only
+             lose connectivity and degrees. *)
+          t.verdict <-
+            (match t.verdict with Some false -> Some false | Some _ | None -> None);
+          Ok ()
+        end
+    | Set_monitors ms -> (
+        match Net.create ~labels:(Net.labels t.net) g ~monitors:ms with
+        | exception Invalid_argument m -> Error m
+        | net' ->
+            let mon' = Net.monitors net' in
+            (* Monotonicity across monitor changes (κ ≥ 3 on both
+               sides): a superset preserves identifiability, a subset
+               preserves non-identifiability. *)
+            t.verdict <-
+              (if NS.cardinal mon >= 3 && NS.cardinal mon' >= 3 then
+                 if NS.subset mon mon' then
+                   (match t.verdict with
+                   | Some true -> Some true
+                   | Some _ | None -> None)
+                 else if NS.subset mon' mon then
+                   (match t.verdict with
+                   | Some false -> Some false
+                   | Some _ | None -> None)
+                 else None
+               else None);
+            t.net <- net';
+            t.fp <- Fingerprint.with_monitor_set t.fp mon';
+            t.deg_lt3 <- count_deg_lt3 net';
+            Ok ())
+  in
+  (match result with
+  | Ok () ->
+      t.counters.c_deltas <- t.counters.c_deltas + 1;
+      check_state t
+  | Error _ -> ());
+  result
+
+(* ------------------------------------------------------------------ *)
+(* Queries                                                             *)
+
+let memo_entry t =
+  let key = Fingerprint.key t.fp in
+  match Hashtbl.find_opt t.memo key with
+  | Some e -> e
+  | None ->
+      let e = { e_identifiable = None; e_classify = None; e_plan = None } in
+      Hashtbl.add t.memo key e;
+      e
+
+let is_connected_now t =
+  match t.connected with
+  | Some c -> c
+  | None ->
+      let c = Traversal.is_connected (Net.graph t.net) in
+      t.connected <- Some c;
+      c
+
+let compute_identifiable t =
+  let n = t.net in
+  let g = Net.graph n in
+  if is_connected_now t && Graph.n_edges g > 0 then
+    match Net.kappa n with
+    | 0 | 1 -> Ok false
+    | 2 -> (
+        (* Theorem 3.1, decidable in O(1) here. *)
+        match Net.monitor_list n with
+        | [ m1; m2 ] -> Ok (Graph.n_edges g = 1 && Graph.mem_edge g m1 m2)
+        | _ -> Errors.error "Session: kappa = 2 but monitor_list disagrees")
+    | _ ->
+        if t.deg_lt3 > 0 then begin
+          (* Theorem 3.3 needs every non-monitor at degree ≥ 3. *)
+          t.counters.c_degree_shortcuts <- t.counters.c_degree_shortcuts + 1;
+          Ok false
+        end
+        else (
+          match t.verdict with
+          | Some v ->
+              t.counters.c_verdict_carries <- t.counters.c_verdict_carries + 1;
+              Ok v
+          | None ->
+              t.counters.c_full_computes <- t.counters.c_full_computes + 1;
+              run_catch (fun () ->
+                  Sparsify.is_three_vertex_connected
+                    (Extended.extend n).Extended.graph))
+  else
+    (* Precondition failure: delegate so the error message matches the
+       library's exactly. *)
+    Scratch.identifiable n
+
+let identifiable t =
+  t.counters.c_queries <- t.counters.c_queries + 1;
+  let e = memo_entry t in
+  let r =
+    match e.e_identifiable with
+    | Some r ->
+        t.counters.c_memo_hits <- t.counters.c_memo_hits + 1;
+        r
+    | None ->
+        let r = compute_identifiable t in
+        e.e_identifiable <- Some r;
+        r
+  in
+  (match r with
+  | Ok v when Net.kappa t.net >= 3 -> t.verdict <- Some v
+  | Ok _ | Error _ -> ());
+  differential t "identifiable" Bool.equal r (fun () -> Scratch.identifiable t.net);
+  r
+
+let block_key (block : Biconnected.component) =
+  Fingerprint.of_component block.Biconnected.nodes block.Biconnected.edges
+
+(* Reassemble [Triconnected.decompose g] through the per-block caches:
+   the cheap linear biconnected pass always reruns, while the expensive
+   per-block splits and cut-pair searches are looked up by the block's
+   content fingerprint — so a delta only costs recomputation inside the
+   blocks it touched, and block merges/splits are plain cache misses. *)
+let decomposition t =
+  let skey = t.fp.Fingerprint.structure in
+  match Hashtbl.find_opt t.decomp_memo skey with
+  | Some d -> d
+  | None ->
+      let g = Net.graph t.net in
+      let bc = Biconnected.decompose g in
+      let blocks =
+        List.map
+          (fun (block : Biconnected.component) ->
+            if NS.cardinal block.Biconnected.nodes < 3 then (block, [])
+            else
+              let key = block_key block in
+              match Hashtbl.find_opt t.tricache key with
+              | Some comps ->
+                  t.counters.c_block_hits <- t.counters.c_block_hits + 1;
+                  (block, comps)
+              | None ->
+                  t.counters.c_block_misses <- t.counters.c_block_misses + 1;
+                  let comps =
+                    Triconnected.split_biconnected
+                      (Graph.induced g block.Biconnected.nodes)
+                  in
+                  Hashtbl.add t.tricache key comps;
+                  (block, comps))
+          bc.Biconnected.components
+      in
+      let separation_pairs =
+        List.concat_map
+          (fun ((block : Biconnected.component), _) ->
+            if NS.cardinal block.Biconnected.nodes < 4 then []
+            else
+              let key = block_key block in
+              match Hashtbl.find_opt t.paircache key with
+              | Some pairs -> pairs
+              | None ->
+                  let pairs =
+                    Separation.cut_pairs (Graph.induced g block.Biconnected.nodes)
+                  in
+                  Hashtbl.add t.paircache key pairs;
+                  pairs)
+          blocks
+      in
+      let separation_vertices =
+        List.fold_left
+          (fun acc (a, b) -> NS.add a (NS.add b acc))
+          bc.Biconnected.cut_vertices separation_pairs
+      in
+      let d =
+        {
+          Triconnected.blocks;
+          cut_vertices = bc.Biconnected.cut_vertices;
+          separation_pairs;
+          separation_vertices;
+        }
+      in
+      Invariant.check (fun () ->
+          if not (equal_decomposition d (Triconnected.decompose g)) then
+            Invariant.violationf
+              "Session.decomposition: cached reassembly diverges from \
+               Triconnected.decompose (state %s)"
+              (Fingerprint.to_string t.fp));
+      Hashtbl.add t.decomp_memo skey d;
+      d
+
+let mmp t =
+  t.counters.c_queries <- t.counters.c_queries + 1;
+  let skey = t.fp.Fingerprint.structure in
+  let r =
+    match Hashtbl.find_opt t.mmp_memo skey with
+    | Some r ->
+        t.counters.c_memo_hits <- t.counters.c_memo_hits + 1;
+        r
+    | None ->
+        let g = Net.graph t.net in
+        let r =
+          if (not (Graph.is_empty g)) && is_connected_now t then begin
+            t.counters.c_full_computes <- t.counters.c_full_computes + 1;
+            run_catch (fun () ->
+                Mmp.place_report_decomposed g (decomposition t))
+          end
+          else Scratch.mmp t.net
+        in
+        Hashtbl.add t.mmp_memo skey r;
+        r
+  in
+  differential t "mmp" equal_report r (fun () -> Scratch.mmp t.net);
+  r
+
+let classify t =
+  t.counters.c_queries <- t.counters.c_queries + 1;
+  let e = memo_entry t in
+  let r =
+    match e.e_classify with
+    | Some r ->
+        t.counters.c_memo_hits <- t.counters.c_memo_hits + 1;
+        r
+    | None ->
+        t.counters.c_full_computes <- t.counters.c_full_computes + 1;
+        let r = Scratch.classify t.net in
+        e.e_classify <- Some r;
+        r
+  in
+  differential t "classify" equal_classification r (fun () ->
+      Scratch.classify t.net);
+  r
+
+let plan t =
+  t.counters.c_queries <- t.counters.c_queries + 1;
+  let e = memo_entry t in
+  let r =
+    match e.e_plan with
+    | Some r ->
+        t.counters.c_memo_hits <- t.counters.c_memo_hits + 1;
+        r
+    | None ->
+        t.counters.c_full_computes <- t.counters.c_full_computes + 1;
+        let r = Scratch.plan ~seed:t.seed t.net in
+        e.e_plan <- Some r;
+        r
+  in
+  differential t "plan" equal_plan r (fun () -> Scratch.plan ~seed:t.seed t.net);
+  r

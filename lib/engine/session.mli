@@ -1,0 +1,132 @@
+(** Session-based dynamic tomography: a mutable wrapper around a
+    monitored network that answers identifiability / classification /
+    MMP / solver-plan queries under topology churn, reusing analysis
+    state across deltas instead of recomputing from zero.
+
+    The caching scheme (see DESIGN.md §10) is content-addressed through
+    {!Fingerprint}:
+
+    - per-state answers are memoized by the full fingerprint, so a
+      delta stream that revisits a state (add a link, remove it again)
+      answers in O(1);
+    - the triconnected decomposition is reassembled from a per-block
+      cache keyed by each biconnected component's own fingerprint: a
+      delta only pays recomputation inside the blocks it touched, and
+      block merges/splits are ordinary cache misses that fall back to
+      recomputing just those blocks;
+    - O(1) counters (connectivity when derivable, the number of
+      non-monitor nodes of degree < 3) and verdict monotonicity
+      (adding links or monitors preserves a positive Theorem 3.3
+      verdict; removing them preserves a negative one) short-circuit
+      the κ ≥ 3 identifiability test entirely on many deltas.
+
+    Caches grow with the number of distinct states visited and are
+    never evicted; a long-lived server trades that memory for answer
+    latency. With [NETTOMO_CHECK] enabled every answer is re-derived
+    from scratch and compared — a divergence (including a fingerprint
+    collision) raises {!Nettomo_util.Invariant.Violation}. *)
+
+open Nettomo_graph
+
+type t
+
+(** A topology/monitor change. All operations validate first and leave
+    the session untouched when they return [Error]. *)
+type delta =
+  | Add_node of Graph.node  (** new isolated node; must not exist *)
+  | Remove_node of Graph.node
+      (** drops incident links, and the node from the monitor set *)
+  | Add_link of Graph.node * Graph.node
+      (** missing endpoints are created implicitly; the link must not
+          exist *)
+  | Remove_link of Graph.node * Graph.node
+      (** endpoints stay; the link must exist *)
+  | Set_monitors of Graph.node list
+      (** replace the monitor set; members must be nodes, no duplicates *)
+
+val pp_delta : Format.formatter -> delta -> unit
+
+val create : ?seed:int -> Nettomo_core.Net.t -> t
+(** A fresh session over a network. [seed] (default 7) keys the
+    deterministic generator used by {!plan}. *)
+
+val net : t -> Nettomo_core.Net.t
+(** The current network. *)
+
+val fingerprint : t -> Fingerprint.t
+val seed : t -> int
+
+val apply : t -> delta -> (unit, string) result
+(** Apply one delta. O(1) fingerprint/counter updates plus the cost of
+    rebuilding the persistent graph; no analysis runs until the next
+    query. *)
+
+(** {1 Queries}
+
+    Results mirror the library functions exactly — including their
+    [Invalid_argument] messages, returned as [Error] — as enforced by
+    the [NETTOMO_CHECK] differential invariant. *)
+
+val identifiable : t -> (bool, string) result
+(** {!Nettomo_core.Identifiability.network_identifiable} on the current
+    network. *)
+
+val classify : t -> (Nettomo_core.Classify.kind Graph.EdgeMap.t, string) result
+(** {!Nettomo_core.Classify.classify} (two-monitor networks only);
+    memoized per state, exponential on first computation. *)
+
+val mmp : t -> (Nettomo_core.Mmp.report, string) result
+(** {!Nettomo_core.Mmp.place_report}, via the per-block decomposition
+    cache. *)
+
+val plan : t -> (Nettomo_core.Solver.plan, string) result
+(** {!Nettomo_core.Solver.independent_paths} with a fresh
+    [Prng.create seed] per computation, so answers are a deterministic
+    function of (state, seed). *)
+
+(** {1 From-scratch references}
+
+    The baseline the engine is checked against: plain library calls
+    with exceptions converted to [Error]. Tests and the churn benchmark
+    share these so "equal to from-scratch" means one thing. *)
+module Scratch : sig
+  val identifiable : Nettomo_core.Net.t -> (bool, string) result
+
+  val classify :
+    Nettomo_core.Net.t ->
+    (Nettomo_core.Classify.kind Graph.EdgeMap.t, string) result
+
+  val mmp : Nettomo_core.Net.t -> (Nettomo_core.Mmp.report, string) result
+
+  val plan :
+    seed:int -> Nettomo_core.Net.t -> (Nettomo_core.Solver.plan, string) result
+end
+
+(** {1 Equality of answers} *)
+
+val equal_report : Nettomo_core.Mmp.report -> Nettomo_core.Mmp.report -> bool
+
+val equal_classification :
+  Nettomo_core.Classify.kind Graph.EdgeMap.t ->
+  Nettomo_core.Classify.kind Graph.EdgeMap.t ->
+  bool
+
+val equal_plan : Nettomo_core.Solver.plan -> Nettomo_core.Solver.plan -> bool
+
+val equal_result : ('a -> 'a -> bool) -> ('a, string) result -> ('a, string) result -> bool
+(** Payloads by the given equality, errors by message. *)
+
+(** {1 Instrumentation} *)
+
+type stats = {
+  deltas : int;  (** successfully applied deltas *)
+  queries : int;
+  memo_hits : int;  (** answers served from a per-state memo *)
+  degree_shortcuts : int;  (** O(1) [false] via the degree counter *)
+  verdict_carries : int;  (** answers carried by monotonicity *)
+  block_hits : int;  (** per-block decomposition cache hits *)
+  block_misses : int;
+  full_computes : int;  (** answers that ran a real analysis *)
+}
+
+val stats : t -> stats

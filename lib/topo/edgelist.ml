@@ -16,6 +16,14 @@ let strip_comment line =
   | Some i -> String.sub line 0 i
   | None -> line
 
+(* Fields are separated by any run of blanks — tab-separated edge files
+   (the common TSV export shape) parse the same as space-separated
+   ones. *)
+let fields line =
+  String.map (function '\t' -> ' ' | c -> c) line
+  |> String.split_on_char ' '
+  |> List.filter (( <> ) "")
+
 let of_string s =
   let g = ref Graph.empty in
   let lines = String.split_on_char '\n' s in
@@ -23,7 +31,7 @@ let of_string s =
     (fun lineno line ->
       let line = String.trim (strip_comment line) in
       if line <> "" then begin
-        match String.split_on_char ' ' line |> List.filter (( <> ) "") with
+        match fields line with
         | [ "node"; v ] -> (
             match int_of_string_opt v with
             | Some v -> g := Graph.add_node !g v

@@ -15,6 +15,14 @@ let test_parse_isolated () =
   check cb "isolated node present" true (Graph.mem_node g 7);
   check Alcotest.int "three nodes" 3 (Graph.n_nodes g)
 
+let test_parse_tabs () =
+  (* Regression: fields split on any run of blanks, so tab-separated
+     edge files (TSV exports) parse like space-separated ones. *)
+  let g = Edgelist.of_string "0\t1\n1 \t 2\nnode\t7\n" in
+  check Fixtures.graph_testable "tab separated"
+    (Graph.of_edges ~nodes:[ 7 ] [ (0, 1); (1, 2) ])
+    g
+
 let test_parse_errors () =
   let fails s =
     try
@@ -68,6 +76,7 @@ let suite =
   [
     Alcotest.test_case "parse basic" `Quick test_parse_basic;
     Alcotest.test_case "parse isolated nodes" `Quick test_parse_isolated;
+    Alcotest.test_case "parse tab-separated" `Quick test_parse_tabs;
     Alcotest.test_case "parse errors" `Quick test_parse_errors;
     Alcotest.test_case "string roundtrip" `Quick test_roundtrip;
     Alcotest.test_case "file roundtrip" `Quick test_file_roundtrip;

@@ -1,0 +1,278 @@
+(* Differential suite for the dynamic engine: over many random delta
+   streams, every session answer must equal the from-scratch
+   computation on a shadow replica of the current network — and the
+   serve protocol's batch fan-out must be identical for jobs 1 and 4. *)
+
+open Nettomo_graph
+open Nettomo_core
+module Session = Nettomo_engine.Session
+module Protocol = Nettomo_engine.Protocol
+module Fingerprint = Nettomo_engine.Fingerprint
+module Prng = Nettomo_util.Prng
+module Pool = Nettomo_util.Pool
+module Invariant = Nettomo_util.Invariant
+module Jsonx = Nettomo_util.Jsonx
+module NS = Graph.NodeSet
+
+let check = Alcotest.check
+let cb = Alcotest.bool
+
+(* ------------------------------------------------------------------ *)
+(* Shadow replica: the same delta semantics, replayed on plain values  *)
+
+type shadow = { mutable g : Graph.t; mutable mon : NS.t }
+
+let shadow_apply sh = function
+  | Session.Add_node v -> sh.g <- Graph.add_node sh.g v
+  | Session.Remove_node v ->
+      sh.g <- Graph.remove_node sh.g v;
+      sh.mon <- NS.remove v sh.mon
+  | Session.Add_link (u, v) -> sh.g <- Graph.add_edge sh.g u v
+  | Session.Remove_link (u, v) -> sh.g <- Graph.remove_edge sh.g u v
+  | Session.Set_monitors ms -> sh.mon <- NS.of_list ms
+
+let shadow_net sh = Net.create sh.g ~monitors:(NS.elements sh.mon)
+
+(* A valid random delta for the current shadow state (invalid ops are
+   exercised separately). *)
+let rec random_delta ?(attempts = 12) rng sh =
+  if attempts = 0 then Session.Add_node (Graph.fresh_node sh.g)
+  else
+    let retry () = random_delta ~attempts:(attempts - 1) rng sh in
+    let nodes = Graph.node_array sh.g in
+    let pick () = Prng.choose rng nodes in
+    match Prng.int rng 100 with
+    | r when r < 18 ->
+        (* attach a brand-new node by a link *)
+        Session.Add_link (pick (), Graph.fresh_node sh.g)
+    | r when r < 40 ->
+        let u = pick () and v = pick () in
+        if u <> v && not (Graph.mem_edge sh.g u v) then Session.Add_link (u, v)
+        else retry ()
+    | r when r < 62 -> (
+        match Graph.edges sh.g with
+        | [] -> retry ()
+        | es -> (
+            match List.nth es (Prng.int rng (List.length es)) with
+            | u, v -> Session.Remove_link (u, v)))
+    | r when r < 74 ->
+        if Array.length nodes > 5 then Session.Remove_node (pick ()) else retry ()
+    | r when r < 82 -> Session.Add_node (Graph.fresh_node sh.g)
+    | _ ->
+        let n = Array.length nodes in
+        let k = min n (2 + Prng.int rng 4) in
+        Session.Set_monitors (Array.to_list (Prng.sample rng k nodes))
+
+let same name eq got want =
+  if not (Session.equal_result eq got want) then
+    Alcotest.failf "%s: session answer diverges from scratch" name
+
+let run_stream ~steps seed =
+  let rng = Prng.create (0x5eed + (1000 * seed)) in
+  let n = 8 + Prng.int rng 7 in
+  let extra = Prng.int rng 8 in
+  let g = Fixtures.random_connected rng n extra in
+  let nodes = Graph.node_array g in
+  let k = min (Array.length nodes) (3 + Prng.int rng 3) in
+  let monitors = Array.to_list (Prng.sample rng k nodes) in
+  let s = Session.create ~seed (Net.create g ~monitors) in
+  let sh = { g; mon = NS.of_list monitors } in
+  for step = 1 to steps do
+    let d = random_delta rng sh in
+    (match Session.apply s d with
+    | Ok () -> shadow_apply sh d
+    | Error m ->
+        Alcotest.failf "stream %d step %d: apply %a failed: %s" seed step
+          Session.pp_delta d m);
+    (* The session's network must mirror the shadow exactly. *)
+    if not (Graph.equal (Net.graph (Session.net s)) sh.g) then
+      Alcotest.failf "stream %d step %d: graphs diverge" seed step;
+    if not (NS.equal (Net.monitors (Session.net s)) sh.mon) then
+      Alcotest.failf "stream %d step %d: monitor sets diverge" seed step;
+    let refnet = shadow_net sh in
+    same "identifiable" Bool.equal (Session.identifiable s)
+      (Session.Scratch.identifiable refnet);
+    same "mmp" Session.equal_report (Session.mmp s) (Session.Scratch.mmp refnet);
+    if Net.kappa (Session.net s) = 2 && Graph.n_nodes sh.g <= 11 then
+      same "classify" Session.equal_classification (Session.classify s)
+        (Session.Scratch.classify refnet);
+    if step mod 8 = 0 then
+      same "plan" Session.equal_plan (Session.plan s)
+        (Session.Scratch.plan ~seed:(Session.seed s) refnet)
+  done
+
+let test_differential_streams () =
+  (* ≥ 50 independent streams; even seeds additionally run under the
+     NETTOMO_CHECK invariant layer so the engine's internal differential
+     checks fire too. *)
+  for seed = 0 to 54 do
+    Invariant.with_enabled (seed mod 2 = 0) (fun () -> run_stream ~steps:22 seed)
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Invalid deltas: error out and leave the session untouched           *)
+
+let test_invalid_deltas () =
+  let g = Fixtures.petersen in
+  let s = Session.create (Net.create g ~monitors:[ 0; 1; 2 ]) in
+  let fp0 = Session.fingerprint s in
+  let existing =
+    match Graph.edges g with
+    | (u, v) :: _ -> (u, v)
+    | [] -> Alcotest.fail "petersen has edges"
+  in
+  let expect_error name = function
+    | Error _ -> ()
+    | Ok () -> Alcotest.failf "%s: expected an error" name
+  in
+  expect_error "dup node" (Session.apply s (Session.Add_node 0));
+  expect_error "missing node" (Session.apply s (Session.Remove_node 99));
+  expect_error "self loop"
+    (Session.apply s (Session.Add_link (3, 3)));
+  expect_error "dup link"
+    (Session.apply s (Session.Add_link (fst existing, snd existing)));
+  expect_error "missing link" (Session.apply s (Session.Remove_link (0, 99)));
+  expect_error "dup monitors"
+    (Session.apply s (Session.Set_monitors [ 0; 0 ]));
+  expect_error "foreign monitor"
+    (Session.apply s (Session.Set_monitors [ 99 ]));
+  check cb "fingerprint unchanged" true
+    (Fingerprint.equal fp0 (Session.fingerprint s));
+  check Fixtures.graph_testable "graph unchanged" g (Net.graph (Session.net s));
+  check cb "no deltas counted" true ((Session.stats s).Session.deltas = 0)
+
+(* ------------------------------------------------------------------ *)
+(* Incremental machinery: memo hits and verdict carries fire           *)
+
+let test_incremental_shortcuts () =
+  Invariant.with_enabled true (fun () ->
+      (* Petersen is 3-regular and 3-connected; with three monitors the
+         κ ≥ 3 test runs for real the first time. *)
+      let s = Session.create (Net.create Fixtures.petersen ~monitors:[ 0; 1; 2 ]) in
+      let r0 = Session.identifiable s in
+      check cb "computed" true (Result.is_ok r0);
+      (* Revert cycle: remove a link and add it back — the revisited
+         state must answer from the per-state memo. *)
+      let u, v =
+        match Graph.edges Fixtures.petersen with
+        | e :: _ -> e
+        | [] -> Alcotest.fail "petersen has edges"
+      in
+      (match Session.apply s (Session.Remove_link (u, v)) with
+      | Ok () -> ()
+      | Error m -> Alcotest.fail m);
+      ignore (Session.identifiable s);
+      (match Session.apply s (Session.Add_link (u, v)) with
+      | Ok () -> ()
+      | Error m -> Alcotest.fail m);
+      let before = (Session.stats s).Session.memo_hits in
+      let r1 = Session.identifiable s in
+      check cb "same answer after revert" true
+        (Session.equal_result Bool.equal r0 r1);
+      check cb "memo hit on revisited state" true
+        ((Session.stats s).Session.memo_hits > before);
+      (* Monotone carry: a new link between existing nodes keeps a
+         positive verdict without recomputing. *)
+      let a =
+        match
+          List.find_opt
+            (fun (a, b) -> not (Graph.mem_edge Fixtures.petersen a b))
+            (List.concat_map
+               (fun a -> List.map (fun b -> (a, b)) [ 5; 6; 7; 8; 9 ])
+               [ 0; 1; 2; 3; 4 ])
+        with
+        | Some e -> e
+        | None -> Alcotest.fail "petersen is not complete"
+      in
+      match (r0, Session.apply s (Session.Add_link (fst a, snd a))) with
+      | Ok true, Ok () ->
+          let carries = (Session.stats s).Session.verdict_carries in
+          check cb "still identifiable" true
+            (Session.equal_result Bool.equal (Session.identifiable s) (Ok true));
+          check cb "verdict carried" true
+            ((Session.stats s).Session.verdict_carries > carries)
+      | Ok false, _ -> () (* petersen+monitors not identifiable: carry N/A *)
+      | Error m, _ -> Alcotest.fail m
+      | _, Error m -> Alcotest.fail m)
+
+(* ------------------------------------------------------------------ *)
+(* Protocol: batch fan-out identical across --jobs, and equal to the   *)
+(* single-query session answers                                        *)
+
+let fig1_edges = "0 4\n0 3\n3 4\n4 5\n3 5\n3 2\n5 2\n5 6\n2 1\n6 2\n6 1\n"
+
+let scenario =
+  [
+    {|{"id":1,"op":"load","edges":"0 4\n0 3\n3 4\n4 5\n3 5\n3 2\n5 2\n5 6\n2 1\n6 2\n6 1","monitors":[0,1,2],"seed":11}|};
+    {|{"id":2,"op":"batch","queries":["identifiable","mmp","plan"]}|};
+    {|{"id":3,"op":"delta","action":"remove_link","u":6,"v":2}|};
+    {|{"id":4,"op":"batch","queries":["identifiable","mmp"]}|};
+    {|{"id":5,"op":"delta","action":"add_link","u":6,"v":2}|};
+    {|{"id":6,"op":"batch","queries":["identifiable","mmp","plan","classify"]}|};
+    {|{"id":7,"op":"delta","action":"set_monitors","monitors":[0,1]}|};
+    {|{"id":8,"op":"batch","queries":["identifiable","classify"]}|};
+  ]
+
+let run_scenario jobs =
+  Pool.with_pool ~jobs (fun pool ->
+      let server = Protocol.create ~pool ~emit_wall_ms:false () in
+      List.map (Protocol.handle_line server) scenario)
+
+let test_batch_jobs_deterministic () =
+  let r1 = run_scenario 1 in
+  let r4 = run_scenario 4 in
+  check (Alcotest.list Alcotest.string) "jobs 1 = jobs 4" r1 r4
+
+let test_batch_equals_single () =
+  (* Each batch sub-result must carry exactly the payload the single
+     query op returns (modulo the envelope's id field). *)
+  let server = Protocol.create ~emit_wall_ms:false () in
+  let load =
+    Printf.sprintf
+      {|{"id":1,"op":"load","edges":%s,"monitors":[0,1,2],"seed":11}|}
+      (Jsonx.to_string (Jsonx.String fig1_edges))
+  in
+  let ok_response line =
+    match Jsonx.parse (Protocol.handle_line server line) with
+    | Ok v -> v
+    | Error m -> Alcotest.failf "bad response json: %s" m
+  in
+  ignore (ok_response load);
+  let batch =
+    ok_response {|{"id":2,"op":"batch","queries":["identifiable","mmp","plan"]}|}
+  in
+  let results =
+    match Jsonx.member "results" batch with
+    | Some (Jsonx.List items) -> items
+    | _ -> Alcotest.fail "batch response lacks results"
+  in
+  let strip_id = function
+    | Jsonx.Obj fields ->
+        Jsonx.Obj (List.filter (fun (k, _) -> k <> "id") fields)
+    | v -> v
+  in
+  let singles =
+    List.map
+      (fun op ->
+        strip_id (ok_response (Printf.sprintf {|{"id":9,"op":%S}|} op)))
+      [ "identifiable"; "mmp"; "plan" ]
+  in
+  List.iter2
+    (fun batch_item single ->
+      check cb "batch item equals single response" true
+        (Jsonx.equal batch_item single))
+    results singles
+
+let suite =
+  [
+    Alcotest.test_case "differential random delta streams" `Slow
+      test_differential_streams;
+    Alcotest.test_case "invalid deltas leave state untouched" `Quick
+      test_invalid_deltas;
+    Alcotest.test_case "memo hits and verdict carries" `Quick
+      test_incremental_shortcuts;
+    Alcotest.test_case "batch identical across jobs" `Quick
+      test_batch_jobs_deterministic;
+    Alcotest.test_case "batch equals single queries" `Quick
+      test_batch_equals_single;
+  ]

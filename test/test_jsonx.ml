@@ -1,0 +1,189 @@
+(* Jsonx: serialization golden cases plus parser round-trip properties.
+
+   The round-trip contract under test: [parse (to_string v) = Ok v] for
+   every value whose floats are finite. Non-finite floats serialize as
+   [null] (documented) and come back as [Null]. *)
+
+module Jsonx = Nettomo_util.Jsonx
+
+let check = Alcotest.check
+let cb = Alcotest.bool
+let cs = Alcotest.string
+
+let json_testable =
+  Alcotest.testable
+    (fun ppf v -> Format.pp_print_string ppf (Jsonx.to_string v))
+    Jsonx.equal
+
+let roundtrip v =
+  match Jsonx.parse (Jsonx.to_string v) with
+  | Ok v' -> Jsonx.equal v v'
+  | Error _ -> false
+
+let test_serialize_goldens () =
+  let cases =
+    [
+      (Jsonx.Null, "null");
+      (Jsonx.Bool true, "true");
+      (Jsonx.Int (-42), "-42");
+      (Jsonx.Float 1.0, "1.0");
+      (Jsonx.Float (-0.0), "-0.0");
+      (Jsonx.Float 0.25, "0.25");
+      (Jsonx.Float 1e300, "1e+300");
+      (Jsonx.String "a\"b\\c\nd\tz", {|"a\"b\\c\nd\tz"|});
+      (Jsonx.String "\001\031", {|"\u0001\u001f"|});
+      (Jsonx.List [ Jsonx.Int 1; Jsonx.Null ], "[1,null]");
+      ( Jsonx.Obj [ ("b", Jsonx.Int 2); ("a", Jsonx.Int 1) ],
+        {|{"b":2,"a":1}|} );
+    ]
+  in
+  List.iter
+    (fun (v, expected) -> check cs expected expected (Jsonx.to_string v))
+    cases
+
+let test_nonfinite_emit_null () =
+  check cs "nan" "null" (Jsonx.to_string (Jsonx.Float Float.nan));
+  check cs "inf" "null" (Jsonx.to_string (Jsonx.Float Float.infinity));
+  check cs "-inf" "null" (Jsonx.to_string (Jsonx.Float Float.neg_infinity));
+  (* Documented caveat: non-finite floats do NOT round-trip — they
+     reappear as Null. *)
+  check json_testable "nan -> null" Jsonx.Null
+    (Result.get_ok (Jsonx.parse (Jsonx.to_string (Jsonx.Float Float.nan))))
+
+let test_parse_basics () =
+  let ok s v =
+    check json_testable s v (Result.get_ok (Jsonx.parse s))
+  in
+  ok "  null " Jsonx.Null;
+  ok "[1, 2.5, \"x\", {}, []]"
+    (Jsonx.List
+       [
+         Jsonx.Int 1; Jsonx.Float 2.5; Jsonx.String "x"; Jsonx.Obj [];
+         Jsonx.List [];
+       ]);
+  ok {|{"k": [true, false], "k": 1}|}
+    (Jsonx.Obj
+       [
+         ("k", Jsonx.List [ Jsonx.Bool true; Jsonx.Bool false ]);
+         ("k", Jsonx.Int 1);
+       ]);
+  ok {|"Aé"|} (Jsonx.String "A\xc3\xa9");
+  (* Surrogate pair: U+1F600 as UTF-8. *)
+  ok {|"😀"|} (Jsonx.String "\xf0\x9f\x98\x80");
+  ok "-0.5e2" (Jsonx.Float (-50.0));
+  (* Integer magnitude beyond the native int degrades to float. *)
+  let big = "123456789012345678901234567890" in
+  ok big (Jsonx.Float (float_of_string big))
+
+let test_parse_errors () =
+  let fails s =
+    match Jsonx.parse s with Error _ -> true | Ok _ -> false
+  in
+  check cb "empty" true (fails "");
+  check cb "garbage" true (fails "nul");
+  check cb "trailing" true (fails "1 2");
+  check cb "bare control char" true (fails "\"\x01\"");
+  check cb "lone high surrogate" true (fails {|"\ud83d"|});
+  check cb "lone low surrogate" true (fails {|"\ude00"|});
+  check cb "bad escape" true (fails {|"\q"|});
+  check cb "unterminated string" true (fails "\"abc");
+  check cb "unterminated array" true (fails "[1, 2");
+  check cb "missing colon" true (fails {|{"a" 1}|});
+  check cb "leading plus" true (fails "+1");
+  check cb "bare dot" true (fails ".5");
+  check cb "deep nesting rejected" true
+    (fails (String.concat "" (List.init 600 (fun _ -> "[")) ^ "1"
+           ^ String.concat "" (List.init 600 (fun _ -> "]"))));
+  check cb "error carries position" true
+    (match Jsonx.parse "[1,]" with
+    | Error m -> String.length m > 0
+    | Ok _ -> false)
+
+let test_member_accessors () =
+  let doc = Result.get_ok (Jsonx.parse {|{"id": 7, "op": "mmp"}|}) in
+  check cb "member id" true
+    (Jsonx.member "id" doc = Some (Jsonx.Int 7));
+  check cb "member missing" true (Jsonx.member "nope" doc = None);
+  check cb "to_int_opt" true
+    (Option.bind (Jsonx.member "id" doc) Jsonx.to_int_opt = Some 7);
+  check cb "to_string_opt" true
+    (Option.bind (Jsonx.member "op" doc) Jsonx.to_string_opt = Some "mmp")
+
+(* ------------------------------------------------------------------ *)
+(* Round-trip properties                                               *)
+
+(* Strings over the full byte range, control bytes included: the
+   emitter escapes them as \u-hex sequences and the parser must invert
+   that exactly. *)
+let gen_string =
+  QCheck2.Gen.(string_size ~gen:(char_range '\000' '\255') (int_bound 20))
+
+let gen_finite_float =
+  QCheck2.Gen.(
+    map
+      (fun (f, exp) ->
+        let x = f *. (10.0 ** float_of_int exp) in
+        if Float.is_finite x then x else 0.5)
+      (pair float (int_range (-30) 30)))
+
+let gen_json =
+  QCheck2.Gen.(
+    sized
+    @@ fix (fun self size ->
+           let leaf =
+             oneof
+               [
+                 return Jsonx.Null;
+                 map (fun b -> Jsonx.Bool b) bool;
+                 map (fun i -> Jsonx.Int i) int;
+                 map (fun f -> Jsonx.Float f) gen_finite_float;
+                 map (fun s -> Jsonx.String s) gen_string;
+               ]
+           in
+           if size = 0 then leaf
+           else
+             oneof
+               [
+                 leaf;
+                 map
+                   (fun l -> Jsonx.List l)
+                   (list_size (int_bound 4) (self (size / 2)));
+                 map
+                   (fun l -> Jsonx.Obj l)
+                   (list_size (int_bound 4)
+                      (pair gen_string (self (size / 2))));
+               ]))
+
+let prop_roundtrip =
+  QCheck2.Test.make ~name:"parse (to_string v) = Ok v" ~count:500 gen_json
+    roundtrip
+
+let prop_roundtrip_floats =
+  (* The %.17g fallback: full-precision doubles from raw random bits. *)
+  QCheck2.Test.make ~name:"float precision round-trip" ~count:500
+    QCheck2.Gen.(triple int int (int_range (-300) 300))
+    (fun (a, b, exp) ->
+      let f =
+        float_of_int a /. (float_of_int b +. 0.5)
+        *. (10.0 ** float_of_int exp)
+      in
+      let f = if Float.is_finite f then f else 1.5 in
+      roundtrip (Jsonx.Float f))
+
+let prop_roundtrip_control_strings =
+  QCheck2.Test.make ~name:"control-character string round-trip" ~count:200
+    QCheck2.Gen.(string_size ~gen:(char_range '\000' '\031') (int_bound 12))
+    (fun s -> roundtrip (Jsonx.String s))
+
+let suite =
+  [
+    Alcotest.test_case "serialization goldens" `Quick test_serialize_goldens;
+    Alcotest.test_case "non-finite floats emit null" `Quick
+      test_nonfinite_emit_null;
+    Alcotest.test_case "parse basics" `Quick test_parse_basics;
+    Alcotest.test_case "parse errors" `Quick test_parse_errors;
+    Alcotest.test_case "member accessors" `Quick test_member_accessors;
+    QCheck_alcotest.to_alcotest prop_roundtrip;
+    QCheck_alcotest.to_alcotest prop_roundtrip_floats;
+    QCheck_alcotest.to_alcotest prop_roundtrip_control_strings;
+  ]
