@@ -25,6 +25,7 @@ module Prng = Nettomo_util.Prng
 module Pool = Nettomo_util.Pool
 module Jsonx = Nettomo_util.Jsonx
 module Q = Nettomo_linalg.Rational
+module Store = Nettomo_store.Store
 
 (* ------------------------------------------------------------------ *)
 (* Common arguments                                                    *)
@@ -508,12 +509,22 @@ let serve_cmd =
     in
     Arg.(value & flag & info [ "no-wall-time" ] ~doc)
   in
-  let run jobs seed no_wall_time =
+  let store_arg =
+    let doc =
+      "Persistent artifact store directory (created if missing); answers \
+       computed by this server warm it and later runs reuse them. Without \
+       this flag the NETTOMO_STORE environment variable, when non-empty, \
+       names the directory instead."
+    in
+    Arg.(value & opt (some string) None & info [ "store" ] ~docv:"DIR" ~doc)
+  in
+  let run jobs seed no_wall_time store_dir =
     match
       Pool.with_pool ~jobs (fun pool ->
+          let store = Option.map (fun d -> Store.open_dir d) store_dir in
           let server =
             Nettomo_engine.Protocol.create ~pool ~seed
-              ~emit_wall_ms:(not no_wall_time) ()
+              ~emit_wall_ms:(not no_wall_time) ?store ()
           in
           Nettomo_engine.Protocol.serve server stdin stdout)
     with
@@ -527,7 +538,91 @@ let serve_cmd =
           protocol on stdin/stdout: load a topology, stream deltas, and \
           query identifiability / classification / MMP / solver plans \
           incrementally.")
-    Term.(ret (const run $ jobs_arg $ seed_arg $ no_wall_time_arg))
+    Term.(ret (const run $ jobs_arg $ seed_arg $ no_wall_time_arg $ store_arg))
+
+(* ------------------------------------------------------------------ *)
+(* store                                                               *)
+
+let store_cmd =
+  let dir_arg =
+    let doc = "Store directory (as passed to serve --store / NETTOMO_STORE)." in
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"DIR" ~doc)
+  in
+  let fmt_bytes n =
+    if n >= 1024 * 1024 then Printf.sprintf "%.1f MiB" (float_of_int n /. 1048576.)
+    else if n >= 1024 then Printf.sprintf "%.1f KiB" (float_of_int n /. 1024.)
+    else Printf.sprintf "%d B" n
+  in
+  let stats_cmd =
+    let run dir =
+      let es = Store.entries dir in
+      let total = List.fold_left (fun acc e -> acc + e.Store.size) 0 es in
+      let invalid = List.filter (fun e -> not e.Store.valid) es in
+      Format.printf "entries : %d@." (List.length es);
+      Format.printf "bytes   : %d (%s)@." total (fmt_bytes total);
+      Format.printf "invalid : %d@." (List.length invalid);
+      `Ok ()
+    in
+    Cmd.v
+      (Cmd.info "stats" ~doc:"Entry count and total size of a store directory.")
+      Term.(ret (const run $ dir_arg))
+  in
+  let verify_cmd =
+    let run dir =
+      let es = Store.entries dir in
+      let invalid = List.filter (fun e -> not e.Store.valid) es in
+      List.iter
+        (fun e -> Format.printf "corrupt: %s (%d bytes)@." e.Store.file e.Store.size)
+        invalid;
+      Format.printf "%d entr%s checked, %d corrupt@." (List.length es)
+        (if List.length es = 1 then "y" else "ies")
+        (List.length invalid);
+      if invalid = [] then `Ok ()
+      else
+        (* Corrupt entries are harmless at runtime (they read as misses),
+           but verify is the offline audit — make them visible to CI. *)
+        `Error (false, "store contains corrupt entries")
+    in
+    Cmd.v
+      (Cmd.info "verify"
+         ~doc:
+           "Check every entry's magic, version and checksum; exit non-zero \
+            if any entry is corrupt.")
+      Term.(ret (const run $ dir_arg))
+  in
+  let gc_cmd =
+    let max_bytes_arg =
+      let doc = "Evict oldest entries until the store is at most $(docv) bytes." in
+      Arg.(
+        required
+        & opt (some int) None
+        & info [ "max-bytes" ] ~docv:"BYTES" ~doc)
+    in
+    let run dir max_bytes =
+      if max_bytes < 0 then `Error (false, "--max-bytes must be non-negative")
+      else begin
+        let removed = Store.gc_dir dir ~max_bytes in
+        let remaining =
+          List.fold_left (fun acc e -> acc + e.Store.size) 0 (Store.entries dir)
+        in
+        Format.printf "evicted %d entr%s; %s remain%s@." removed
+          (if removed = 1 then "y" else "ies")
+          (fmt_bytes remaining)
+          (if removed = 0 then " (already within bound)" else "");
+        `Ok ()
+      end
+    in
+    Cmd.v
+      (Cmd.info "gc"
+         ~doc:"Evict oldest-first until the store fits a byte bound.")
+      Term.(ret (const run $ dir_arg $ max_bytes_arg))
+  in
+  Cmd.group
+    (Cmd.info "store"
+       ~doc:
+         "Inspect and maintain a persistent artifact store (see serve \
+          --store).")
+    [ stats_cmd; verify_cmd; gc_cmd ]
 
 (* ------------------------------------------------------------------ *)
 (* dot                                                                 *)
@@ -558,5 +653,5 @@ let () =
           [
             gen_cmd; stats_cmd; decompose_cmd; check_cmd; place_cmd; solve_cmd;
             partial_cmd; routing_cmd; robust_cmd; experiment_cmd; serve_cmd;
-            dot_cmd;
+            store_cmd; dot_cmd;
           ]))

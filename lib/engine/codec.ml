@@ -1,0 +1,270 @@
+(* Serialization of engine artifacts for the persistent store. The
+   format is a flat token stream (ints, length-prefixed strings, counted
+   lists) behind a per-artifact schema tag; integrity is the store
+   framing's job (Nettomo_store.Store), so decoders only validate
+   structure and report any mismatch as None — which the store counts as
+   a corrupt skip, i.e. an ordinary miss. *)
+
+open Nettomo_graph
+module NS = Graph.NodeSet
+module ES = Graph.EdgeSet
+module EM = Graph.EdgeMap
+module Net = Nettomo_core.Net
+module Classify = Nettomo_core.Classify
+module Mmp = Nettomo_core.Mmp
+module Solver = Nettomo_core.Solver
+module Measurement = Nettomo_core.Measurement
+
+(* ---------- store keys ---------- *)
+
+let key_identifiable (fp : Fingerprint.t) =
+  Printf.sprintf "id-%016Lx-%016Lx" fp.Fingerprint.structure
+    fp.Fingerprint.monitors
+
+let key_classification (fp : Fingerprint.t) =
+  Printf.sprintf "cls-%016Lx-%016Lx" fp.Fingerprint.structure
+    fp.Fingerprint.monitors
+
+let key_report structure = Printf.sprintf "mmp-%016Lx" structure
+
+let key_plan ~seed (fp : Fingerprint.t) =
+  Printf.sprintf "plan-%016Lx-%016Lx-%d" fp.Fingerprint.structure
+    fp.Fingerprint.monitors seed
+
+let key_components block = Printf.sprintf "tri-%016Lx" block
+let key_edges block = Printf.sprintf "sep-%016Lx" block
+
+(* ---------- writer ---------- *)
+
+let add_int b n =
+  Buffer.add_string b (string_of_int n);
+  Buffer.add_char b ' '
+
+let add_bool b v = add_int b (if v then 1 else 0)
+
+let add_str b s =
+  add_int b (String.length s);
+  Buffer.add_string b s;
+  Buffer.add_char b ' '
+
+let add_list add b xs =
+  add_int b (List.length xs);
+  List.iter (add b) xs
+
+let add_result add_ok b = function
+  | Ok v ->
+      add_int b 1;
+      add_ok b v
+  | Error m ->
+      add_int b 0;
+      add_str b m
+
+let add_nodes b ns = add_list add_int b (NS.elements ns)
+
+let add_edge b (u, v) =
+  add_int b u;
+  add_int b v
+
+let add_edges b es = add_list add_edge b (ES.elements es)
+let add_path b p = add_list add_int b p
+
+let render tag body =
+  let b = Buffer.create 128 in
+  add_str b tag;
+  body b;
+  Buffer.contents b
+
+(* ---------- reader ---------- *)
+
+exception Bad
+(** Local decode failure; never escapes {!run_decode}. *)
+
+type reader = { s : string; mutable pos : int }
+
+let fail () = raise Bad
+
+let rint r =
+  let n = String.length r.s in
+  let start = r.pos in
+  let stop = ref start in
+  if !stop < n && Char.equal r.s.[!stop] '-' then incr stop;
+  while
+    !stop < n
+    && (match r.s.[!stop] with '0' .. '9' -> true | _ -> false)
+  do
+    incr stop
+  done;
+  if !stop = start || !stop >= n || not (Char.equal r.s.[!stop] ' ') then
+    fail ();
+  match int_of_string (String.sub r.s start (!stop - start)) with
+  | v ->
+      r.pos <- !stop + 1;
+      v
+  | exception Failure _ -> fail ()
+
+let rbool r = match rint r with 0 -> false | 1 -> true | _ -> fail ()
+
+let rstr r =
+  let n = rint r in
+  if n < 0 || r.pos + n >= String.length r.s then fail ();
+  if not (Char.equal r.s.[r.pos + n] ' ') then fail ();
+  let v = String.sub r.s r.pos n in
+  r.pos <- r.pos + n + 1;
+  v
+
+let rlist rd r =
+  let n = rint r in
+  if n < 0 then fail ();
+  List.init n (fun _ -> rd r)
+
+let rresult rok r =
+  match rint r with 1 -> Ok (rok r) | 0 -> Error (rstr r) | _ -> fail ()
+
+let rnodes r = List.fold_left (fun acc v -> NS.add v acc) NS.empty (rlist rint r)
+
+let redge r =
+  let u = rint r in
+  let v = rint r in
+  Graph.edge u v
+
+let redges r = List.fold_left (fun acc e -> ES.add e acc) ES.empty (rlist redge r)
+let rpath r = rlist rint r
+
+let run_decode tag read s =
+  let r = { s; pos = 0 } in
+  match
+    if not (String.equal (rstr r) tag) then fail ();
+    let v = read r in
+    if r.pos <> String.length s then fail ();
+    v
+  with
+  | v -> Some v
+  | exception Bad -> None
+  | exception Invalid_argument _ ->
+      (* a well-framed token stream can still name an impossible value,
+         e.g. a self-loop rejected by Graph.edge *)
+      None
+
+(* ---------- artifacts ---------- *)
+
+let encode_identifiable r = render "id1" (fun b -> add_result add_bool b r)
+let decode_identifiable s = run_decode "id1" (rresult rbool) s
+
+let add_kind b = function
+  | Classify.Cross_link { pa; pb; pc; pd } ->
+      add_int b 0;
+      add_path b pa;
+      add_path b pb;
+      add_path b pc;
+      add_path b pd
+  | Classify.Shortcut { pa; pb; via } ->
+      add_int b 1;
+      add_path b pa;
+      add_path b pb;
+      add_path b via
+  | Classify.Unclassified -> add_int b 2
+
+let rkind r =
+  match rint r with
+  | 0 ->
+      let pa = rpath r in
+      let pb = rpath r in
+      let pc = rpath r in
+      let pd = rpath r in
+      Classify.Cross_link { pa; pb; pc; pd }
+  | 1 ->
+      let pa = rpath r in
+      let pb = rpath r in
+      let via = rpath r in
+      Classify.Shortcut { pa; pb; via }
+  | 2 -> Classify.Unclassified
+  | _ -> fail ()
+
+let encode_classification r =
+  render "cls1"
+    (fun b ->
+      add_result
+        (fun b m ->
+          add_list
+            (fun b (e, k) ->
+              add_edge b e;
+              add_kind b k)
+            b (EM.bindings m))
+        b r)
+
+let decode_classification s =
+  run_decode "cls1"
+    (rresult (fun r ->
+         List.fold_left
+           (fun acc (e, k) -> EM.add e k acc)
+           EM.empty
+           (rlist
+              (fun r ->
+                let e = redge r in
+                let k = rkind r in
+                (e, k))
+              r)))
+    s
+
+let encode_report r =
+  render "mmp1"
+    (fun b ->
+      add_result
+        (fun b (rep : Mmp.report) ->
+          add_nodes b rep.Mmp.monitors;
+          add_nodes b rep.Mmp.by_degree;
+          add_nodes b rep.Mmp.by_triconnected;
+          add_nodes b rep.Mmp.by_biconnected;
+          add_nodes b rep.Mmp.top_up)
+        b r)
+
+let decode_report s =
+  run_decode "mmp1"
+    (rresult (fun r ->
+         let monitors = rnodes r in
+         let by_degree = rnodes r in
+         let by_triconnected = rnodes r in
+         let by_biconnected = rnodes r in
+         let top_up = rnodes r in
+         { Mmp.monitors; by_degree; by_triconnected; by_biconnected; top_up }))
+    s
+
+(* A plan's measurement space is a pure function of the graph, so it is
+   rebuilt on decode rather than serialized — sound because plan keys
+   include the full fingerprint of the state the plan was computed for. *)
+let encode_plan r =
+  render "plan1"
+    (fun b ->
+      add_result (fun b (p : Solver.plan) -> add_list add_path b p.Solver.paths) b r)
+
+let decode_plan ~net s =
+  run_decode "plan1"
+    (rresult (fun r ->
+         let paths = rlist rpath r in
+         {
+           Solver.space = Measurement.space (Net.graph net);
+           paths;
+           rank = List.length paths;
+         }))
+    s
+
+let encode_components comps =
+  render "tri1" (fun b ->
+      add_list
+        (fun b (c : Triconnected.component) ->
+          add_nodes b c.Triconnected.nodes;
+          add_edges b c.Triconnected.edges;
+          add_edges b c.Triconnected.virtuals)
+        b comps)
+
+let decode_components s =
+  run_decode "tri1"
+    (rlist (fun r ->
+         let nodes = rnodes r in
+         let edges = redges r in
+         let virtuals = redges r in
+         { Triconnected.nodes; edges; virtuals }))
+    s
+
+let encode_edges es = render "sep1" (fun b -> add_list add_edge b es)
+let decode_edges s = run_decode "sep1" (rlist redge) s

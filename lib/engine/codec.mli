@@ -1,0 +1,69 @@
+(** Serialization of engine artifacts for the persistent store.
+
+    Each artifact family has an [encode_*] to a payload string and a
+    [decode_*] back; decoders return [None] on any structural mismatch
+    (wrong schema tag, malformed token stream, impossible value such as
+    a self-loop link), which {!Nettomo_store.Store.find_with} counts as
+    a corrupt skip — an ordinary miss. Byte-level integrity (truncation,
+    bit flips) is already guaranteed by the store's checksummed framing
+    before a payload reaches a decoder here.
+
+    Encodings are deterministic: sets and maps are emitted in their
+    canonical (ordered) traversal, so equal artifacts encode to equal
+    bytes.
+
+    The [key_*] functions fix the store key scheme (also documented in
+    DESIGN.md §11). Keys embed the content-addressed
+    {!Fingerprint} hashes of the state an artifact was derived from —
+    full fingerprint for monitor-dependent answers, structure half for
+    topology-only ones, per-block hash for decomposition pieces — so
+    invalidation is by construction. *)
+
+open Nettomo_graph
+
+(** {1 Store keys} *)
+
+val key_identifiable : Fingerprint.t -> string
+val key_classification : Fingerprint.t -> string
+
+val key_report : int64 -> string
+(** Keyed by the structure half alone: MMP ignores monitors. *)
+
+val key_plan : seed:int -> Fingerprint.t -> string
+(** Plans additionally depend on the session's deterministic seed. *)
+
+val key_components : int64 -> string
+(** Keyed by a biconnected block's {!Fingerprint.of_component} hash. *)
+
+val key_edges : int64 -> string
+(** Separation pairs of a block, same key space as {!key_components}. *)
+
+(** {1 Artifacts} *)
+
+val encode_identifiable : (bool, string) result -> string
+val decode_identifiable : string -> (bool, string) result option
+
+val encode_classification :
+  (Nettomo_core.Classify.kind Graph.EdgeMap.t, string) result -> string
+
+val decode_classification :
+  string -> (Nettomo_core.Classify.kind Graph.EdgeMap.t, string) result option
+
+val encode_report : (Nettomo_core.Mmp.report, string) result -> string
+val decode_report : string -> (Nettomo_core.Mmp.report, string) result option
+
+val encode_plan : (Nettomo_core.Solver.plan, string) result -> string
+
+val decode_plan :
+  net:Nettomo_core.Net.t ->
+  string ->
+  (Nettomo_core.Solver.plan, string) result option
+(** The plan's measurement space is a pure function of the graph and is
+    rebuilt from [net] rather than deserialized; sound because plan keys
+    name the exact state the plan was computed for. *)
+
+val encode_components : Triconnected.component list -> string
+val decode_components : string -> Triconnected.component list option
+
+val encode_edges : Graph.edge list -> string
+val decode_edges : string -> Graph.edge list option

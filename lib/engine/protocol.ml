@@ -7,40 +7,64 @@ module Classify = Nettomo_core.Classify
 module Mmp = Nettomo_core.Mmp
 module Solver = Nettomo_core.Solver
 module Edgelist = Nettomo_topo.Edgelist
+module Store = Nettomo_store.Store
+
+type code =
+  | Bad_json
+  | Bad_request
+  | No_session
+  | Bad_topology
+  | Invalid_delta
+  | Query_failed
+
+let code_to_string = function
+  | Bad_json -> "bad_json"
+  | Bad_request -> "bad_request"
+  | No_session -> "no_session"
+  | Bad_topology -> "bad_topology"
+  | Invalid_delta -> "invalid_delta"
+  | Query_failed -> "query_failed"
 
 type t = {
   pool : Pool.t option;
   default_seed : int;
   emit_wall_ms : bool;
+  store : Store.t option;
   mutable session : Session.t option;
 }
 
-let create ?pool ?(seed = 7) ?(emit_wall_ms = true) () =
-  { pool; default_seed = seed; emit_wall_ms; session = None }
+let create ?pool ?(seed = 7) ?(emit_wall_ms = true) ?store () =
+  { pool; default_seed = seed; emit_wall_ms; store; session = None }
 
 let session t = t.session
 
 (* ------------------------------------------------------------------ *)
-(* Request field access                                                *)
+(* Request field access
+
+   Errors throughout dispatch are [code * message] pairs: the code is
+   the stable machine-readable contract, the message is human-facing
+   detail that clients must not match on. *)
 
 let ( let* ) = Result.bind
+
+let bad_request fmt = Printf.ksprintf (fun m -> Error (Bad_request, m)) fmt
 
 let field name req =
   match Jsonx.member name req with
   | Some v -> Ok v
-  | None -> Error (Printf.sprintf "missing field %S" name)
+  | None -> bad_request "missing field %S" name
 
 let int_field name req =
   let* v = field name req in
   match Jsonx.to_int_opt v with
   | Some i -> Ok i
-  | None -> Error (Printf.sprintf "field %S must be an integer" name)
+  | None -> bad_request "field %S must be an integer" name
 
 let string_field name req =
   let* v = field name req in
   match Jsonx.to_string_opt v with
   | Some s -> Ok s
-  | None -> Error (Printf.sprintf "field %S must be a string" name)
+  | None -> bad_request "field %S must be a string" name
 
 let int_list_field name req =
   let* v = field name req in
@@ -51,12 +75,12 @@ let int_list_field name req =
           let* acc = acc in
           match Jsonx.to_int_opt item with
           | Some i -> Ok (i :: acc)
-          | None -> Error (Printf.sprintf "field %S must list integers" name))
+          | None -> bad_request "field %S must list integers" name)
         (Ok []) items
       |> Result.map List.rev
   | Jsonx.Null | Jsonx.Bool _ | Jsonx.Int _ | Jsonx.Float _ | Jsonx.String _
   | Jsonx.Obj _ ->
-      Error (Printf.sprintf "field %S must be a list" name)
+      bad_request "field %S must be a list" name
 
 let opt_int_field name ~default req =
   match Jsonx.member name req with
@@ -64,7 +88,7 @@ let opt_int_field name ~default req =
   | Some v -> (
       match Jsonx.to_int_opt v with
       | Some i -> Ok i
-      | None -> Error (Printf.sprintf "field %S must be an integer" name))
+      | None -> bad_request "field %S must be an integer" name)
 
 (* ------------------------------------------------------------------ *)
 (* Payloads                                                            *)
@@ -129,15 +153,21 @@ let query_of_string = function
   | "classify" -> Ok Q_classify
   | "mmp" -> Ok Q_mmp
   | "plan" -> Ok Q_plan
-  | s -> Error (Printf.sprintf "unknown query %S" s)
+  | s -> bad_request "unknown query %S" s
 
-let eval_session session = function
-  | Q_identifiable ->
-      Result.map identifiable_payload (Session.identifiable session)
-  | Q_classify -> Result.map classify_payload (Session.classify session)
-  | Q_mmp -> Result.map mmp_payload (Session.mmp session)
-  | Q_plan ->
-      Result.map (plan_payload (Session.net session)) (Session.plan session)
+(* A query the session accepted but the library rejected (precondition
+   failure) is [Query_failed]; the message is the library's own. *)
+let query_failed r = Result.map_error (fun m -> (Query_failed, m)) r
+
+let eval_session session q =
+  query_failed
+    (match q with
+    | Q_identifiable ->
+        Result.map identifiable_payload (Session.identifiable session)
+    | Q_classify -> Result.map classify_payload (Session.classify session)
+    | Q_mmp -> Result.map mmp_payload (Session.mmp session)
+    | Q_plan ->
+        Result.map (plan_payload (Session.net session)) (Session.plan session))
 
 (* Batch sub-queries are evaluated as pure from-scratch computations
    over an immutable snapshot of the network, so they can fan out over
@@ -158,7 +188,7 @@ let eval_scratch ~seed net = function
 let require_session t =
   match t.session with
   | Some s -> Ok s
-  | None -> Error "no network loaded (send a \"load\" request first)"
+  | None -> Error (No_session, "no network loaded (send a \"load\" request first)")
 
 let dispatch t req =
   let* op = string_field "op" req in
@@ -167,13 +197,15 @@ let dispatch t req =
       let* edges = string_field "edges" req in
       let* monitors = int_list_field "monitors" req in
       let* seed = opt_int_field "seed" ~default:t.default_seed req in
-      let* g = Edgelist.parse edges in
+      let* g =
+        Result.map_error (fun m -> (Bad_topology, m)) (Edgelist.parse edges)
+      in
       let* n =
         match Net.create g ~monitors with
         | n -> Ok n
-        | exception Invalid_argument m -> Error m
+        | exception Invalid_argument m -> Error (Bad_topology, m)
       in
-      let s = Session.create ~seed n in
+      let s = Session.create ~seed ?store:t.store n in
       t.session <- Some s;
       Ok (shape_payload s)
   | "delta" ->
@@ -198,9 +230,11 @@ let dispatch t req =
         | "set_monitors" ->
             let* ms = int_list_field "monitors" req in
             Ok (Session.Set_monitors ms)
-        | a -> Error (Printf.sprintf "unknown delta action %S" a)
+        | a -> bad_request "unknown delta action %S" a
       in
-      let* () = Session.apply s d in
+      let* () =
+        Result.map_error (fun m -> (Invalid_delta, m)) (Session.apply s d)
+      in
       Ok (shape_payload s)
   | ("identifiable" | "classify" | "mmp" | "plan") as q ->
       let* s = require_session t in
@@ -219,12 +253,12 @@ let dispatch t req =
                 | Some name ->
                     let* q = query_of_string name in
                     Ok (q :: acc)
-                | None -> Error "field \"queries\" must list query names")
+                | None -> bad_request "field \"queries\" must list query names")
               (Ok []) items
             |> Result.map List.rev
         | Jsonx.Null | Jsonx.Bool _ | Jsonx.Int _ | Jsonx.Float _
         | Jsonx.String _ | Jsonx.Obj _ ->
-            Error "field \"queries\" must be a list"
+            bad_request "field \"queries\" must be a list"
       in
       let net = Session.net s in
       let seed = Session.seed s in
@@ -240,12 +274,30 @@ let dispatch t req =
              | Ok payload -> Jsonx.Obj (("status", Jsonx.String "ok") :: payload)
              | Error m ->
                  Jsonx.Obj
-                   [ ("status", Jsonx.String "error"); ("error", Jsonx.String m) ])
+                   [
+                     ("status", Jsonx.String "error");
+                     ("code", Jsonx.String (code_to_string Query_failed));
+                     ("error", Jsonx.String m);
+                   ])
       in
       Ok [ ("results", Jsonx.List results) ]
   | "stats" ->
       let* s = require_session t in
       let st = Session.stats s in
+      (* Store counters are always present — zero without a store — so
+         the stats schema does not depend on the deployment. *)
+      let sst =
+        match Session.store s with
+        | Some store -> Store.stats store
+        | None ->
+            {
+              Store.hits = 0;
+              misses = 0;
+              corrupt_skips = 0;
+              puts = 0;
+              evictions = 0;
+            }
+      in
       Ok
         [
           ("deltas", Jsonx.Int st.Session.deltas);
@@ -256,14 +308,19 @@ let dispatch t req =
           ("block_hits", Jsonx.Int st.Session.block_hits);
           ("block_misses", Jsonx.Int st.Session.block_misses);
           ("full_computes", Jsonx.Int st.Session.full_computes);
+          ("store_hits", Jsonx.Int sst.Store.hits);
+          ("store_misses", Jsonx.Int sst.Store.misses);
+          ("store_corrupt_skips", Jsonx.Int sst.Store.corrupt_skips);
+          ("store_puts", Jsonx.Int sst.Store.puts);
+          ("store_evictions", Jsonx.Int sst.Store.evictions);
         ]
-  | op -> Error (Printf.sprintf "unknown op %S" op)
+  | op -> bad_request "unknown op %S" op
 
 let handle_line t line =
   let start = Unix.gettimeofday () in
   let id, outcome =
     match Jsonx.parse line with
-    | Error m -> (Jsonx.Null, Error ("request is not valid JSON: " ^ m))
+    | Error m -> (Jsonx.Null, Error (Bad_json, "request is not valid JSON: " ^ m))
     | Ok req ->
         let id = Option.value (Jsonx.member "id" req) ~default:Jsonx.Null in
         (id, dispatch t req)
@@ -283,7 +340,12 @@ let handle_line t line =
   let fields =
     match outcome with
     | Ok payload -> base @ payload
-    | Error m -> base @ [ ("error", Jsonx.String m) ]
+    | Error (code, m) ->
+        base
+        @ [
+            ("code", Jsonx.String (code_to_string code));
+            ("error", Jsonx.String m);
+          ]
   in
   Jsonx.to_string (Jsonx.Obj fields)
 

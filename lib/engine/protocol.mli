@@ -4,10 +4,13 @@
     flushed per response. Every request carries an ["id"] (echoed back
     verbatim) and an ["op"]; every response carries the ["id"], a
     ["status"] of ["ok"] or ["error"], and — unless disabled — the
-    ["wall_ms"] spent handling the request. Malformed JSON yields an
-    error response with a [null] id; the server never crashes on bad
-    input (invariant violations under [NETTOMO_CHECK] do propagate, by
-    design — they signal an engine bug).
+    ["wall_ms"] spent handling the request. Error responses carry a
+    stable machine-readable ["code"] (see {!type:code}) next to a
+    human-facing ["error"] message; clients should dispatch on the
+    code and must not match on message wording. Malformed JSON yields
+    a [bad_json] response with a [null] id; the server never crashes
+    on bad input (invariant violations under [NETTOMO_CHECK] do
+    propagate, by design — they signal an engine bug).
 
     Operations:
     - [{"id",…,"op":"load","edges":"0 1\n1 2\n…","monitors":[0,1],
@@ -24,19 +27,46 @@
     - [{"op":"batch","queries":["identifiable","mmp"]}] — independent
       queries fanned out over the pool; responds with a ["results"]
       array in request order, deterministic across [--jobs].
-    - [{"op":"stats"}] — the session's {!Session.stats} counters.
+    - [{"op":"stats"}] — the session's {!Session.stats} counters plus
+      the persistent-store counters ([store_hits] / [store_misses] /
+      [store_corrupt_skips] / [store_puts] / [store_evictions], all
+      zero when no store is attached).
 
     See the README for a worked transcript. *)
 
 type t
 
+(** Stable error codes — the machine-readable half of every error
+    response. New codes may be added; existing ones never change
+    meaning. *)
+type code =
+  | Bad_json  (** the request line did not parse as JSON *)
+  | Bad_request
+      (** missing or mistyped field, unknown op / query / delta action *)
+  | No_session  (** an op that needs a session arrived before [load] *)
+  | Bad_topology
+      (** [load]'s edgelist did not parse, or the network was invalid *)
+  | Invalid_delta  (** the delta was rejected; the session is unchanged *)
+  | Query_failed
+      (** the library rejected the query (precondition failure) *)
+
+val code_to_string : code -> string
+(** The wire rendering, e.g. [Bad_request] ↦ ["bad_request"]. *)
+
 val create :
-  ?pool:Nettomo_util.Pool.t -> ?seed:int -> ?emit_wall_ms:bool -> unit -> t
+  ?pool:Nettomo_util.Pool.t ->
+  ?seed:int ->
+  ?emit_wall_ms:bool ->
+  ?store:Nettomo_store.Store.t ->
+  unit ->
+  t
 (** A server with no session loaded. [pool] serves batch fan-out
     (serial when absent); [seed] (default 7) is the default session
     seed; [emit_wall_ms] (default [true]) controls the ["wall_ms"]
     response field — golden-file tests turn it off for byte-stable
-    output. *)
+    output; [store] is handed to every session the server creates
+    (sessions fall back to [NETTOMO_STORE] when absent, see
+    {!Session.create}). *)
 
 val session : t -> Session.t option
 (** The live session, once a [load] succeeded. *)

@@ -10,6 +10,7 @@ module Classify = Nettomo_core.Classify
 module Mmp = Nettomo_core.Mmp
 module Solver = Nettomo_core.Solver
 module Extended = Nettomo_core.Extended
+module Store = Nettomo_store.Store
 
 type delta =
   | Add_node of Graph.node
@@ -74,6 +75,9 @@ type t = {
   mmp_memo : (int64, (Mmp.report, string) result) Hashtbl.t;
   memo : (int64 * int64, entry) Hashtbl.t;
       (** per-state answers, keyed by the full fingerprint *)
+  store : Store.t option;
+      (** second-level persistent cache, consulted only when the
+          in-memory memos miss and only at full-computation sites *)
   counters : counters;
 }
 
@@ -85,7 +89,24 @@ let count_deg_lt3 net =
       else acc)
     g 0
 
-let create ?(seed = 7) net =
+(* NETTOMO_STORE=<dir> enables the persistent cache for sessions created
+   without an explicit [?store]; the empty string means disabled, so
+   tests can force a hermetic environment. NETTOMO_STORE_MAX_BYTES
+   overrides the store's size bound. *)
+let store_of_env () =
+  match Sys.getenv_opt "NETTOMO_STORE" with
+  | None | Some "" -> None
+  | Some dir -> (
+      match
+        Option.bind (Sys.getenv_opt "NETTOMO_STORE_MAX_BYTES") int_of_string_opt
+      with
+      | Some max_bytes -> Some (Store.open_dir ~max_bytes dir)
+      | None -> Some (Store.open_dir dir))
+
+let create ?(seed = 7) ?store net =
+  let store =
+    match store with Some _ as s -> s | None -> store_of_env ()
+  in
   {
     net;
     fp = Fingerprint.of_net net;
@@ -98,6 +119,7 @@ let create ?(seed = 7) net =
     decomp_memo = Hashtbl.create 64;
     mmp_memo = Hashtbl.create 64;
     memo = Hashtbl.create 64;
+    store;
     counters =
       {
         c_deltas = 0;
@@ -114,6 +136,13 @@ let create ?(seed = 7) net =
 let net t = t.net
 let fingerprint t = t.fp
 let seed t = t.seed
+let store t = t.store
+
+let store_find t key decode =
+  match t.store with None -> None | Some s -> Store.find_with s key ~decode
+
+let store_put t key payload =
+  match t.store with None -> () | Some s -> Store.put s key payload
 
 let stats t =
   let c = t.counters in
@@ -408,11 +437,19 @@ let compute_identifiable t =
           | Some v ->
               t.counters.c_verdict_carries <- t.counters.c_verdict_carries + 1;
               Ok v
-          | None ->
-              t.counters.c_full_computes <- t.counters.c_full_computes + 1;
-              run_catch (fun () ->
-                  Sparsify.is_three_vertex_connected
-                    (Extended.extend n).Extended.graph))
+          | None -> (
+              let key = Codec.key_identifiable t.fp in
+              match store_find t key Codec.decode_identifiable with
+              | Some r -> r
+              | None ->
+                  t.counters.c_full_computes <- t.counters.c_full_computes + 1;
+                  let r =
+                    run_catch (fun () ->
+                        Sparsify.is_three_vertex_connected
+                          (Extended.extend n).Extended.graph)
+                  in
+                  store_put t key (Codec.encode_identifiable r);
+                  r))
   else
     (* Precondition failure: delegate so the error message matches the
        library's exactly. *)
@@ -464,9 +501,17 @@ let decomposition t =
                   (block, comps)
               | None ->
                   t.counters.c_block_misses <- t.counters.c_block_misses + 1;
+                  let skey = Codec.key_components key in
                   let comps =
-                    Triconnected.split_biconnected
-                      (Graph.induced g block.Biconnected.nodes)
+                    match store_find t skey Codec.decode_components with
+                    | Some comps -> comps
+                    | None ->
+                        let comps =
+                          Triconnected.split_biconnected
+                            (Graph.induced g block.Biconnected.nodes)
+                        in
+                        store_put t skey (Codec.encode_components comps);
+                        comps
                   in
                   Hashtbl.add t.tricache key comps;
                   (block, comps))
@@ -481,8 +526,17 @@ let decomposition t =
               match Hashtbl.find_opt t.paircache key with
               | Some pairs -> pairs
               | None ->
+                  let skey = Codec.key_edges key in
                   let pairs =
-                    Separation.cut_pairs (Graph.induced g block.Biconnected.nodes)
+                    match store_find t skey Codec.decode_edges with
+                    | Some pairs -> pairs
+                    | None ->
+                        let pairs =
+                          Separation.cut_pairs
+                            (Graph.induced g block.Biconnected.nodes)
+                        in
+                        store_put t skey (Codec.encode_edges pairs);
+                        pairs
                   in
                   Hashtbl.add t.paircache key pairs;
                   pairs)
@@ -519,14 +573,22 @@ let mmp t =
         t.counters.c_memo_hits <- t.counters.c_memo_hits + 1;
         r
     | None ->
-        let g = Net.graph t.net in
+        let key = Codec.key_report skey in
         let r =
-          if (not (Graph.is_empty g)) && is_connected_now t then begin
-            t.counters.c_full_computes <- t.counters.c_full_computes + 1;
-            run_catch (fun () ->
-                Mmp.place_report_decomposed g (decomposition t))
-          end
-          else Scratch.mmp t.net
+          match store_find t key Codec.decode_report with
+          | Some r -> r
+          | None ->
+              let g = Net.graph t.net in
+              let r =
+                if (not (Graph.is_empty g)) && is_connected_now t then begin
+                  t.counters.c_full_computes <- t.counters.c_full_computes + 1;
+                  run_catch (fun () ->
+                      Mmp.place_report_decomposed g (decomposition t))
+                end
+                else Scratch.mmp t.net
+              in
+              store_put t key (Codec.encode_report r);
+              r
         in
         Hashtbl.add t.mmp_memo skey r;
         r
@@ -543,8 +605,16 @@ let classify t =
         t.counters.c_memo_hits <- t.counters.c_memo_hits + 1;
         r
     | None ->
-        t.counters.c_full_computes <- t.counters.c_full_computes + 1;
-        let r = Scratch.classify t.net in
+        let key = Codec.key_classification t.fp in
+        let r =
+          match store_find t key Codec.decode_classification with
+          | Some r -> r
+          | None ->
+              t.counters.c_full_computes <- t.counters.c_full_computes + 1;
+              let r = Scratch.classify t.net in
+              store_put t key (Codec.encode_classification r);
+              r
+        in
         e.e_classify <- Some r;
         r
   in
@@ -561,8 +631,16 @@ let plan t =
         t.counters.c_memo_hits <- t.counters.c_memo_hits + 1;
         r
     | None ->
-        t.counters.c_full_computes <- t.counters.c_full_computes + 1;
-        let r = Scratch.plan ~seed:t.seed t.net in
+        let key = Codec.key_plan ~seed:t.seed t.fp in
+        let r =
+          match store_find t key (Codec.decode_plan ~net:t.net) with
+          | Some r -> r
+          | None ->
+              t.counters.c_full_computes <- t.counters.c_full_computes + 1;
+              let r = Scratch.plan ~seed:t.seed t.net in
+              store_put t key (Codec.encode_plan r);
+              r
+        in
         e.e_plan <- Some r;
         r
   in

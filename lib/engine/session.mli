@@ -22,9 +22,15 @@
 
     Caches grow with the number of distinct states visited and are
     never evicted; a long-lived server trades that memory for answer
-    latency. With [NETTOMO_CHECK] enabled every answer is re-derived
-    from scratch and compared — a divergence (including a fingerprint
-    collision) raises {!Nettomo_util.Invariant.Violation}. *)
+    latency. A session may additionally carry a persistent
+    {!Nettomo_store.Store} (see DESIGN.md §11): it is consulted only
+    when the in-memory memos miss and only where a real analysis would
+    otherwise run, so answers — including their byte-level rendering —
+    are identical with the store disabled, cold, warm, or corrupted.
+    With [NETTOMO_CHECK] enabled every answer is re-derived from
+    scratch and compared — a divergence (including a fingerprint
+    collision or a stale store artifact) raises
+    {!Nettomo_util.Invariant.Violation}. *)
 
 open Nettomo_graph
 
@@ -46,15 +52,24 @@ type delta =
 
 val pp_delta : Format.formatter -> delta -> unit
 
-val create : ?seed:int -> Nettomo_core.Net.t -> t
+val create : ?seed:int -> ?store:Nettomo_store.Store.t -> Nettomo_core.Net.t -> t
 (** A fresh session over a network. [seed] (default 7) keys the
-    deterministic generator used by {!plan}. *)
+    deterministic generator used by {!plan}. [store] attaches a
+    persistent second-level cache; when omitted, a non-empty
+    [NETTOMO_STORE] environment variable names a store directory to
+    open (with [NETTOMO_STORE_MAX_BYTES] optionally overriding its
+    size bound), and an empty or unset one leaves the session
+    memory-only. *)
 
 val net : t -> Nettomo_core.Net.t
 (** The current network. *)
 
 val fingerprint : t -> Fingerprint.t
 val seed : t -> int
+
+val store : t -> Nettomo_store.Store.t option
+(** The attached persistent store, if any — e.g. for reading its
+    hit/miss counters into a stats report. *)
 
 val apply : t -> delta -> (unit, string) result
 (** Apply one delta. O(1) fingerprint/counter updates plus the cost of

@@ -1,0 +1,261 @@
+(* Disk-backed content-addressed artifact store. See store.mli and
+   DESIGN.md §11 for the contract; the load-bearing rules are (a) every
+   read failure degrades to a miss and (b) publishes are atomic via
+   write-to-temp-then-rename. *)
+
+let magic = "NTST"
+let format_version = 1
+let suffix = ".ntst"
+
+(* magic (4) + version (1) + payload length LE (8) + fnv64 LE (8) *)
+let header_len = 21
+let default_max_bytes = 256 * 1024 * 1024
+
+type counters = {
+  mutable hits : int;
+  mutable misses : int;
+  mutable corrupt_skips : int;
+  mutable puts : int;
+  mutable evictions : int;
+}
+
+type t = {
+  dir : string;
+  max_bytes : int;
+  usable : bool;
+  c : counters;
+  mutable bytes : int;  (* approximate directory total, maintained by put *)
+}
+
+(* Temp-file names must be unique per writer: across processes the pid
+   disambiguates, and within a process this atomic counter does — two
+   handles on different domains must never share a temp name, or the
+   atomic-publish guarantee is lost before the rename even happens. *)
+let tmp_counter = Atomic.make 0
+
+type stats = {
+  hits : int;
+  misses : int;
+  corrupt_skips : int;
+  puts : int;
+  evictions : int;
+}
+
+type entry = { file : string; size : int; mtime : float; valid : bool }
+
+(* ---------- framing ---------- *)
+
+let pack payload =
+  let n = String.length payload in
+  let b = Bytes.create (header_len + n) in
+  Bytes.blit_string magic 0 b 0 4;
+  Bytes.set b 4 (Char.chr format_version);
+  Bytes.set_int64_le b 5 (Int64.of_int n);
+  Bytes.set_int64_le b 13 (Nettomo_util.Checksum.fnv64 payload);
+  Bytes.blit_string payload 0 b header_len n;
+  Bytes.unsafe_to_string b
+
+let unpack raw =
+  if String.length raw < header_len then None
+  else if not (String.equal (String.sub raw 0 4) magic) then None
+  else if Char.code raw.[4] <> format_version then None
+  else
+    let b = Bytes.unsafe_of_string raw in
+    let len = Bytes.get_int64_le b 5 in
+    let sum = Bytes.get_int64_le b 13 in
+    if
+      Int64.compare len 0L < 0
+      || Int64.compare len (Int64.of_int (String.length raw - header_len)) <> 0
+    then None
+    else
+      let payload = String.sub raw header_len (Int64.to_int len) in
+      if Int64.equal (Nettomo_util.Checksum.fnv64 payload) sum then
+        Some payload
+      else None
+
+(* ---------- paths ---------- *)
+
+let key_ok_char c =
+  match c with
+  | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '.' | '_' | '-' -> true
+  | _ -> false
+
+let encode_key key =
+  let buf = Buffer.create (String.length key + 8) in
+  String.iter
+    (fun c ->
+      if key_ok_char c then Buffer.add_char buf c
+      else Buffer.add_string buf (Printf.sprintf "%%%02x" (Char.code c)))
+    key;
+  Buffer.contents buf
+
+let path_of t key = Filename.concat t.dir (encode_key key ^ suffix)
+let is_entry_file name = Filename.check_suffix name suffix
+
+(* ---------- directory scanning ---------- *)
+
+let read_file path =
+  try Some (In_channel.with_open_bin path In_channel.input_all)
+  with Sys_error _ -> None
+
+let scan_raw dir =
+  (* (path, size, mtime) of entry files, unreadable ones skipped *)
+  let names = try Sys.readdir dir with Sys_error _ -> [||] in
+  Array.sort String.compare names;
+  Array.fold_left
+    (fun acc name ->
+      if not (is_entry_file name) then acc
+      else
+        let path = Filename.concat dir name in
+        match Unix.stat path with
+        | st -> (path, st.Unix.st_size, st.Unix.st_mtime) :: acc
+        | exception Unix.Unix_error _ -> acc)
+    [] names
+  |> List.rev
+
+let dir_bytes dir =
+  List.fold_left (fun acc (_, size, _) -> acc + size) 0 (scan_raw dir)
+
+(* Oldest first: mtime ascending, file name as deterministic tie-break
+   (mtimes often collide at file-system timestamp granularity). *)
+let oldest_first files =
+  List.sort
+    (fun (pa, _, ma) (pb, _, mb) ->
+      let c = Float.compare ma mb in
+      if c <> 0 then c else String.compare pa pb)
+    files
+
+let evict_down dir ~max_bytes =
+  let files = scan_raw dir in
+  let total = List.fold_left (fun acc (_, size, _) -> acc + size) 0 files in
+  let removed = ref 0 in
+  let remaining = ref total in
+  List.iter
+    (fun (path, size, _) ->
+      if !remaining > max_bytes then (
+        (try Sys.remove path with Sys_error _ -> ());
+        remaining := !remaining - size;
+        incr removed))
+    (oldest_first files);
+  (!removed, !remaining)
+
+(* ---------- lifecycle ---------- *)
+
+let rec mkdir_p dir =
+  if Sys.file_exists dir then Sys.is_directory dir
+  else
+    let parent = Filename.dirname dir in
+    (String.equal parent dir || mkdir_p parent)
+    &&
+    match Unix.mkdir dir 0o755 with
+    | () -> true
+    | exception Unix.Unix_error (Unix.EEXIST, _, _) -> Sys.is_directory dir
+    | exception Unix.Unix_error _ -> false
+
+let open_dir ?(max_bytes = default_max_bytes) dir =
+  let usable = mkdir_p dir in
+  let c : counters =
+    { hits = 0; misses = 0; corrupt_skips = 0; puts = 0; evictions = 0 }
+  in
+  let bytes = if usable && max_bytes > 0 then dir_bytes dir else 0 in
+  { dir; max_bytes; usable; c; bytes }
+
+let dir t = t.dir
+let usable t = t.usable
+let max_bytes t = t.max_bytes
+
+let stats t =
+  {
+    hits = t.c.hits;
+    misses = t.c.misses;
+    corrupt_skips = t.c.corrupt_skips;
+    puts = t.c.puts;
+    evictions = t.c.evictions;
+  }
+
+(* ---------- reads ---------- *)
+
+let touch path =
+  (* LRU bump; the sticks-out value 0.0/0.0 means "now" to utimes. *)
+  try Unix.utimes path 0.0 0.0 with Unix.Unix_error _ -> ()
+
+let find_with t key ~decode =
+  if not t.usable then (
+    t.c.misses <- t.c.misses + 1;
+    None)
+  else
+    let path = path_of t key in
+    match read_file path with
+    | None ->
+        t.c.misses <- t.c.misses + 1;
+        None
+    | Some raw -> (
+        match unpack raw with
+        | None ->
+            t.c.corrupt_skips <- t.c.corrupt_skips + 1;
+            None
+        | Some payload -> (
+            match decode payload with
+            | None ->
+                t.c.corrupt_skips <- t.c.corrupt_skips + 1;
+                None
+            | Some v ->
+                t.c.hits <- t.c.hits + 1;
+                touch path;
+                Some v))
+
+let find t key = find_with t key ~decode:(fun payload -> Some payload)
+
+(* ---------- writes ---------- *)
+
+let gc_if_over t =
+  if t.max_bytes > 0 && t.bytes > t.max_bytes then (
+    let removed, remaining = evict_down t.dir ~max_bytes:t.max_bytes in
+    t.c.evictions <- t.c.evictions + removed;
+    t.bytes <- remaining)
+
+let put t key payload =
+  if t.usable then (
+    let path = path_of t key in
+    let tmp =
+      Filename.concat t.dir
+        (Printf.sprintf ".tmp-%d-%d" (Unix.getpid ())
+           (Atomic.fetch_and_add tmp_counter 1))
+    in
+    let raw = pack payload in
+    let old_size =
+      match Unix.stat path with
+      | st -> st.Unix.st_size
+      | exception Unix.Unix_error _ -> 0
+    in
+    match
+      Out_channel.with_open_bin tmp (fun oc -> Out_channel.output_string oc raw)
+    with
+    | exception Sys_error _ -> ( try Sys.remove tmp with Sys_error _ -> ())
+    | () -> (
+        match Sys.rename tmp path with
+        | exception Sys_error _ -> (
+            try Sys.remove tmp with Sys_error _ -> ())
+        | () ->
+            t.c.puts <- t.c.puts + 1;
+            t.bytes <- t.bytes - old_size + String.length raw;
+            gc_if_over t))
+
+(* ---------- offline maintenance ---------- *)
+
+let entries dir =
+  List.map
+    (fun (path, size, mtime) ->
+      let valid =
+        match read_file path with
+        | None -> false
+        | Some raw -> Option.is_some (unpack raw)
+      in
+      { file = path; size; mtime; valid })
+    (List.sort
+       (fun (pa, _, _) (pb, _, _) -> String.compare pa pb)
+       (scan_raw dir))
+
+let gc_dir dir ~max_bytes =
+  let removed, _ = evict_down dir ~max_bytes in
+  removed

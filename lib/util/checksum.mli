@@ -1,0 +1,15 @@
+(** Payload checksums for the artifact store.
+
+    FNV-1a in its 64-bit variant: one multiply and one XOR per byte,
+    dependency-free, and stable across platforms and OCaml versions —
+    unlike [Hashtbl.hash], whose value is explicitly unspecified and
+    must never reach a persistent format. Not cryptographic: it detects
+    corruption (truncation, bit flips, torn writes), not adversaries.
+    The store's on-disk header ({!Nettomo_store.Store}) embeds this
+    checksum next to the payload it covers. *)
+
+val fnv64 : string -> int64
+(** FNV-1a 64-bit digest of the whole string. *)
+
+val to_hex : int64 -> string
+(** Fixed-width (16 nibble) lowercase hex rendering. *)

@@ -1,0 +1,147 @@
+(* Regression suite for the serve protocol's machine-readable error
+   codes: every failure class must carry its stable "code" field (the
+   contract clients may match on), successful responses must carry
+   none, and the human-facing "error" text must stay advisory. *)
+
+module Protocol = Nettomo_engine.Protocol
+module Jsonx = Nettomo_util.Jsonx
+
+let check = Alcotest.check
+let cb = Alcotest.bool
+let cs = Alcotest.string
+
+let fig1_line =
+  {|{"id":1,"op":"load","edges":"0 4\n0 3\n3 4\n4 5\n3 5\n3 2\n5 2\n5 6\n2 1\n6 2\n6 1","monitors":[0,1,2],"seed":11}|}
+
+let parse_response raw =
+  match Jsonx.parse raw with
+  | Ok v -> v
+  | Error m -> Alcotest.failf "response is not JSON (%s): %s" m raw
+
+let member_string name v =
+  match Jsonx.member name v with
+  | Some (Jsonx.String s) -> Some s
+  | Some _ | None -> None
+
+(* Send one line and return (status, code option, error option). *)
+let probe server line =
+  let v = parse_response (Protocol.handle_line server line) in
+  ( Option.value (member_string "status" v) ~default:"<missing>",
+    member_string "code" v,
+    member_string "error" v )
+
+let expect_code server ~name ~code line =
+  let status, got_code, got_error = probe server line in
+  check cs (name ^ ": status") "error" status;
+  (match got_code with
+  | Some c -> check cs (name ^ ": code") code c
+  | None -> Alcotest.failf "%s: error response lacks a code field" name);
+  check cb (name ^ ": human-facing message present") true
+    (match got_error with Some m -> String.length m > 0 | None -> false)
+
+let expect_ok server ~name line =
+  let status, got_code, _ = probe server line in
+  check cs (name ^ ": status") "ok" status;
+  check cb (name ^ ": no code field on success") true (got_code = None)
+
+let fresh () = Protocol.create ~emit_wall_ms:false ()
+
+(* ------------------------------------------------------------------ *)
+
+let test_bad_json () =
+  let s = fresh () in
+  expect_code s ~name:"garbage" ~code:"bad_json" "{not json";
+  expect_code s ~name:"truncated" ~code:"bad_json" {|{"id":1,"op":|};
+  (* A bad line must not poison the stream: the next request works. *)
+  expect_ok s ~name:"recovers" fig1_line
+
+let test_bad_request () =
+  let s = fresh () in
+  expect_code s ~name:"missing op" ~code:"bad_request" {|{"id":1}|};
+  expect_code s ~name:"unknown op" ~code:"bad_request"
+    {|{"id":1,"op":"frobnicate"}|};
+  expect_code s ~name:"op not a string" ~code:"bad_request"
+    {|{"id":1,"op":42}|};
+  expect_ok s ~name:"load" fig1_line;
+  expect_code s ~name:"unknown delta action" ~code:"bad_request"
+    {|{"id":2,"op":"delta","action":"teleport"}|};
+  expect_code s ~name:"missing delta field" ~code:"bad_request"
+    {|{"id":3,"op":"delta","action":"add_link","u":7}|};
+  expect_code s ~name:"non-integer monitors" ~code:"bad_request"
+    {|{"id":4,"op":"delta","action":"set_monitors","monitors":["zero"]}|};
+  expect_code s ~name:"unknown batch query" ~code:"bad_request"
+    {|{"id":5,"op":"batch","queries":["identifiable","everything"]}|}
+
+let test_no_session () =
+  let s = fresh () in
+  List.iter
+    (fun (name, line) -> expect_code s ~name ~code:"no_session" line)
+    [
+      ("query", {|{"id":1,"op":"identifiable"}|});
+      ("delta", {|{"id":2,"op":"delta","action":"add_node","node":9}|});
+      ("batch", {|{"id":3,"op":"batch","queries":["mmp"]}|});
+      ("stats", {|{"id":4,"op":"stats"}|});
+    ]
+
+let test_bad_topology () =
+  let s = fresh () in
+  expect_code s ~name:"unparsable edges" ~code:"bad_topology"
+    {|{"id":1,"op":"load","edges":"0 1\nnot an edge","monitors":[0]}|};
+  expect_code s ~name:"foreign monitor" ~code:"bad_topology"
+    {|{"id":2,"op":"load","edges":"0 1\n1 2","monitors":[0,99]}|};
+  (* A rejected load leaves no session behind. *)
+  expect_code s ~name:"still no session" ~code:"no_session"
+    {|{"id":3,"op":"identifiable"}|}
+
+let test_invalid_delta () =
+  let s = fresh () in
+  expect_ok s ~name:"load" fig1_line;
+  expect_code s ~name:"duplicate node" ~code:"invalid_delta"
+    {|{"id":2,"op":"delta","action":"add_node","node":0}|};
+  expect_code s ~name:"self loop" ~code:"invalid_delta"
+    {|{"id":3,"op":"delta","action":"add_link","u":3,"v":3}|};
+  expect_code s ~name:"missing link" ~code:"invalid_delta"
+    {|{"id":4,"op":"delta","action":"remove_link","u":0,"v":6}|};
+  (* The session survives rejected deltas. *)
+  expect_ok s ~name:"still serving" {|{"id":5,"op":"identifiable"}|}
+
+let test_query_failed () =
+  let s = fresh () in
+  (* classify requires exactly two monitors; fig1 loads with three, so
+     the session accepts the query and the library rejects it. *)
+  expect_ok s ~name:"load" fig1_line;
+  expect_code s ~name:"classify with three monitors" ~code:"query_failed"
+    {|{"id":2,"op":"classify"}|}
+
+let test_batch_suberror_code () =
+  let s = fresh () in
+  expect_ok s ~name:"load" fig1_line;
+  let v =
+    parse_response
+      (Protocol.handle_line s
+         {|{"id":2,"op":"batch","queries":["identifiable","classify"]}|})
+  in
+  (* The envelope is ok; the failing sub-result carries the code. *)
+  check cs "envelope status" "ok"
+    (Option.value (member_string "status" v) ~default:"<missing>");
+  match Jsonx.member "results" v with
+  | Some (Jsonx.List [ ok_item; err_item ]) ->
+      check cs "first sub-result ok" "ok"
+        (Option.value (member_string "status" ok_item) ~default:"<missing>");
+      check cs "failing sub-result status" "error"
+        (Option.value (member_string "status" err_item) ~default:"<missing>");
+      check cs "failing sub-result code" "query_failed"
+        (Option.value (member_string "code" err_item) ~default:"<missing>")
+  | Some _ | None -> Alcotest.fail "batch response lacks a two-item results list"
+
+let suite =
+  [
+    Alcotest.test_case "bad_json" `Quick test_bad_json;
+    Alcotest.test_case "bad_request" `Quick test_bad_request;
+    Alcotest.test_case "no_session" `Quick test_no_session;
+    Alcotest.test_case "bad_topology" `Quick test_bad_topology;
+    Alcotest.test_case "invalid_delta" `Quick test_invalid_delta;
+    Alcotest.test_case "query_failed" `Quick test_query_failed;
+    Alcotest.test_case "batch sub-error carries code" `Quick
+      test_batch_suberror_code;
+  ]
