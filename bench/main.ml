@@ -27,6 +27,7 @@ module Jsonx = Nettomo_util.Jsonx
 module Q = Nettomo_linalg.Rational
 module Matrix = Nettomo_linalg.Matrix
 module Inv = Nettomo_util.Invariant
+module Obs = Nettomo_obs.Obs
 
 type config = { full : bool; seed : int; pool : Pool.t; report : Report.t }
 
@@ -739,9 +740,9 @@ let core_stream rng g0 rounds =
           Session.Remove_link (u, v))
 
 let wall_time f =
-  let t0 = Unix.gettimeofday () in
+  let t0 = Obs.Clock.now () in
   let r = f () in
-  (r, Unix.gettimeofday () -. t0)
+  (r, Obs.Clock.now () -. t0)
 
 let rec take n = function
   | x :: rest when n > 0 -> x :: take (n - 1) rest
@@ -1023,6 +1024,10 @@ let () =
   let seed = int_opt "--seed" 7 in
   let jobs = int_opt "--jobs" 1 in
   let json_path = str_opt "--json" in
+  let trace_path = str_opt "--trace" in
+  (* Tracing is always on in the harness: the per-phase span summaries
+     feed the report, and --trace additionally dumps the raw spans. *)
+  Obs.Trace.enable ();
   let pool = Pool.create ~jobs in
   let report = Report.create () in
   let cfg = { full; seed; pool; report } in
@@ -1075,6 +1080,14 @@ let () =
           | "perf" -> timed id (fun () -> perf cfg)
           | _ -> ())
         selected);
-  match json_path with
+  (match json_path with
   | None -> ()
-  | Some path -> Report.write report ~path ~seed ~jobs ~full
+  | Some path -> Report.write report ~path ~seed ~jobs ~full);
+  match trace_path with
+  | None -> ()
+  | Some path ->
+      let oc = open_out path in
+      Fun.protect
+        ~finally:(fun () -> close_out oc)
+        (fun () -> output_string oc (Obs.Trace.to_chrome_json ()));
+      Printf.printf "wrote Chrome trace to %s\n" path

@@ -9,12 +9,16 @@
    the latter was not selected), hence the entry stack. *)
 
 module Jsonx = Nettomo_util.Jsonx
+module Obs = Nettomo_obs.Obs
 
 type entry = {
   id : string;
   mutable wall_s : float;
   mutable trials : int;
   mutable series : Jsonx.t list; (* newest first *)
+  mutable spans : (string * (int * float)) list;
+      (* per-phase tracer aggregate accumulated while this entry ran:
+         name -> (count, total seconds), sorted by name *)
 }
 
 type t = {
@@ -24,16 +28,32 @@ type t = {
 
 let create () = { entries = []; stack = [] }
 
+(* Phase attribution: the tracer's aggregate table is process-global,
+   so each entry records the delta between the summaries at its open
+   and close. The bracket span ("bench.<id>") makes the experiment's
+   own wall time part of the trace, so a traced run's span total always
+   accounts for the run itself, not just instrumented leaves. *)
+let summary_diff ~before ~after =
+  List.filter_map
+    (fun (name, (c1, d1)) ->
+      let c0, d0 =
+        match List.assoc_opt name before with Some x -> x | None -> (0, 0.)
+      in
+      if c1 > c0 then Some (name, (c1 - c0, d1 -. d0)) else None)
+    after
+
 let timed t ~id f =
-  let entry = { id; wall_s = 0.0; trials = 0; series = [] } in
+  let entry = { id; wall_s = 0.0; trials = 0; series = []; spans = [] } in
   t.stack <- entry :: t.stack;
-  let t0 = Unix.gettimeofday () in
+  let before = Obs.Trace.summary () in
+  let t0 = Obs.Clock.now () in
   Fun.protect
     ~finally:(fun () ->
-      entry.wall_s <- Unix.gettimeofday () -. t0;
+      entry.wall_s <- Obs.Clock.now () -. t0;
+      entry.spans <- summary_diff ~before ~after:(Obs.Trace.summary ());
       t.stack <- (match t.stack with [] -> [] | _ :: rest -> rest);
       t.entries <- entry :: t.entries)
-    f
+    (fun () -> Obs.Trace.span ("bench." ^ id) f)
 
 let add_trials t n =
   match t.stack with [] -> () | entry :: _ -> entry.trials <- entry.trials + n
@@ -50,6 +70,19 @@ let entry_to_json entry =
       ("wall_s", Jsonx.Float entry.wall_s);
       ("trials", Jsonx.Int entry.trials);
       ("series", Jsonx.List (List.rev entry.series));
+      (* Timing detail lives here, NOT in "series": series must stay
+         byte-identical across --jobs for the CI determinism check. *)
+      ( "spans",
+        Jsonx.List
+          (List.map
+             (fun (name, (count, total)) ->
+               Jsonx.Obj
+                 [
+                   ("name", Jsonx.String name);
+                   ("count", Jsonx.Int count);
+                   ("total_s", Jsonx.Float total);
+                 ])
+             entry.spans) );
     ]
 
 let to_json t ~seed ~jobs ~full =

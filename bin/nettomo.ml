@@ -26,6 +26,7 @@ module Pool = Nettomo_util.Pool
 module Jsonx = Nettomo_util.Jsonx
 module Q = Nettomo_linalg.Rational
 module Store = Nettomo_store.Store
+module Obs = Nettomo_obs.Obs
 
 (* ------------------------------------------------------------------ *)
 (* Common arguments                                                    *)
@@ -433,7 +434,7 @@ let experiment_cmd =
     else
       match
         Pool.with_pool ~jobs (fun pool ->
-            let t0 = Unix.gettimeofday () in
+            let t0 = Obs.Clock.now () in
             let rng = Prng.create seed in
             let rows =
               List.map
@@ -441,7 +442,7 @@ let experiment_cmd =
                   (kappa, Rmp.success_fraction_par ~pool rng g ~kappa ~runs))
                 kappas
             in
-            (rows, Unix.gettimeofday () -. t0))
+            (rows, Obs.Clock.now () -. t0))
       with
       | exception Invalid_argument m -> `Error (false, m)
       | rows, wall_s ->
@@ -518,15 +519,43 @@ let serve_cmd =
     in
     Arg.(value & opt (some string) None & info [ "store" ] ~docv:"DIR" ~doc)
   in
-  let run jobs seed no_wall_time store_dir =
+  let trace_arg =
+    let doc =
+      "Write the server's spans as Chrome trace_event JSON to $(docv) on \
+       exit (open it in chrome://tracing or ui.perfetto.dev). When the \
+       flag is absent, a non-empty NETTOMO_TRACE environment variable \
+       names the file instead."
+    in
+    Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE" ~doc)
+  in
+  let run jobs seed no_wall_time store_dir trace =
+    let trace =
+      match trace with
+      | Some _ as t -> t
+      | None -> (
+          match Sys.getenv_opt "NETTOMO_TRACE" with
+          | None | Some "" -> None
+          | Some file -> Some file)
+    in
+    if Option.is_some trace then Obs.Trace.enable ();
+    let write_trace () =
+      match trace with
+      | None -> ()
+      | Some file ->
+          let oc = open_out file in
+          Fun.protect
+            ~finally:(fun () -> close_out oc)
+            (fun () -> output_string oc (Obs.Trace.to_chrome_json ()))
+    in
     match
-      Pool.with_pool ~jobs (fun pool ->
-          let store = Option.map (fun d -> Store.open_dir d) store_dir in
-          let server =
-            Nettomo_engine.Protocol.create ~pool ~seed
-              ~emit_wall_ms:(not no_wall_time) ?store ()
-          in
-          Nettomo_engine.Protocol.serve server stdin stdout)
+      Fun.protect ~finally:write_trace (fun () ->
+          Pool.with_pool ~jobs (fun pool ->
+              let store = Option.map (fun d -> Store.open_dir d) store_dir in
+              let server =
+                Nettomo_engine.Protocol.create ~pool ~seed
+                  ~emit_wall_ms:(not no_wall_time) ?store ()
+              in
+              Nettomo_engine.Protocol.serve server stdin stdout))
     with
     | () -> `Ok ()
     | exception Invalid_argument m -> `Error (false, m)
@@ -538,7 +567,10 @@ let serve_cmd =
           protocol on stdin/stdout: load a topology, stream deltas, and \
           query identifiability / classification / MMP / solver plans \
           incrementally.")
-    Term.(ret (const run $ jobs_arg $ seed_arg $ no_wall_time_arg $ store_arg))
+    Term.(
+      ret
+        (const run $ jobs_arg $ seed_arg $ no_wall_time_arg $ store_arg
+       $ trace_arg))
 
 (* ------------------------------------------------------------------ *)
 (* store                                                               *)
@@ -625,6 +657,138 @@ let store_cmd =
     [ stats_cmd; verify_cmd; gc_cmd ]
 
 (* ------------------------------------------------------------------ *)
+(* obs                                                                 *)
+
+let obs_cmd =
+  let dump_cmd =
+    let run () =
+      print_string (Obs.Metrics.dump ());
+      `Ok ()
+    in
+    Cmd.v
+      (Cmd.info "dump"
+         ~doc:
+           "Print this process's Obs metrics registry in Prometheus text \
+            format. (Each nettomo process owns its registry; a running \
+            server exposes the same data via the \"metrics\" request.)")
+      Term.(ret (const run $ const ()))
+  in
+  let check_trace_cmd =
+    let file_arg =
+      let doc = "Chrome trace_event JSON file, as written by serve --trace." in
+      Arg.(required & pos 0 (some file) None & info [] ~docv:"TRACE" ~doc)
+    in
+    (* Validation contract used by CI: the file parses as JSON, every
+       event is a complete ("X") span with the expected fields, and per
+       thread the spans are balanced — sorted by start time they nest
+       properly, no partial overlap. The epsilon absorbs the %.3f
+       microsecond quantization of the writer. *)
+    let eps = 0.01 in
+    let num = function
+      | Jsonx.Int i -> Some (float_of_int i)
+      | Jsonx.Float f -> Some f
+      | Jsonx.Null | Jsonx.Bool _ | Jsonx.String _ | Jsonx.List _ | Jsonx.Obj _
+        ->
+          None
+    in
+    let parse_event i ev =
+      let get name = Option.bind (Jsonx.member name ev) num in
+      match
+        ( Option.bind (Jsonx.member "name" ev) Jsonx.to_string_opt,
+          Option.bind (Jsonx.member "ph" ev) Jsonx.to_string_opt,
+          get "ts", get "dur", get "tid" )
+      with
+      | Some _, Some "X", Some ts, Some dur, Some tid
+        when ts >= 0. && dur >= 0. ->
+          Ok (int_of_float tid, ts, dur)
+      | _ -> Error (Printf.sprintf "event %d is not a well-formed span" i)
+    in
+    let check_nesting spans =
+      (* Parents sort before their children: start ascending, then
+         longer span first on equal starts. *)
+      let spans =
+        List.sort
+          (fun (sa, da) (sb, db) ->
+            let c = Float.compare sa sb in
+            if c <> 0 then c else Float.compare db da)
+          spans
+      in
+      List.fold_left
+        (fun acc (s, d) ->
+          match acc with
+          | Error _ as err -> err
+          | Ok stack ->
+              (* Pop every enclosing span that ended before this start. *)
+              let stack = List.filter (fun e -> e > s +. eps) stack in
+              let e = s +. d in
+              (match stack with
+              | top :: _ when e > top +. eps ->
+                  Error
+                    (Printf.sprintf
+                       "span [%f, %f] overlaps enclosing span ending %f" s e
+                       top)
+              | _ -> Ok (e :: stack)))
+        (Ok []) spans
+    in
+    let run file =
+      let raw = In_channel.with_open_bin file In_channel.input_all in
+      match Jsonx.parse raw with
+      | Error m -> `Error (false, "trace is not valid JSON: " ^ m)
+      | Ok doc -> (
+          match Jsonx.member "traceEvents" doc with
+          | Some (Jsonx.List events) -> (
+              let parsed =
+                List.mapi parse_event events
+                |> List.fold_left
+                     (fun acc r ->
+                       match (acc, r) with
+                       | Error _, _ -> acc
+                       | Ok acc, Ok v -> Ok (v :: acc)
+                       | Ok _, Error m -> Error m)
+                     (Ok [])
+              in
+              match parsed with
+              | Error m -> `Error (false, m)
+              | Ok spans -> (
+                  let by_tid = Hashtbl.create 8 in
+                  List.iter
+                    (fun (tid, ts, dur) ->
+                      let prev =
+                        Option.value (Hashtbl.find_opt by_tid tid) ~default:[]
+                      in
+                      Hashtbl.replace by_tid tid ((ts, dur) :: prev))
+                    spans;
+                  let bad =
+                    Hashtbl.fold
+                      (fun tid tspans acc ->
+                        match check_nesting tspans with
+                        | Ok _ -> acc
+                        | Error m -> (tid, m) :: acc)
+                      by_tid []
+                  in
+                  match bad with
+                  | [] ->
+                      Format.printf "%d span(s) across %d thread(s): balanced@."
+                        (List.length spans) (Hashtbl.length by_tid);
+                      `Ok ()
+                  | (tid, m) :: _ ->
+                      `Error (false, Printf.sprintf "tid %d: %s" tid m)))
+          | Some _ | None -> `Error (false, "trace has no traceEvents array"))
+    in
+    Cmd.v
+      (Cmd.info "check-trace"
+         ~doc:
+           "Validate a trace file written by serve --trace: JSON parses, \
+            events are well-formed complete spans, and spans nest properly \
+            per thread.")
+      Term.(ret (const run $ file_arg))
+  in
+  Cmd.group
+    (Cmd.info "obs"
+       ~doc:"Observability utilities: metrics registry dump, trace validation.")
+    [ dump_cmd; check_trace_cmd ]
+
+(* ------------------------------------------------------------------ *)
 (* dot                                                                 *)
 
 let dot_cmd =
@@ -653,5 +817,5 @@ let () =
           [
             gen_cmd; stats_cmd; decompose_cmd; check_cmd; place_cmd; solve_cmd;
             partial_cmd; routing_cmd; robust_cmd; experiment_cmd; serve_cmd;
-            store_cmd; dot_cmd;
+            store_cmd; obs_cmd; dot_cmd;
           ]))

@@ -27,14 +27,17 @@ let place_report_decomposed ?rng g (decomposition : Triconnected.t) =
   (* Rules (i)-(ii): dangling and tandem nodes have degree < 3 and can
      never be avoided. *)
   let by_degree =
-    Graph.fold_nodes (fun v acc -> if Graph.degree g v < 3 then NS.add v acc else acc)
-      g NS.empty
+    Nettomo_obs.Obs.Trace.span "mmp.degree_rule" (fun () ->
+        Graph.fold_nodes
+          (fun v acc -> if Graph.degree g v < 3 then NS.add v acc else acc)
+          g NS.empty)
   in
   let monitors = ref by_degree in
   let by_triconnected = ref NS.empty in
   let by_biconnected = ref NS.empty in
   let sep_vertices = decomposition.Triconnected.separation_vertices in
   let cut_vertices = decomposition.Triconnected.cut_vertices in
+  Nettomo_obs.Obs.Trace.span "mmp.component_rules" (fun () ->
   List.iter
     (fun ((block : Biconnected.component), tricomps) ->
       if NS.cardinal block.Biconnected.nodes >= 3 then begin
@@ -72,20 +75,21 @@ let place_report_decomposed ?rng g (decomposition : Triconnected.t) =
             chosen
         end
       end)
-    decomposition.Triconnected.blocks;
+    decomposition.Triconnected.blocks);
   (* Final top-up: at least three monitors overall (or every node on
      graphs smaller than that). *)
   let top_up = ref NS.empty in
-  let missing = 3 - NS.cardinal !monitors in
-  if missing > 0 then begin
-    let eligible = NS.diff (Graph.node_set g) !monitors in
-    let chosen = pick ?rng missing eligible in
-    List.iter
-      (fun v ->
-        monitors := NS.add v !monitors;
-        top_up := NS.add v !top_up)
-      chosen
-  end;
+  Nettomo_obs.Obs.Trace.span "mmp.top_up" (fun () ->
+      let missing = 3 - NS.cardinal !monitors in
+      if missing > 0 then begin
+        let eligible = NS.diff (Graph.node_set g) !monitors in
+        let chosen = pick ?rng missing eligible in
+        List.iter
+          (fun v ->
+            monitors := NS.add v !monitors;
+            top_up := NS.add v !top_up)
+          chosen
+      end);
   Nettomo_util.Invariant.check (fun () -> Invariant.check_mmp g !monitors);
   {
     monitors = !monitors;

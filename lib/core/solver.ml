@@ -12,6 +12,7 @@ type plan = {
 }
 
 let independent_paths ?rng ?max_stall ?(enumeration_limit = 200_000) net =
+  Nettomo_obs.Obs.Trace.span "solver.independent_paths" @@ fun () ->
   let g = Net.graph net in
   let space = Measurement.space g in
   let n = Measurement.n_links space in

@@ -8,6 +8,7 @@ module Mmp = Nettomo_core.Mmp
 module Solver = Nettomo_core.Solver
 module Edgelist = Nettomo_topo.Edgelist
 module Store = Nettomo_store.Store
+module Obs = Nettomo_obs.Obs
 
 type code =
   | Bad_json
@@ -314,16 +315,29 @@ let dispatch t req =
           ("store_puts", Jsonx.Int sst.Store.puts);
           ("store_evictions", Jsonx.Int sst.Store.evictions);
         ]
+  | "metrics" ->
+      (* Process-wide Obs registry dump. The session/store counters in
+         "stats" read the very same registry cells, so the two views
+         cannot disagree. Needs no session: a client may scrape before
+         loading. *)
+      Ok [ ("metrics", Jsonx.String (Obs.Metrics.dump ())) ]
   | op -> bad_request "unknown op %S" op
 
 let handle_line t line =
-  let start = Unix.gettimeofday () in
+  let start = Obs.Clock.now () in
   let id, outcome =
     match Jsonx.parse line with
     | Error m -> (Jsonx.Null, Error (Bad_json, "request is not valid JSON: " ^ m))
     | Ok req ->
         let id = Option.value (Jsonx.member "id" req) ~default:Jsonx.Null in
-        (id, dispatch t req)
+        let op =
+          match Option.bind (Jsonx.member "op" req) Jsonx.to_string_opt with
+          | Some op -> op
+          | None -> "?"
+        in
+        ( id,
+          Obs.Trace.span ~attrs:[ ("op", op) ] "serve.request" (fun () ->
+              dispatch t req) )
   in
   let base =
     [
@@ -334,7 +348,7 @@ let handle_line t line =
   in
   let base =
     if t.emit_wall_ms then
-      base @ [ ("wall_ms", Jsonx.Float ((Unix.gettimeofday () -. start) *. 1e3)) ]
+      base @ [ ("wall_ms", Jsonx.Float ((Obs.Clock.now () -. start) *. 1e3)) ]
     else base
   in
   let fields =

@@ -11,6 +11,7 @@ module Mmp = Nettomo_core.Mmp
 module Solver = Nettomo_core.Solver
 module Extended = Nettomo_core.Extended
 module Store = Nettomo_store.Store
+module Obs = Nettomo_obs.Obs
 
 type delta =
   | Add_node of Graph.node
@@ -40,16 +41,35 @@ type stats = {
   full_computes : int;
 }
 
+(* The four memoised query kinds, used to label memo hit/miss counters
+   on the Obs registry. *)
+type query = Q_identifiable | Q_classify | Q_mmp | Q_plan
+
+let query_index = function
+  | Q_identifiable -> 0
+  | Q_classify -> 1
+  | Q_mmp -> 2
+  | Q_plan -> 3
+
+let query_labels = [| "identifiable"; "classify"; "mmp"; "plan" |]
+
+(* Counters are per-session Obs instruments: [stats] reads this
+   session's cells, the process-wide metrics dump aggregates them, so
+   the two views are the same memory and can never disagree. *)
 type counters = {
-  mutable c_deltas : int;
-  mutable c_queries : int;
-  mutable c_memo_hits : int;
-  mutable c_degree_shortcuts : int;
-  mutable c_verdict_carries : int;
-  mutable c_block_hits : int;
-  mutable c_block_misses : int;
-  mutable c_full_computes : int;
+  c_deltas : Obs.Metrics.counter;
+  c_queries : Obs.Metrics.counter;
+  c_memo_hits : Obs.Metrics.counter array; (* indexed by query_index *)
+  c_memo_misses : Obs.Metrics.counter array;
+  c_degree_shortcuts : Obs.Metrics.counter;
+  c_verdict_carries : Obs.Metrics.counter;
+  c_block_hits : Obs.Metrics.counter;
+  c_block_misses : Obs.Metrics.counter;
+  c_full_computes : Obs.Metrics.counter;
 }
+
+let memo_hit c q = Obs.Metrics.incr c.c_memo_hits.(query_index q)
+let memo_miss c q = Obs.Metrics.incr c.c_memo_misses.(query_index q)
 
 type entry = {
   mutable e_identifiable : (bool, string) result option;
@@ -122,14 +142,25 @@ let create ?(seed = 7) ?store net =
     store;
     counters =
       {
-        c_deltas = 0;
-        c_queries = 0;
-        c_memo_hits = 0;
-        c_degree_shortcuts = 0;
-        c_verdict_carries = 0;
-        c_block_hits = 0;
-        c_block_misses = 0;
-        c_full_computes = 0;
+        c_deltas = Obs.Metrics.counter "session_deltas_total";
+        c_queries = Obs.Metrics.counter "session_queries_total";
+        c_memo_hits =
+          Array.map
+            (fun q ->
+              Obs.Metrics.counter ~labels:[ ("query", q) ]
+                "session_memo_hits_total")
+            query_labels;
+        c_memo_misses =
+          Array.map
+            (fun q ->
+              Obs.Metrics.counter ~labels:[ ("query", q) ]
+                "session_memo_misses_total")
+            query_labels;
+        c_degree_shortcuts = Obs.Metrics.counter "session_degree_shortcuts_total";
+        c_verdict_carries = Obs.Metrics.counter "session_verdict_carries_total";
+        c_block_hits = Obs.Metrics.counter "session_block_hits_total";
+        c_block_misses = Obs.Metrics.counter "session_block_misses_total";
+        c_full_computes = Obs.Metrics.counter "session_full_computes_total";
       };
   }
 
@@ -146,15 +177,18 @@ let store_put t key payload =
 
 let stats t =
   let c = t.counters in
+  let v = Obs.Metrics.counter_value in
   {
-    deltas = c.c_deltas;
-    queries = c.c_queries;
-    memo_hits = c.c_memo_hits;
-    degree_shortcuts = c.c_degree_shortcuts;
-    verdict_carries = c.c_verdict_carries;
-    block_hits = c.c_block_hits;
-    block_misses = c.c_block_misses;
-    full_computes = c.c_full_computes;
+    deltas = v c.c_deltas;
+    queries = v c.c_queries;
+    (* Every memo hit increments exactly one labelled cell, so the sum
+       equals the pre-registry scalar counter exactly. *)
+    memo_hits = Array.fold_left (fun acc cell -> acc + v cell) 0 c.c_memo_hits;
+    degree_shortcuts = v c.c_degree_shortcuts;
+    verdict_carries = v c.c_verdict_carries;
+    block_hits = v c.c_block_hits;
+    block_misses = v c.c_block_misses;
+    full_computes = v c.c_full_computes;
   }
 
 (* ------------------------------------------------------------------ *)
@@ -262,7 +296,16 @@ let check_state t =
             Invariant.violationf
               "Session.apply: connectivity cache diverges (cached %b)" c)
 
+let delta_tag = function
+  | Add_node _ -> "add_node"
+  | Remove_node _ -> "remove_node"
+  | Add_link _ -> "add_link"
+  | Remove_link _ -> "remove_link"
+  | Set_monitors _ -> "set_monitors"
+
 let apply t delta =
+  Obs.Trace.span ~attrs:[ ("action", delta_tag delta) ] "session.apply"
+  @@ fun () ->
   let g = Net.graph t.net in
   let mon = Net.monitors t.net in
   (* Contribution of one node to [deg_lt3] in a given graph, with the
@@ -390,7 +433,7 @@ let apply t delta =
   in
   (match result with
   | Ok () ->
-      t.counters.c_deltas <- t.counters.c_deltas + 1;
+      Obs.Metrics.incr t.counters.c_deltas;
       check_state t
   | Error _ -> ());
   result
@@ -429,24 +472,28 @@ let compute_identifiable t =
     | _ ->
         if t.deg_lt3 > 0 then begin
           (* Theorem 3.3 needs every non-monitor at degree ≥ 3. *)
-          t.counters.c_degree_shortcuts <- t.counters.c_degree_shortcuts + 1;
+          Obs.Metrics.incr t.counters.c_degree_shortcuts;
           Ok false
         end
         else (
           match t.verdict with
           | Some v ->
-              t.counters.c_verdict_carries <- t.counters.c_verdict_carries + 1;
+              Obs.Metrics.incr t.counters.c_verdict_carries;
               Ok v
           | None -> (
               let key = Codec.key_identifiable t.fp in
               match store_find t key Codec.decode_identifiable with
               | Some r -> r
               | None ->
-                  t.counters.c_full_computes <- t.counters.c_full_computes + 1;
+                  Obs.Metrics.incr t.counters.c_full_computes;
                   let r =
-                    run_catch (fun () ->
-                        Sparsify.is_three_vertex_connected
-                          (Extended.extend n).Extended.graph)
+                    Obs.Trace.span
+                      ~attrs:[ ("query", "identifiable") ]
+                      "session.compute"
+                      (fun () ->
+                        run_catch (fun () ->
+                            Sparsify.is_three_vertex_connected
+                              (Extended.extend n).Extended.graph))
                   in
                   store_put t key (Codec.encode_identifiable r);
                   r))
@@ -456,14 +503,15 @@ let compute_identifiable t =
     Scratch.identifiable n
 
 let identifiable t =
-  t.counters.c_queries <- t.counters.c_queries + 1;
+  Obs.Metrics.incr t.counters.c_queries;
   let e = memo_entry t in
   let r =
     match e.e_identifiable with
     | Some r ->
-        t.counters.c_memo_hits <- t.counters.c_memo_hits + 1;
+        memo_hit t.counters Q_identifiable;
         r
     | None ->
+        memo_miss t.counters Q_identifiable;
         let r = compute_identifiable t in
         e.e_identifiable <- Some r;
         r
@@ -487,6 +535,7 @@ let decomposition t =
   match Hashtbl.find_opt t.decomp_memo skey with
   | Some d -> d
   | None ->
+      Obs.Trace.span "session.decomposition" @@ fun () ->
       let g = Net.graph t.net in
       let bc = Biconnected.decompose g in
       let blocks =
@@ -497,10 +546,10 @@ let decomposition t =
               let key = block_key block in
               match Hashtbl.find_opt t.tricache key with
               | Some comps ->
-                  t.counters.c_block_hits <- t.counters.c_block_hits + 1;
+                  Obs.Metrics.incr t.counters.c_block_hits;
                   (block, comps)
               | None ->
-                  t.counters.c_block_misses <- t.counters.c_block_misses + 1;
+                  Obs.Metrics.incr t.counters.c_block_misses;
                   let skey = Codec.key_components key in
                   let comps =
                     match store_find t skey Codec.decode_components with
@@ -565,14 +614,15 @@ let decomposition t =
       d
 
 let mmp t =
-  t.counters.c_queries <- t.counters.c_queries + 1;
+  Obs.Metrics.incr t.counters.c_queries;
   let skey = t.fp.Fingerprint.structure in
   let r =
     match Hashtbl.find_opt t.mmp_memo skey with
     | Some r ->
-        t.counters.c_memo_hits <- t.counters.c_memo_hits + 1;
+        memo_hit t.counters Q_mmp;
         r
     | None ->
+        memo_miss t.counters Q_mmp;
         let key = Codec.key_report skey in
         let r =
           match store_find t key Codec.decode_report with
@@ -581,9 +631,13 @@ let mmp t =
               let g = Net.graph t.net in
               let r =
                 if (not (Graph.is_empty g)) && is_connected_now t then begin
-                  t.counters.c_full_computes <- t.counters.c_full_computes + 1;
-                  run_catch (fun () ->
-                      Mmp.place_report_decomposed g (decomposition t))
+                  Obs.Metrics.incr t.counters.c_full_computes;
+                  Obs.Trace.span
+                    ~attrs:[ ("query", "mmp") ]
+                    "session.compute"
+                    (fun () ->
+                      run_catch (fun () ->
+                          Mmp.place_report_decomposed g (decomposition t)))
                 end
                 else Scratch.mmp t.net
               in
@@ -597,21 +651,27 @@ let mmp t =
   r
 
 let classify t =
-  t.counters.c_queries <- t.counters.c_queries + 1;
+  Obs.Metrics.incr t.counters.c_queries;
   let e = memo_entry t in
   let r =
     match e.e_classify with
     | Some r ->
-        t.counters.c_memo_hits <- t.counters.c_memo_hits + 1;
+        memo_hit t.counters Q_classify;
         r
     | None ->
+        memo_miss t.counters Q_classify;
         let key = Codec.key_classification t.fp in
         let r =
           match store_find t key Codec.decode_classification with
           | Some r -> r
           | None ->
-              t.counters.c_full_computes <- t.counters.c_full_computes + 1;
-              let r = Scratch.classify t.net in
+              Obs.Metrics.incr t.counters.c_full_computes;
+              let r =
+                Obs.Trace.span
+                  ~attrs:[ ("query", "classify") ]
+                  "session.compute"
+                  (fun () -> Scratch.classify t.net)
+              in
               store_put t key (Codec.encode_classification r);
               r
         in
@@ -623,21 +683,27 @@ let classify t =
   r
 
 let plan t =
-  t.counters.c_queries <- t.counters.c_queries + 1;
+  Obs.Metrics.incr t.counters.c_queries;
   let e = memo_entry t in
   let r =
     match e.e_plan with
     | Some r ->
-        t.counters.c_memo_hits <- t.counters.c_memo_hits + 1;
+        memo_hit t.counters Q_plan;
         r
     | None ->
+        memo_miss t.counters Q_plan;
         let key = Codec.key_plan ~seed:t.seed t.fp in
         let r =
           match store_find t key (Codec.decode_plan ~net:t.net) with
           | Some r -> r
           | None ->
-              t.counters.c_full_computes <- t.counters.c_full_computes + 1;
-              let r = Scratch.plan ~seed:t.seed t.net in
+              Obs.Metrics.incr t.counters.c_full_computes;
+              let r =
+                Obs.Trace.span
+                  ~attrs:[ ("query", "plan") ]
+                  "session.compute"
+                  (fun () -> Scratch.plan ~seed:t.seed t.net)
+              in
               store_put t key (Codec.encode_plan r);
               r
         in

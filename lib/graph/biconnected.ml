@@ -112,6 +112,7 @@ module Internal = struct
 end
 
 let decompose g =
+  Nettomo_obs.Obs.Trace.span "graph.biconnected" @@ fun () ->
   let c = C.of_graph g in
   let blocks, is_cut, isolated, _ = decompose_compact c ~skip_node:None in
   let component_of_block edge_idxs =

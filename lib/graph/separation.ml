@@ -33,6 +33,7 @@ let sweep g ~f =
   end
 
 let cut_pairs g =
+  Nettomo_obs.Obs.Trace.span "graph.separation.cut_pairs" @@ fun () ->
   let acc = ref ES.empty in
   sweep g ~f:(fun v u ->
       acc := ES.add (Graph.edge v u) !acc;

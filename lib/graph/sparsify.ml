@@ -50,6 +50,7 @@ let certificate g ~k =
     base forests
 
 let is_three_vertex_connected g =
+  Nettomo_obs.Obs.Trace.span "graph.three_connectivity" @@ fun () ->
   (* Certifying pays only when the graph is denser than the certificate
      bound. *)
   if Graph.n_edges g <= 3 * Graph.n_nodes g then

@@ -25,6 +25,7 @@ let is_polygon g =
   && Graph.fold_nodes (fun v acc -> acc && Graph.degree g v = 2) g true
 
 let split_biconnected g0 =
+  Nettomo_obs.Obs.Trace.span "graph.triconnected.split" @@ fun () ->
   if Graph.n_nodes g0 < 3 then
     Errors.invalid_arg "Triconnected.split_biconnected: fewer than 3 nodes";
   if not (Biconnected.is_biconnected g0) then
@@ -60,6 +61,7 @@ type t = {
 }
 
 let decompose g =
+  Nettomo_obs.Obs.Trace.span "graph.triconnected.decompose" @@ fun () ->
   let bc = Biconnected.decompose g in
   let blocks =
     List.map

@@ -1,0 +1,382 @@
+(* Observability primitives: injectable clock, metrics registry, span
+   tracer.  See obs.mli for the contract.  This module is the single
+   allowlisted call site of Unix.gettimeofday (wall-clock lint rule);
+   everything else must go through Clock.now. *)
+
+(* Lock-free add on a boxed float: CAS on the physically-read box. *)
+let atomic_add_float (a : float Atomic.t) (x : float) =
+  let rec go () =
+    let old = Atomic.get a in
+    if not (Atomic.compare_and_set a old (old +. x)) then go ()
+  in
+  go ()
+
+module Clock = struct
+  type mode =
+    | Real
+    | Fake of { start : float; step : float; ticks : int Atomic.t }
+
+  let mode = Atomic.make Real
+
+  let now () =
+    match Atomic.get mode with
+    | Real -> Unix.gettimeofday ()
+    | Fake { start; step; ticks } ->
+        start +. (step *. float_of_int (Atomic.fetch_and_add ticks 1))
+
+  let use_real () = Atomic.set mode Real
+
+  let use_fake ?(start = 0.) ?(step = 0.001) () =
+    Atomic.set mode (Fake { start; step; ticks = Atomic.make 0 })
+
+  let is_fake () =
+    match Atomic.get mode with Real -> false | Fake _ -> true
+end
+
+module Metrics = struct
+  type cell =
+    | Counter of int Atomic.t
+    | Gauge of float Atomic.t
+    | Histogram of {
+        bounds : float array; (* strictly increasing, inclusive *)
+        counts : int Atomic.t array; (* bounds + implicit +Inf *)
+        sum : float Atomic.t;
+      }
+
+  type instrument = { name : string; labels : (string * string) list; cell : cell }
+
+  type counter = instrument
+  type gauge = instrument
+  type histogram = instrument
+
+  let registry : instrument list ref = ref []
+  let registry_mu = Mutex.create ()
+
+  let register name labels cell =
+    let labels =
+      List.sort (fun (a, _) (b, _) -> String.compare a b) labels
+    in
+    let inst = { name; labels; cell } in
+    Mutex.lock registry_mu;
+    registry := inst :: !registry;
+    Mutex.unlock registry_mu;
+    inst
+
+  let counter ?(labels = []) name = register name labels (Counter (Atomic.make 0))
+
+  let incr ?(by = 1) c =
+    match c.cell with
+    | Counter a -> ignore (Atomic.fetch_and_add a by)
+    | Gauge _ | Histogram _ -> ()
+
+  let counter_value c =
+    match c.cell with Counter a -> Atomic.get a | Gauge _ | Histogram _ -> 0
+
+  let gauge ?(labels = []) name = register name labels (Gauge (Atomic.make 0.))
+
+  let set_gauge g v =
+    match g.cell with
+    | Gauge a -> Atomic.set a v
+    | Counter _ | Histogram _ -> ()
+
+  let gauge_value g =
+    match g.cell with Gauge a -> Atomic.get a | Counter _ | Histogram _ -> 0.
+
+  let default_buckets = [ 1e-6; 1e-5; 1e-4; 1e-3; 1e-2; 1e-1; 1.; 10. ]
+
+  let histogram ?(labels = []) ?(buckets = default_buckets) name =
+    let bounds = Array.of_list buckets in
+    Array.iteri
+      (fun i b ->
+        if i > 0 && Float.compare bounds.(i - 1) b >= 0 then
+          raise
+            (Invalid_argument
+               (Printf.sprintf "Obs.Metrics.histogram %s: buckets not increasing"
+                  name)))
+      bounds;
+    register name labels
+      (Histogram
+         {
+           bounds;
+           counts = Array.init (Array.length bounds + 1) (fun _ -> Atomic.make 0);
+           sum = Atomic.make 0.;
+         })
+
+  (* Inclusive upper bounds: v lands in the first bucket with v <= bound,
+     else in the trailing +Inf bucket. *)
+  let bucket_index bounds v =
+    let n = Array.length bounds in
+    let rec go i = if i >= n then n else if v <= bounds.(i) then i else go (i + 1) in
+    go 0
+
+  let observe h v =
+    match h.cell with
+    | Histogram { bounds; counts; sum } ->
+        ignore (Atomic.fetch_and_add counts.(bucket_index bounds v) 1);
+        atomic_add_float sum v
+    | Counter _ | Gauge _ -> ()
+
+  let histogram_count h =
+    match h.cell with
+    | Histogram { counts; _ } ->
+        Array.fold_left (fun acc a -> acc + Atomic.get a) 0 counts
+    | Counter _ | Gauge _ -> 0
+
+  let histogram_sum h =
+    match h.cell with
+    | Histogram { sum; _ } -> Atomic.get sum
+    | Counter _ | Gauge _ -> 0.
+
+  (* --- text exposition ------------------------------------------------- *)
+
+  let escape_label_value s =
+    let b = Buffer.create (String.length s) in
+    String.iter
+      (fun c ->
+        match c with
+        | '\\' -> Buffer.add_string b "\\\\"
+        | '"' -> Buffer.add_string b "\\\""
+        | '\n' -> Buffer.add_string b "\\n"
+        | c -> Buffer.add_char b c)
+      s;
+    Buffer.contents b
+
+  let render_labels = function
+    | [] -> ""
+    | labels ->
+        let parts =
+          List.map
+            (fun (k, v) -> Printf.sprintf "%s=\"%s\"" k (escape_label_value v))
+            labels
+        in
+        "{" ^ String.concat "," parts ^ "}"
+
+  let render_labels_with labels extra =
+    render_labels (labels @ [ extra ])
+
+  let float_str v =
+    if Float.is_integer v && Float.abs v < 1e15 then
+      Printf.sprintf "%.0f" v
+    else Printf.sprintf "%.9g" v
+
+  (* Aggregation key: instruments sharing (name, labels) are summed so
+     per-instance handles (one per Session / Store) present as a single
+     process-wide series. *)
+  type agg =
+    | ACounter of int
+    | AGauge of float
+    | AHisto of float array * int array * float
+
+  let merge a b =
+    match (a, b) with
+    | ACounter x, ACounter y -> ACounter (x + y)
+    | AGauge x, AGauge y -> AGauge (x +. y)
+    | AHisto (bo, cx, sx), AHisto (bo', cy, sy)
+      when Array.length bo = Array.length bo'
+           && Array.for_all2 (fun u v -> Float.compare u v = 0) bo bo' ->
+        AHisto (bo, Array.map2 ( + ) cx cy, sx +. sy)
+    | _ -> a (* mismatched kinds under one name: keep the first *)
+
+  let snapshot inst =
+    match inst.cell with
+    | Counter a -> ACounter (Atomic.get a)
+    | Gauge a -> AGauge (Atomic.get a)
+    | Histogram { bounds; counts; sum } ->
+        AHisto (bounds, Array.map Atomic.get counts, Atomic.get sum)
+
+  let dump () =
+    Mutex.lock registry_mu;
+    let insts = !registry in
+    Mutex.unlock registry_mu;
+    let tbl = Hashtbl.create 64 in
+    let keys = ref [] in
+    List.iter
+      (fun inst ->
+        let key = (inst.name, inst.labels) in
+        match Hashtbl.find_opt tbl key with
+        | Some prev -> Hashtbl.replace tbl key (merge prev (snapshot inst))
+        | None ->
+            keys := key :: !keys;
+            Hashtbl.add tbl key (snapshot inst))
+      insts;
+    let cmp (n1, l1) (n2, l2) =
+      let c = String.compare n1 n2 in
+      if c <> 0 then c
+      else
+        List.compare
+          (fun (a, b) (c', d) ->
+            let k = String.compare a c' in
+            if k <> 0 then k else String.compare b d)
+          l1 l2
+    in
+    let keys = List.sort cmp !keys in
+    let b = Buffer.create 1024 in
+    List.iter
+      (fun (name, labels) ->
+        match Hashtbl.find tbl (name, labels) with
+        | ACounter v ->
+            Buffer.add_string b
+              (Printf.sprintf "%s%s %d\n" name (render_labels labels) v)
+        | AGauge v ->
+            Buffer.add_string b
+              (Printf.sprintf "%s%s %s\n" name (render_labels labels)
+                 (float_str v))
+        | AHisto (bounds, counts, sum) ->
+            let cumulative = ref 0 in
+            Array.iteri
+              (fun i bound ->
+                cumulative := !cumulative + counts.(i);
+                Buffer.add_string b
+                  (Printf.sprintf "%s_bucket%s %d\n" name
+                     (render_labels_with labels ("le", float_str bound))
+                     !cumulative))
+              bounds;
+            let total = !cumulative + counts.(Array.length bounds) in
+            Buffer.add_string b
+              (Printf.sprintf "%s_bucket%s %d\n" name
+                 (render_labels_with labels ("le", "+Inf"))
+                 total);
+            Buffer.add_string b
+              (Printf.sprintf "%s_sum%s %s\n" name (render_labels labels)
+                 (float_str sum));
+            Buffer.add_string b
+              (Printf.sprintf "%s_count%s %d\n" name (render_labels labels)
+                 total))
+      keys;
+    Buffer.contents b
+
+  let reset () =
+    Mutex.lock registry_mu;
+    registry := [];
+    Mutex.unlock registry_mu
+end
+
+module Trace = struct
+  type event = {
+    ev_name : string;
+    ev_attrs : (string * string) list;
+    ev_ts : float; (* seconds *)
+    ev_dur : float; (* seconds, >= 0 *)
+    ev_tid : int;
+  }
+
+  let on = Atomic.make false
+  let enable () = Atomic.set on true
+  let disable () = Atomic.set on false
+  let enabled () = Atomic.get on
+
+  let ring_capacity = 65536
+  let ring : event option array = Array.make ring_capacity None
+  let ring_next = Atomic.make 0
+
+  (* Name-keyed aggregates survive ring wrap (Monte-Carlo loops emit
+     millions of spans). *)
+  let agg : (string, int * float) Hashtbl.t = Hashtbl.create 64
+  let agg_mu = Mutex.create ()
+
+  let record ev =
+    let slot = Atomic.fetch_and_add ring_next 1 mod ring_capacity in
+    ring.(slot) <- Some ev;
+    Mutex.lock agg_mu;
+    let count, total =
+      match Hashtbl.find_opt agg ev.ev_name with
+      | Some ct -> ct
+      | None -> (0, 0.)
+    in
+    Hashtbl.replace agg ev.ev_name (count + 1, total +. ev.ev_dur);
+    Mutex.unlock agg_mu
+
+  let span ?(attrs = []) name f =
+    if not (Atomic.get on) then f ()
+    else begin
+      let t0 = Clock.now () in
+      Fun.protect
+        ~finally:(fun () ->
+          let t1 = Clock.now () in
+          record
+            {
+              ev_name = name;
+              ev_attrs = attrs;
+              ev_ts = t0;
+              ev_dur = Float.max 0. (t1 -. t0);
+              ev_tid = (Domain.self () :> int);
+            })
+        f
+    end
+
+  let raw_events () =
+    let total = Atomic.get ring_next in
+    let n = min total ring_capacity in
+    let first = if total <= ring_capacity then 0 else total mod ring_capacity in
+    List.filter_map
+      (fun i -> ring.((first + i) mod ring_capacity))
+      (List.init n (fun i -> i))
+
+  let events () =
+    List.map (fun e -> (e.ev_name, e.ev_ts, e.ev_dur, e.ev_tid)) (raw_events ())
+
+  let summary () =
+    Mutex.lock agg_mu;
+    let entries = Hashtbl.fold (fun k v acc -> (k, v) :: acc) agg [] in
+    Mutex.unlock agg_mu;
+    List.sort (fun (a, _) (b, _) -> String.compare a b) entries
+
+  (* Chrome trace_event JSON, built by hand: this library sits below
+     nettomo_util so it cannot use Jsonx. *)
+  let json_escape s =
+    let b = Buffer.create (String.length s + 8) in
+    String.iter
+      (fun c ->
+        match c with
+        | '"' -> Buffer.add_string b "\\\""
+        | '\\' -> Buffer.add_string b "\\\\"
+        | '\n' -> Buffer.add_string b "\\n"
+        | '\r' -> Buffer.add_string b "\\r"
+        | '\t' -> Buffer.add_string b "\\t"
+        | c when Char.code c < 0x20 ->
+            Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+        | c -> Buffer.add_char b c)
+      s;
+    Buffer.contents b
+
+  let to_chrome_json () =
+    let evs = raw_events () in
+    let t_min =
+      List.fold_left (fun acc e -> Float.min acc e.ev_ts) Float.infinity evs
+    in
+    let t_min = if Float.is_finite t_min then t_min else 0. in
+    let b = Buffer.create 4096 in
+    Buffer.add_string b "{\"traceEvents\":[";
+    List.iteri
+      (fun i e ->
+        if i > 0 then Buffer.add_char b ',';
+        Buffer.add_string b
+          (Printf.sprintf
+             "{\"name\":\"%s\",\"ph\":\"X\",\"ts\":%.3f,\"dur\":%.3f,\"pid\":1,\"tid\":%d"
+             (json_escape e.ev_name)
+             ((e.ev_ts -. t_min) *. 1e6)
+             (e.ev_dur *. 1e6) e.ev_tid);
+        (match e.ev_attrs with
+        | [] -> ()
+        | attrs ->
+            Buffer.add_string b ",\"args\":{";
+            List.iteri
+              (fun j (k, v) ->
+                if j > 0 then Buffer.add_char b ',';
+                Buffer.add_string b
+                  (Printf.sprintf "\"%s\":\"%s\"" (json_escape k)
+                     (json_escape v)))
+              attrs;
+            Buffer.add_char b '}');
+        Buffer.add_char b '}')
+      evs;
+    Buffer.add_string b "]}\n";
+    Buffer.contents b
+
+  let clear () =
+    Atomic.set ring_next 0;
+    Array.fill ring 0 ring_capacity None;
+    Mutex.lock agg_mu;
+    Hashtbl.reset agg;
+    Mutex.unlock agg_mu
+end

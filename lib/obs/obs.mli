@@ -1,0 +1,122 @@
+(** Process-wide observability: an injectable clock, a metrics
+    registry (counters / gauges / histograms) and a span tracer with
+    Chrome [trace_event] export.
+
+    This library sits {e below} every other nettomo library (it
+    depends only on [unix]) so that even [Nettomo_util.Pool] can be
+    instrumented.  Nothing in here ever perturbs computed results:
+    disabled tracing costs one atomic read per span, and all exported
+    artefacts (metrics dump, trace JSON) live outside the
+    golden-compared output streams. *)
+
+module Clock : sig
+  (** Injectable wall clock.  All wall-time in the code base must go
+      through {!now}; the [wall-clock] lint rule forbids calling
+      [Unix.gettimeofday] / [Unix.time] anywhere else.  Tests and
+      golden runs install the deterministic fake clock so that traces
+      and timings are byte-reproducible. *)
+
+  val now : unit -> float
+  (** Current time in seconds.  Real mode: [Unix.gettimeofday].  Fake
+      mode: a deterministic counter — {e every read advances the
+      clock by [step]}, so successive reads are strictly increasing
+      and two identical runs observe identical timestamps. *)
+
+  val use_real : unit -> unit
+  (** Switch to the real clock (the default). *)
+
+  val use_fake : ?start:float -> ?step:float -> unit -> unit
+  (** Switch to the deterministic fake clock, resetting its tick
+      counter.  [start] defaults to [0.], [step] to [0.001] (one
+      fake millisecond per read). *)
+
+  val is_fake : unit -> bool
+end
+
+module Metrics : sig
+  (** Registry of named instruments.  Instruments are per-instance
+      handles (a [Session] and a [Store] each own theirs, so their
+      [stats] records keep exact per-instance values); {!dump}
+      aggregates all live instruments sharing a (name, labels) pair
+      by summation, so the process-wide view and the per-instance
+      views can never disagree — they are the same cells. *)
+
+  type counter
+  type gauge
+  type histogram
+
+  val counter : ?labels:(string * string) list -> string -> counter
+  (** Register a fresh counter cell under [name].  Counters are
+      monotonically non-decreasing ints, incremented lock-free via
+      [Atomic] and therefore safe across Pool domains. *)
+
+  val incr : ?by:int -> counter -> unit
+  val counter_value : counter -> int
+
+  val gauge : ?labels:(string * string) list -> string -> gauge
+  val set_gauge : gauge -> float -> unit
+  val gauge_value : gauge -> float
+
+  val default_buckets : float list
+  (** Latency-oriented upper bounds in seconds:
+      [1e-6; 1e-5; 1e-4; 1e-3; 1e-2; 1e-1; 1.; 10.]. *)
+
+  val histogram :
+    ?labels:(string * string) list -> ?buckets:float list -> string -> histogram
+  (** Fixed-bucket histogram.  [buckets] are {e inclusive} upper
+      bounds (Prometheus [le] convention): an observation [v] lands
+      in the first bucket whose bound [b] satisfies [v <= b], and
+      above the last bound it lands in the implicit [+Inf] bucket.
+      Bounds must be strictly increasing.
+      @raise Invalid_argument otherwise. *)
+
+  val observe : histogram -> float -> unit
+  val histogram_count : histogram -> int
+  val histogram_sum : histogram -> float
+
+  val dump : unit -> string
+  (** Prometheus-style text exposition of every registered
+      instrument, aggregated by (name, labels) and sorted, hence
+      deterministic for a given set of values.  Histograms emit
+      cumulative [_bucket{le="..."}] lines plus [_sum] / [_count]. *)
+
+  val reset : unit -> unit
+  (** Unregister every instrument (test isolation).  Existing handles
+      keep working but no longer appear in {!dump}. *)
+end
+
+module Trace : sig
+  (** Span tracer.  Spans nest per domain (the bracket API closes
+      them in LIFO order by construction, guaranteed even on
+      exceptions), are recorded into a fixed ring buffer at close
+      time, and are additionally folded into a name-keyed aggregate
+      table that survives ring wrap-around — Monte-Carlo loops emit
+      far more spans than any sane ring size. *)
+
+  val enable : unit -> unit
+  val disable : unit -> unit
+  val enabled : unit -> bool
+
+  val span : ?attrs:(string * string) list -> string -> (unit -> 'a) -> 'a
+  (** [span name f] runs [f ()]; when tracing is enabled it records a
+      span covering the call (duration clamped to [>= 0.]).  When
+      disabled the overhead is a single atomic read. *)
+
+  val events : unit -> (string * float * float * int) list
+  (** The ring contents in close order: [(name, start_s, dur_s, tid)].
+      At most the ring capacity (the oldest spans are overwritten). *)
+
+  val summary : unit -> (string * (int * float)) list
+  (** Aggregate per span name: [(name, (count, total_seconds))],
+      sorted by name.  Unlike {!events} this never loses spans. *)
+
+  val to_chrome_json : unit -> string
+  (** The ring as Chrome [trace_event] JSON (an object with a
+      [traceEvents] array of ["ph":"X"] complete events; timestamps
+      in microseconds, rebased to the earliest span).  Load via
+      [chrome://tracing] or [https://ui.perfetto.dev]. *)
+
+  val clear : unit -> unit
+  (** Drop all recorded spans and aggregates (test isolation / run
+      separation).  Leaves the enabled flag untouched. *)
+end

@@ -11,12 +11,21 @@ let suffix = ".ntst"
 let header_len = 21
 let default_max_bytes = 256 * 1024 * 1024
 
+module Obs = Nettomo_obs.Obs
+
+(* Counters live on the Obs registry (one instrument set per handle, so
+   [stats] keeps exact per-store values while the process-wide metrics
+   dump aggregates across handles); the histograms record get/put/gc
+   latency. *)
 type counters = {
-  mutable hits : int;
-  mutable misses : int;
-  mutable corrupt_skips : int;
-  mutable puts : int;
-  mutable evictions : int;
+  hits : Obs.Metrics.counter;
+  misses : Obs.Metrics.counter;
+  corrupt_skips : Obs.Metrics.counter;
+  puts : Obs.Metrics.counter;
+  evictions : Obs.Metrics.counter;
+  get_s : Obs.Metrics.histogram;
+  put_s : Obs.Metrics.histogram;
+  gc_s : Obs.Metrics.histogram;
 }
 
 type t = {
@@ -155,7 +164,16 @@ let rec mkdir_p dir =
 let open_dir ?(max_bytes = default_max_bytes) dir =
   let usable = mkdir_p dir in
   let c : counters =
-    { hits = 0; misses = 0; corrupt_skips = 0; puts = 0; evictions = 0 }
+    {
+      hits = Obs.Metrics.counter "store_hits_total";
+      misses = Obs.Metrics.counter "store_misses_total";
+      corrupt_skips = Obs.Metrics.counter "store_corrupt_skips_total";
+      puts = Obs.Metrics.counter "store_puts_total";
+      evictions = Obs.Metrics.counter "store_evictions_total";
+      get_s = Obs.Metrics.histogram "store_get_seconds";
+      put_s = Obs.Metrics.histogram "store_put_seconds";
+      gc_s = Obs.Metrics.histogram "store_gc_seconds";
+    }
   in
   let bytes = if usable && max_bytes > 0 then dir_bytes dir else 0 in
   { dir; max_bytes; usable; c; bytes }
@@ -166,11 +184,11 @@ let max_bytes t = t.max_bytes
 
 let stats t =
   {
-    hits = t.c.hits;
-    misses = t.c.misses;
-    corrupt_skips = t.c.corrupt_skips;
-    puts = t.c.puts;
-    evictions = t.c.evictions;
+    hits = Obs.Metrics.counter_value t.c.hits;
+    misses = Obs.Metrics.counter_value t.c.misses;
+    corrupt_skips = Obs.Metrics.counter_value t.c.corrupt_skips;
+    puts = Obs.Metrics.counter_value t.c.puts;
+    evictions = Obs.Metrics.counter_value t.c.evictions;
   }
 
 (* ---------- reads ---------- *)
@@ -180,29 +198,34 @@ let touch path =
   try Unix.utimes path 0.0 0.0 with Unix.Unix_error _ -> ()
 
 let find_with t key ~decode =
+  let t0 = Obs.Clock.now () in
+  let finish r =
+    Obs.Metrics.observe t.c.get_s (Float.max 0. (Obs.Clock.now () -. t0));
+    r
+  in
   if not t.usable then (
-    t.c.misses <- t.c.misses + 1;
-    None)
+    Obs.Metrics.incr t.c.misses;
+    finish None)
   else
     let path = path_of t key in
     match read_file path with
     | None ->
-        t.c.misses <- t.c.misses + 1;
-        None
+        Obs.Metrics.incr t.c.misses;
+        finish None
     | Some raw -> (
         match unpack raw with
         | None ->
-            t.c.corrupt_skips <- t.c.corrupt_skips + 1;
-            None
+            Obs.Metrics.incr t.c.corrupt_skips;
+            finish None
         | Some payload -> (
             match decode payload with
             | None ->
-                t.c.corrupt_skips <- t.c.corrupt_skips + 1;
-                None
+                Obs.Metrics.incr t.c.corrupt_skips;
+                finish None
             | Some v ->
-                t.c.hits <- t.c.hits + 1;
+                Obs.Metrics.incr t.c.hits;
                 touch path;
-                Some v))
+                finish (Some v)))
 
 let find t key = find_with t key ~decode:(fun payload -> Some payload)
 
@@ -210,12 +233,15 @@ let find t key = find_with t key ~decode:(fun payload -> Some payload)
 
 let gc_if_over t =
   if t.max_bytes > 0 && t.bytes > t.max_bytes then (
+    let t0 = Obs.Clock.now () in
     let removed, remaining = evict_down t.dir ~max_bytes:t.max_bytes in
-    t.c.evictions <- t.c.evictions + removed;
-    t.bytes <- remaining)
+    Obs.Metrics.incr ~by:removed t.c.evictions;
+    t.bytes <- remaining;
+    Obs.Metrics.observe t.c.gc_s (Float.max 0. (Obs.Clock.now () -. t0)))
 
 let put t key payload =
   if t.usable then (
+    let t0 = Obs.Clock.now () in
     let path = path_of t key in
     let tmp =
       Filename.concat t.dir
@@ -237,8 +263,10 @@ let put t key payload =
         | exception Sys_error _ -> (
             try Sys.remove tmp with Sys_error _ -> ())
         | () ->
-            t.c.puts <- t.c.puts + 1;
+            Obs.Metrics.incr t.c.puts;
             t.bytes <- t.bytes - old_size + String.length raw;
+            Obs.Metrics.observe t.c.put_s
+              (Float.max 0. (Obs.Clock.now () -. t0));
             gc_if_over t))
 
 (* ---------- offline maintenance ---------- *)

@@ -9,24 +9,59 @@
    Memory-model note: result-slot writes are plain writes to disjoint
    array cells; the completion edge to the caller goes through the
    [remaining] atomic (worker decrements after its writes, caller
-   observes zero before reading), which orders them. *)
+   observes zero before reading), which orders them.
+
+   Observability: every queued task carries its enqueue timestamp, so
+   the slot that pops it can record queue wait; task run time goes
+   into a per-slot histogram (the calling domain is slot 0, spawned
+   workers are slots 1..jobs-1). Timing never feeds back into
+   results — the determinism contract is untouched. *)
+
+module Obs = Nettomo_obs.Obs
+
+type metrics = {
+  m_idle : Obs.Metrics.gauge;
+  m_util : Obs.Metrics.gauge;
+  m_queue_wait : Obs.Metrics.histogram;
+  m_slot_busy : Obs.Metrics.histogram array; (* length jobs; index = slot *)
+  m_busy_total : float Atomic.t; (* seconds of task time across slots *)
+  mutable m_idle_slots : int; (* last value pushed to m_idle *)
+}
 
 type t = {
   jobs : int;
-  queue : (unit -> unit) Queue.t;
+  queue : (float * (unit -> unit)) Queue.t; (* enqueue time, task *)
   lock : Mutex.t;
   work_available : Condition.t;
   mutable closed : bool;
   mutable workers : unit Domain.t list;
+  metrics : metrics;
 }
 
 let max_jobs = 128
 
 let jobs t = t.jobs
 
+let idle_slots t = t.metrics.m_idle_slots
+
 let recommended_jobs () = max 1 (Domain.recommended_domain_count ())
 
-let rec worker_loop pool =
+(* Run [task] on behalf of [slot], recording queue wait and busy time. *)
+let run_timed pool ~slot (enqueued_at, task) =
+  let t0 = Obs.Clock.now () in
+  Obs.Metrics.observe pool.metrics.m_queue_wait
+    (Float.max 0. (t0 -. enqueued_at));
+  task ();
+  let dt = Float.max 0. (Obs.Clock.now () -. t0) in
+  Obs.Metrics.observe pool.metrics.m_slot_busy.(slot) dt;
+  let rec add () =
+    let old = Atomic.get pool.metrics.m_busy_total in
+    if not (Atomic.compare_and_set pool.metrics.m_busy_total old (old +. dt))
+    then add ()
+  in
+  add ()
+
+let rec worker_loop pool ~slot =
   Mutex.lock pool.lock;
   let rec next () =
     if not (Queue.is_empty pool.queue) then Some (Queue.pop pool.queue)
@@ -38,21 +73,37 @@ let rec worker_loop pool =
   in
   match next () with
   | None -> Mutex.unlock pool.lock
-  | Some task ->
+  | Some entry ->
       Mutex.unlock pool.lock;
-      task ();
-      worker_loop pool
+      run_timed pool ~slot entry;
+      worker_loop pool ~slot
 
 let create ~jobs =
   if jobs < 1 || jobs > max_jobs then
     Errors.invalid_argf "Pool.create: jobs must be in [1, %d], got %d" max_jobs
       jobs;
+  let metrics =
+    {
+      m_idle = Obs.Metrics.gauge "pool_slots_idle";
+      m_util = Obs.Metrics.gauge "pool_utilization_ratio";
+      m_queue_wait = Obs.Metrics.histogram "pool_queue_wait_seconds";
+      m_slot_busy =
+        Array.init jobs (fun i ->
+            Obs.Metrics.histogram
+              ~labels:[ ("slot", string_of_int i) ]
+              "pool_task_seconds");
+      m_busy_total = Atomic.make 0.;
+      m_idle_slots = 0;
+    }
+  in
   let pool =
     { jobs; queue = Queue.create (); lock = Mutex.create ();
-      work_available = Condition.create (); closed = false; workers = [] }
+      work_available = Condition.create (); closed = false; workers = [];
+      metrics }
   in
   pool.workers <-
-    List.init (jobs - 1) (fun _ -> Domain.spawn (fun () -> worker_loop pool));
+    List.init (jobs - 1) (fun i ->
+        Domain.spawn (fun () -> worker_loop pool ~slot:(i + 1)));
   pool
 
 let close pool =
@@ -75,10 +126,17 @@ let try_pop pool =
   Mutex.unlock pool.lock;
   r
 
+let set_idle pool idle =
+  pool.metrics.m_idle_slots <- idle;
+  Obs.Metrics.set_gauge pool.metrics.m_idle (float_of_int idle)
+
 let map ?chunk pool f items =
   if pool.closed then Errors.invalid_arg "Pool.map: pool is closed";
   let n = Array.length items in
-  if n = 0 then [||]
+  if n = 0 then begin
+    set_idle pool pool.jobs;
+    [||]
+  end
   else begin
     let chunk =
       match chunk with
@@ -92,6 +150,11 @@ let map ?chunk pool f items =
     in
     let results = Array.make n None in
     let n_chunks = (n + chunk - 1) / chunk in
+    (* Slots that can never receive work this call: fewer chunks than
+       workers leaves the difference idle for the whole map. *)
+    set_idle pool (pool.jobs - min pool.jobs n_chunks);
+    let wall0 = Obs.Clock.now () in
+    let busy0 = Atomic.get pool.metrics.m_busy_total in
     let remaining = Atomic.make n_chunks in
     let failed = Atomic.make None in
     let fin_lock = Mutex.create () in
@@ -118,20 +181,21 @@ let map ?chunk pool f items =
            ignore (Atomic.compare_and_set failed None (Some (e, bt))));
       finish_one ()
     in
+    let enqueued_at = Obs.Clock.now () in
     Mutex.lock pool.lock;
     for c = 1 to n_chunks - 1 do
-      Queue.push (fun () -> run_chunk c) pool.queue
+      Queue.push (enqueued_at, fun () -> run_chunk c) pool.queue
     done;
     if n_chunks > 1 then Condition.broadcast pool.work_available;
     Mutex.unlock pool.lock;
     (* The caller is a worker too: take the first chunk, then help
        drain the queue, then block until every chunk has settled. *)
-    run_chunk 0;
+    run_timed pool ~slot:0 (enqueued_at, fun () -> run_chunk 0);
     let rec help () =
       if Atomic.get remaining > 0 then begin
         match try_pop pool with
-        | Some task ->
-            task ();
+        | Some entry ->
+            run_timed pool ~slot:0 entry;
             help ()
         | None ->
             Mutex.lock fin_lock;
@@ -142,6 +206,11 @@ let map ?chunk pool f items =
       end
     in
     help ();
+    let wall = Obs.Clock.now () -. wall0 in
+    let busy = Atomic.get pool.metrics.m_busy_total -. busy0 in
+    if wall > 0. then
+      Obs.Metrics.set_gauge pool.metrics.m_util
+        (Float.min 1. (busy /. (wall *. float_of_int pool.jobs)));
     match Atomic.get failed with
     | Some (e, bt) -> Printexc.raise_with_backtrace e bt
     | None ->

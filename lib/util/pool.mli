@@ -30,6 +30,13 @@ val create : jobs:int -> t
 val jobs : t -> int
 (** Parallel width of the pool, as given to {!create}. *)
 
+val idle_slots : t -> int
+(** Number of slots the most recent {!map} / {!map_reduce} call could
+    not put to work (fewer chunks than workers): [jobs - min jobs
+    n_chunks], or [jobs] after a map over an empty array. Also
+    exported as the [pool_slots_idle] gauge on the Obs registry.
+    [0] before the first map. *)
+
 val recommended_jobs : unit -> int
 (** The runtime's recommended domain count for this machine
     ([Domain.recommended_domain_count]), at least 1. *)

@@ -130,6 +130,23 @@ let test_lexer_robustness () =
   check ci "code after literals still linted" 1
     (count "bare-failwith" "let s = \"harmless\"\nlet f () = failwith s\n")
 
+let test_wall_clock () =
+  check ci "gettimeofday flagged" 1
+    (count "wall-clock" "let t = Unix.gettimeofday ()\n");
+  check ci "Unix.time flagged" 1 (count "wall-clock" "let t = Unix.time ()\n");
+  check ci "fires in bin too" 1
+    (count "wall-clock" ~path:"bin/cli.ml" "let t = Unix.gettimeofday ()\n");
+  check ci "Sys.time is fine (cpu clock, not wall)" 0
+    (count "wall-clock" "let t = Sys.time ()\n");
+  check ci "unqualified time is fine" 0
+    (count "wall-clock" "let time () = 0.\nlet t = time ()\n");
+  check ci "clock implementation allowlisted" 0
+    (count "wall-clock" ~path:"lib/obs/obs.ml" "let now = Unix.gettimeofday\n");
+  check ci "not in strings" 0
+    (count "wall-clock" "let s = \"Unix.gettimeofday\"\n");
+  check ci "not in comments" 0
+    (count "wall-clock" "(* Unix.gettimeofday *) let x = 1\n")
+
 let suite =
   [
     Alcotest.test_case "clean source" `Quick test_clean_source;
@@ -141,4 +158,5 @@ let suite =
     Alcotest.test_case "missing-mli" `Quick test_missing_mli;
     Alcotest.test_case "lint_files end to end" `Quick test_lint_files_end_to_end;
     Alcotest.test_case "lexer robustness" `Quick test_lexer_robustness;
+    Alcotest.test_case "wall-clock" `Quick test_wall_clock;
   ]

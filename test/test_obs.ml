@@ -1,0 +1,189 @@
+(* Tests for the observability layer: histogram bucket-edge semantics
+   (inclusive upper bounds, the documented Prometheus [le]
+   convention), LIFO span nesting per domain, byte-identical trace
+   JSON under the fake clock, and exact counter sums under 4-domain
+   contention.
+
+   Clock mode and the trace enable flag are process-global, so every
+   test that touches them restores the defaults (real clock, tracing
+   off) via Fun.protect — a failing assertion must not leak a fake
+   clock into later suites. *)
+
+module Obs = Nettomo_obs.Obs
+open Nettomo_util
+
+let check = Alcotest.check
+let ci = Alcotest.int
+let cf = Alcotest.float 1e-9
+let cs = Alcotest.string
+
+let contains haystack needle =
+  let lh = String.length haystack and ln = String.length needle in
+  let rec scan i =
+    i + ln <= lh && (String.sub haystack i ln = needle || scan (i + 1))
+  in
+  ln = 0 || scan 0
+
+(* Run [f] with the fake clock and tracing enabled, then restore the
+   real clock, disable tracing and clear all recorded spans whatever
+   happens. *)
+let with_fake_tracing ?start ?step f =
+  Fun.protect
+    ~finally:(fun () ->
+      Obs.Clock.use_real ();
+      Obs.Trace.disable ();
+      Obs.Trace.clear ())
+    (fun () ->
+      Obs.Clock.use_fake ?start ?step ();
+      Obs.Trace.clear ();
+      Obs.Trace.enable ();
+      f ())
+
+(* Cumulative bucket counts for [h] as rendered by [dump] would be
+   awkward to scrape; instead re-derive per-bucket placement from
+   count/sum plus targeted single observations below. *)
+
+let test_histogram_bucket_edges () =
+  (* Bounds are inclusive: an observation exactly equal to a bound
+     lands in that bound's bucket, strictly above it spills into the
+     next one, and above the last bound into +Inf. We probe each edge
+     with its own fresh histogram so count/sum isolate one value. *)
+  let probe v =
+    let h =
+      Obs.Metrics.histogram ~buckets:[ 1.0; 2.0 ]
+        ~labels:[ ("edge", string_of_float v) ]
+        "test_obs_bucket_edges_seconds"
+    in
+    Obs.Metrics.observe h v;
+    h
+  in
+  let h_low = probe 1.0 in
+  let h_mid = probe 1.000001 in
+  let h_edge = probe 2.0 in
+  let h_inf = probe 3.0 in
+  check ci "each probe recorded once" 4
+    (List.fold_left
+       (fun acc h -> acc + Obs.Metrics.histogram_count h)
+       0
+       [ h_low; h_mid; h_edge; h_inf ]);
+  check cf "sum reflects the observed values" (1.0 +. 1.000001 +. 2.0 +. 3.0)
+    (List.fold_left
+       (fun acc h -> acc +. Obs.Metrics.histogram_sum h)
+       0.
+       [ h_low; h_mid; h_edge; h_inf ]);
+  (* The dump exposes the cumulative buckets; the le="1" line of the
+     1.0 probe must already include it (inclusive bound), while the
+     1.000001 probe's le="1" line must still be zero. *)
+  let dump = Obs.Metrics.dump () in
+  let has line = contains dump line in
+  check Alcotest.bool "v=1.0 counted at le=1 (inclusive)" true
+    (has {|test_obs_bucket_edges_seconds_bucket{edge="1.",le="1"} 1|});
+  check Alcotest.bool "v=1.000001 not counted at le=1" true
+    (has {|test_obs_bucket_edges_seconds_bucket{edge="1.000001",le="1"} 0|});
+  check Alcotest.bool "v=2.0 counted at le=2 (inclusive)" true
+    (has {|test_obs_bucket_edges_seconds_bucket{edge="2.",le="2"} 1|});
+  check Alcotest.bool "v=3.0 only in +Inf" true
+    (has {|test_obs_bucket_edges_seconds_bucket{edge="3.",le="2"} 0|})
+
+let test_histogram_rejects_bad_buckets () =
+  let rejects buckets =
+    match Obs.Metrics.histogram ~buckets "test_obs_bad_buckets" with
+    | _ -> false
+    | exception Invalid_argument _ -> true
+  in
+  check Alcotest.bool "non-increasing bounds rejected" true
+    (rejects [ 1.0; 1.0 ]);
+  check Alcotest.bool "decreasing bounds rejected" true (rejects [ 2.0; 1.0 ]);
+  (* No explicit bounds is legal: the histogram degenerates to the
+     implicit +Inf bucket, i.e. count/sum only. *)
+  let h = Obs.Metrics.histogram ~buckets:[] "test_obs_no_bounds" in
+  Obs.Metrics.observe h 5.0;
+  check ci "boundless histogram still counts" 1 (Obs.Metrics.histogram_count h)
+
+let test_nested_spans_close_lifo () =
+  with_fake_tracing (fun () ->
+      Obs.Trace.span "outer" (fun () ->
+          Obs.Trace.span "inner" (fun () -> ());
+          Obs.Trace.span "inner2" (fun () -> ()));
+      let names = List.map (fun (n, _, _, _) -> n) (Obs.Trace.events ()) in
+      (* Close order is LIFO: both inners are recorded before the
+         outer that encloses them. *)
+      check (Alcotest.list cs) "close order" [ "inner"; "inner2"; "outer" ]
+        names;
+      (* And the outer's interval must contain both inners'. *)
+      match Obs.Trace.events () with
+      | [ (_, s1, d1, _); (_, s2, d2, _); (_, so, dd, _) ] ->
+          check Alcotest.bool "outer starts before inner" true (so <= s1);
+          check Alcotest.bool "outer ends after inner2" true
+            (s2 +. d2 <= so +. dd +. 1e-12);
+          check Alcotest.bool "inners do not overlap" true (s1 +. d1 <= s2)
+      | evs -> Alcotest.failf "expected 3 spans, got %d" (List.length evs))
+
+let test_span_closes_on_exception () =
+  with_fake_tracing (fun () ->
+      (match
+         Obs.Trace.span "raises" (fun () -> raise (Invalid_argument "boom"))
+       with
+      | () -> Alcotest.fail "span swallowed the exception"
+      | exception Invalid_argument _ -> ());
+      match Obs.Trace.events () with
+      | [ ("raises", _, dur, _) ] ->
+          check Alcotest.bool "duration non-negative" true (dur >= 0.)
+      | evs -> Alcotest.failf "expected 1 span, got %d" (List.length evs))
+
+let test_fake_clock_deterministic_trace () =
+  let run () =
+    with_fake_tracing ~start:0. ~step:0.001 (fun () ->
+        Obs.Trace.span "a" (fun () ->
+            Obs.Trace.span ~attrs:[ ("k", "v") ] "b" (fun () -> ()));
+        Obs.Trace.span "c" (fun () -> ());
+        Obs.Trace.to_chrome_json ())
+  in
+  let first = run () in
+  let second = run () in
+  check cs "two identical runs serialize identically" first second;
+  check Alcotest.bool "trace JSON parses" true
+    (match Jsonx.parse first with Ok _ -> false || true | Error _ -> false)
+
+let test_concurrent_counter_sum_exact () =
+  let c = Obs.Metrics.counter "test_obs_concurrent_total" in
+  let per_domain = 10_000 in
+  let domains =
+    Array.init 4 (fun _ ->
+        Domain.spawn (fun () ->
+            for _ = 1 to per_domain do
+              Obs.Metrics.incr c
+            done))
+  in
+  Array.iter Domain.join domains;
+  check ci "4 domains x 10k increments sum exactly" (4 * per_domain)
+    (Obs.Metrics.counter_value c)
+
+let test_summary_survives_clear_boundary () =
+  with_fake_tracing (fun () ->
+      for _ = 1 to 5 do
+        Obs.Trace.span "loop" (fun () -> ())
+      done;
+      match List.assoc_opt "loop" (Obs.Trace.summary ()) with
+      | Some (count, total) ->
+          check ci "aggregate count" 5 count;
+          check Alcotest.bool "aggregate total positive" true (total > 0.)
+      | None -> Alcotest.fail "span name missing from summary")
+
+let suite =
+  [
+    Alcotest.test_case "histogram bucket edges are inclusive" `Quick
+      test_histogram_bucket_edges;
+    Alcotest.test_case "histogram rejects bad bucket bounds" `Quick
+      test_histogram_rejects_bad_buckets;
+    Alcotest.test_case "nested spans close in LIFO order" `Quick
+      test_nested_spans_close_lifo;
+    Alcotest.test_case "span records even when f raises" `Quick
+      test_span_closes_on_exception;
+    Alcotest.test_case "fake clock makes trace JSON deterministic" `Quick
+      test_fake_clock_deterministic_trace;
+    Alcotest.test_case "concurrent counter increments sum exactly" `Quick
+      test_concurrent_counter_sum_exact;
+    Alcotest.test_case "summary aggregates across spans" `Quick
+      test_summary_survives_clear_boundary;
+  ]

@@ -158,6 +158,22 @@ let test_invariant_layer_inside_workers () =
 let test_recommended_jobs_positive () =
   check Alcotest.bool "at least one" true (Pool.recommended_jobs () >= 1)
 
+let test_idle_slots_reported () =
+  Pool.with_pool ~jobs:4 (fun pool ->
+      check ci "no map yet: idle unknown (0)" 0 (Pool.idle_slots pool);
+      (* 2 items with the default chunk size make 2 chunks, occupying
+         2 of the 4 slots: the other 2 must be reported idle. *)
+      let got = Pool.map pool (fun x -> x * 10) [| 1; 2 |] in
+      check cia "map result still correct" [| 10; 20 |] got;
+      check ci "2 items on 4 domains leave 2 slots idle" 2
+        (Pool.idle_slots pool);
+      (* Enough chunks saturate the pool. *)
+      ignore (Pool.map ~chunk:1 pool Fun.id (Array.init 16 Fun.id));
+      check ci "saturated pool has no idle slots" 0 (Pool.idle_slots pool);
+      (* An empty map uses no slots at all. *)
+      ignore (Pool.map pool Fun.id [||]);
+      check ci "empty map leaves every slot idle" 4 (Pool.idle_slots pool))
+
 let suite =
   [
     Alcotest.test_case "map = serial map (all jobs x chunks)" `Quick
@@ -179,4 +195,6 @@ let suite =
       test_invariant_layer_inside_workers;
     Alcotest.test_case "recommended_jobs >= 1" `Quick
       test_recommended_jobs_positive;
+    Alcotest.test_case "idle slots reported per map" `Quick
+      test_idle_slots_reported;
   ]

@@ -134,6 +134,35 @@ let test_batch_suberror_code () =
         (Option.value (member_string "code" err_item) ~default:"<missing>")
   | Some _ | None -> Alcotest.fail "batch response lacks a two-item results list"
 
+let test_metrics_op () =
+  let s = fresh () in
+  (* metrics needs no loaded session... *)
+  let v = parse_response (Protocol.handle_line s {|{"id":1,"op":"metrics"}|}) in
+  check cs "status" "ok" (Option.value (member_string "status" v) ~default:"?");
+  (* ...and exposes the process-wide registry as Prometheus text. *)
+  expect_ok s ~name:"load" fig1_line;
+  expect_ok s ~name:"identifiable" {|{"id":2,"op":"identifiable"}|};
+  let v = parse_response (Protocol.handle_line s {|{"id":3,"op":"metrics"}|}) in
+  match member_string "metrics" v with
+  | None -> Alcotest.fail "metrics response lacks a metrics text field"
+  | Some text ->
+      let contains needle =
+        let lh = String.length text and ln = String.length needle in
+        let rec scan i =
+          i + ln <= lh && (String.sub text i ln = needle || scan (i + 1))
+        in
+        ln = 0 || scan 0
+      in
+      List.iter
+        (fun series ->
+          check Alcotest.bool (series ^ " exposed") true (contains series))
+        [
+          "session_queries_total";
+          "session_memo_misses_total";
+          {|session_memo_misses_total{query="identifiable"}|};
+          "session_full_computes_total";
+        ]
+
 let suite =
   [
     Alcotest.test_case "bad_json" `Quick test_bad_json;
@@ -144,4 +173,5 @@ let suite =
     Alcotest.test_case "query_failed" `Quick test_query_failed;
     Alcotest.test_case "batch sub-error carries code" `Quick
       test_batch_suberror_code;
+    Alcotest.test_case "metrics op dumps the registry" `Quick test_metrics_op;
   ]

@@ -353,6 +353,29 @@ let check_todo ~path:_ lexed =
       | _ -> None)
     lexed.comments
 
+(* wall-clock: every wall-time read goes through Obs.Clock so the
+   injectable fake clock can make traces and timings byte-deterministic
+   in golden tests. Lexical approximation: any [gettimeofday]
+   identifier, plus [time] qualified by [Unix]. [Sys.time] (CPU time)
+   and [Unix.utimes]/[Unix.stat] stay allowed. *)
+let check_wall_clock ~path:_ lexed =
+  let t = lexed.tokens in
+  let out = ref [] in
+  Array.iteri
+    (fun k token ->
+      let flagged =
+        token.text = "gettimeofday"
+        || (token.text = "time" && tok t (k - 1) = "." && tok t (k - 2) = "Unix")
+      in
+      if flagged then
+        out :=
+          { file = ""; line = token.tline; rule_id = "wall-clock";
+            message =
+              "direct wall-clock read; route through Nettomo_obs.Obs.Clock.now" }
+          :: !out)
+    t;
+  List.rev !out
+
 let rules =
   [
     { id = "obj-magic";
@@ -375,6 +398,12 @@ let rules =
     { id = "todo-issue";
       description = "TODO/XXX markers must carry an issue reference (#NNN)";
       scope = Any_ml; allowlist = []; check = check_todo };
+    { id = "wall-clock";
+      description =
+        "no direct Unix.gettimeofday / Unix.time outside Obs.Clock";
+      scope = Any_ml;
+      allowlist = [ "lib/obs/obs.ml" ];
+      check = check_wall_clock };
   ]
 
 let rule_ids = List.map (fun r -> (r.id, r.description)) rules
