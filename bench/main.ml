@@ -487,12 +487,13 @@ let perf cfg =
     (fun test ->
       let results = Benchmark.all cfg_b [ instance ] test in
       let analyzed = Analyze.all ols instance results in
-      Hashtbl.iter
-        (fun name ols_result ->
-          match Analyze.OLS.estimates ols_result with
-          | Some [ ns ] -> Printf.printf "%-24s %12.0f ns/run\n" name ns
-          | Some _ | None -> Printf.printf "%-24s (no estimate)\n" name)
-        analyzed)
+      Hashtbl.fold (fun name ols_result acc -> (name, ols_result) :: acc)
+        analyzed []
+      |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+      |> List.iter (fun (name, ols_result) ->
+             match Analyze.OLS.estimates ols_result with
+             | Some [ ns ] -> Printf.printf "%-24s %12.0f ns/run\n" name ns
+             | Some _ | None -> Printf.printf "%-24s (no estimate)\n" name))
     tests
 
 (* ------------------------------------------------------------------ *)

@@ -51,7 +51,7 @@ let query_index = function
   | Q_mmp -> 2
   | Q_plan -> 3
 
-let query_labels = [| "identifiable"; "classify"; "mmp"; "plan" |]
+let query_labels = [ "identifiable"; "classify"; "mmp"; "plan" ]
 
 (* Counters are per-session Obs instruments: [stats] reads this
    session's cells, the process-wide metrics dump aggregates them, so
@@ -145,17 +145,19 @@ let create ?(seed = 7) ?store net =
         c_deltas = Obs.Metrics.counter "session_deltas_total";
         c_queries = Obs.Metrics.counter "session_queries_total";
         c_memo_hits =
-          Array.map
-            (fun q ->
-              Obs.Metrics.counter ~labels:[ ("query", q) ]
-                "session_memo_hits_total")
-            query_labels;
+          Array.of_list
+            (List.map
+               (fun q ->
+                 Obs.Metrics.counter ~labels:[ ("query", q) ]
+                   "session_memo_hits_total")
+               query_labels);
         c_memo_misses =
-          Array.map
-            (fun q ->
-              Obs.Metrics.counter ~labels:[ ("query", q) ]
-                "session_memo_misses_total")
-            query_labels;
+          Array.of_list
+            (List.map
+               (fun q ->
+                 Obs.Metrics.counter ~labels:[ ("query", q) ]
+                   "session_memo_misses_total")
+               query_labels);
         c_degree_shortcuts = Obs.Metrics.counter "session_degree_shortcuts_total";
         c_verdict_carries = Obs.Metrics.counter "session_verdict_carries_total";
         c_block_hits = Obs.Metrics.counter "session_block_hits_total";

@@ -214,7 +214,7 @@ let sign t = t.sign
 let is_zero t = t.sign = 0
 
 let compare a b =
-  if a.sign <> b.sign then Stdlib.compare a.sign b.sign
+  if a.sign <> b.sign then Int.compare a.sign b.sign
   else if a.sign >= 0 then mag_compare a.mag b.mag
   else mag_compare b.mag a.mag
 

@@ -49,6 +49,8 @@ module Metrics = struct
   type gauge = instrument
   type histogram = instrument
 
+  (* nettomo-lint: allow unsafe-shared-mutable — guarded by
+     [registry_mu]; every read and write below locks it. *)
   let registry : instrument list ref = ref []
   let registry_mu = Mutex.create ()
 
@@ -266,11 +268,17 @@ module Trace = struct
   let enabled () = Atomic.get on
 
   let ring_capacity = 65536
+
+  (* nettomo-lint: allow unsafe-shared-mutable — slots are claimed by
+     the [ring_next] fetch-and-add below; each slot has exactly one
+     writer per lap, and readers tolerate torn laps by design. *)
   let ring : event option array = Array.make ring_capacity None
   let ring_next = Atomic.make 0
 
   (* Name-keyed aggregates survive ring wrap (Monte-Carlo loops emit
      millions of spans). *)
+  (* nettomo-lint: allow unsafe-shared-mutable — guarded by [agg_mu];
+     every access below locks it. *)
   let agg : (string, int * float) Hashtbl.t = Hashtbl.create 64
   let agg_mu = Mutex.create ()
 

@@ -199,33 +199,35 @@ let touch path =
 
 let find_with t key ~decode =
   let t0 = Obs.Clock.now () in
-  let finish r =
-    Obs.Metrics.observe t.c.get_s (Float.max 0. (Obs.Clock.now () -. t0));
-    r
-  in
-  if not t.usable then (
-    Obs.Metrics.incr t.c.misses;
-    finish None)
-  else
-    let path = path_of t key in
-    match read_file path with
-    | None ->
+  (* Fun.protect, not a finish-wrapper on each branch: a raising
+     [decode] must still observe get latency. *)
+  Fun.protect
+    ~finally:(fun () ->
+      Obs.Metrics.observe t.c.get_s (Float.max 0. (Obs.Clock.now () -. t0)))
+    (fun () ->
+      if not t.usable then (
         Obs.Metrics.incr t.c.misses;
-        finish None
-    | Some raw -> (
-        match unpack raw with
+        None)
+      else
+        let path = path_of t key in
+        match read_file path with
         | None ->
-            Obs.Metrics.incr t.c.corrupt_skips;
-            finish None
-        | Some payload -> (
-            match decode payload with
+            Obs.Metrics.incr t.c.misses;
+            None
+        | Some raw -> (
+            match unpack raw with
             | None ->
                 Obs.Metrics.incr t.c.corrupt_skips;
-                finish None
-            | Some v ->
-                Obs.Metrics.incr t.c.hits;
-                touch path;
-                finish (Some v)))
+                None
+            | Some payload -> (
+                match decode payload with
+                | None ->
+                    Obs.Metrics.incr t.c.corrupt_skips;
+                    None
+                | Some v ->
+                    Obs.Metrics.incr t.c.hits;
+                    touch path;
+                    Some v)))
 
 let find t key = find_with t key ~decode:(fun payload -> Some payload)
 
@@ -234,13 +236,20 @@ let find t key = find_with t key ~decode:(fun payload -> Some payload)
 let gc_if_over t =
   if t.max_bytes > 0 && t.bytes > t.max_bytes then (
     let t0 = Obs.Clock.now () in
-    let removed, remaining = evict_down t.dir ~max_bytes:t.max_bytes in
-    Obs.Metrics.incr ~by:removed t.c.evictions;
-    t.bytes <- remaining;
-    Obs.Metrics.observe t.c.gc_s (Float.max 0. (Obs.Clock.now () -. t0)))
+    Fun.protect
+      ~finally:(fun () ->
+        Obs.Metrics.observe t.c.gc_s (Float.max 0. (Obs.Clock.now () -. t0)))
+      (fun () ->
+        let removed, remaining = evict_down t.dir ~max_bytes:t.max_bytes in
+        Obs.Metrics.incr ~by:removed t.c.evictions;
+        t.bytes <- remaining))
 
 let put t key payload =
   if t.usable then (
+    (* nettomo-lint: allow span-bracket — put_s deliberately times only
+       successful publishes; every failure path below is caught and
+       degrades to a no-op per the cardinal rule, so the bracket cannot
+       leak through an exception. *)
     let t0 = Obs.Clock.now () in
     let path = path_of t key in
     let tmp =

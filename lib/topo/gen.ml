@@ -54,7 +54,12 @@ let barabasi_albert rng ~n ~nmin =
           let t = arr.(Prng.int rng !bag_size) in
           if not (Hashtbl.mem chosen t) then Hashtbl.replace chosen t ()
         done;
+        (* Sorted extraction: the targets feed the degree bag, so the
+           bucket order of [chosen] would otherwise leak into every
+           later draw and tie generated topologies to the runtime's
+           hash implementation. *)
         Hashtbl.fold (fun t () acc -> t :: acc) chosen []
+        |> List.sort Int.compare
       end
     in
     List.iter

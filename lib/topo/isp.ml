@@ -44,7 +44,11 @@ let build_core rng ~n ~links =
         let t = weighted_node rng !g v in
         if t <> v && not (Hashtbl.mem targets t) then Hashtbl.replace targets t ()
       done;
-      Hashtbl.iter (fun t () -> g := Graph.add_edge !g t v) targets
+      (* Edge insertion commutes, but iterate sorted anyway so no
+         future edit can grow an order dependence on the bucket walk. *)
+      Hashtbl.fold (fun t () acc -> t :: acc) targets []
+      |> List.sort Int.compare
+      |> List.iter (fun t -> g := Graph.add_edge !g t v)
     done;
   (* Preferential extra links up to the exact budget; fall back to uniform
      pairs so dense cores terminate. *)

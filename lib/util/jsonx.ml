@@ -101,6 +101,7 @@ let of_string s =
   let n = String.length s in
   let pos = ref 0 in
   let peek () = if !pos < n then Some s.[!pos] else None in
+  let peek_is c = !pos < n && Char.equal s.[!pos] c in
   let advance () = incr pos in
   let skip_ws () =
     while
@@ -199,7 +200,7 @@ let of_string s =
   let parse_number () =
     let start = !pos in
     let is_float = ref false in
-    if peek () = Some '-' then advance ();
+    if peek_is '-' then advance ();
     let digits () =
       let d0 = !pos in
       while !pos < n && match s.[!pos] with '0' .. '9' -> true | _ -> false do
@@ -208,7 +209,7 @@ let of_string s =
       if !pos = d0 then parse_error !pos "expected digit"
     in
     digits ();
-    if peek () = Some '.' then begin
+    if peek_is '.' then begin
       is_float := true;
       advance ();
       digits ()
@@ -248,7 +249,7 @@ let of_string s =
     | Some '[' ->
         advance ();
         skip_ws ();
-        if peek () = Some ']' then begin
+        if peek_is ']' then begin
           advance ();
           List []
         end
@@ -271,7 +272,7 @@ let of_string s =
     | Some '{' ->
         advance ();
         skip_ws ();
-        if peek () = Some '}' then begin
+        if peek_is '}' then begin
           advance ();
           Obj []
         end

@@ -46,20 +46,27 @@ let idle_slots t = t.metrics.m_idle_slots
 
 let recommended_jobs () = max 1 (Domain.recommended_domain_count ())
 
-(* Run [task] on behalf of [slot], recording queue wait and busy time. *)
+(* Run [task] on behalf of [slot], recording queue wait and busy time.
+   The close side runs under [Fun.protect]: a raising task (captured
+   upstream into the chunk's failure slot) still accounts for the time
+   it burned, so busy/utilization gauges cannot under-report failed
+   work. *)
 let run_timed pool ~slot (enqueued_at, task) =
   let t0 = Obs.Clock.now () in
   Obs.Metrics.observe pool.metrics.m_queue_wait
     (Float.max 0. (t0 -. enqueued_at));
-  task ();
-  let dt = Float.max 0. (Obs.Clock.now () -. t0) in
-  Obs.Metrics.observe pool.metrics.m_slot_busy.(slot) dt;
-  let rec add () =
-    let old = Atomic.get pool.metrics.m_busy_total in
-    if not (Atomic.compare_and_set pool.metrics.m_busy_total old (old +. dt))
-    then add ()
-  in
-  add ()
+  Fun.protect
+    ~finally:(fun () ->
+      let dt = Float.max 0. (Obs.Clock.now () -. t0) in
+      Obs.Metrics.observe pool.metrics.m_slot_busy.(slot) dt;
+      let rec add () =
+        let old = Atomic.get pool.metrics.m_busy_total in
+        if
+          not (Atomic.compare_and_set pool.metrics.m_busy_total old (old +. dt))
+        then add ()
+      in
+      add ())
+    task
 
 let rec worker_loop pool ~slot =
   Mutex.lock pool.lock;

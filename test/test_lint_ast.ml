@@ -1,0 +1,307 @@
+(* nettomo-lint v2 (AST engine): table-driven positive/negative snippet
+   pairs for every new rule, the suppression-comment syntax, the
+   baseline mechanism, and output determinism. The ported v1 rules keep
+   their own fixtures in test_lint.ml. *)
+
+module L = Lint_engine
+
+let check = Alcotest.check
+let ci = Alcotest.int
+let cb = Alcotest.bool
+let cs = Alcotest.string
+
+let lint ?(path = "lib/x/fixture.ml") src = L.lint_source ~path src
+
+let count rule ?path src =
+  List.length (List.filter (fun v -> v.L.rule_id = rule) (lint ?path src))
+
+let lines_of rule ?path src =
+  List.filter_map
+    (fun v -> if v.L.rule_id = rule then Some v.L.line else None)
+    (lint ?path src)
+
+(* --------------------------------------------------------------- *)
+(* Table-driven rule fixtures: (name, rule, path, expected, source) *)
+
+let table =
+  [
+    (* unsafe-shared-mutable ------------------------------------- *)
+    ("top-level ref", "unsafe-shared-mutable", "lib/x/f.ml", 1,
+     "let cache = ref []\n");
+    ("top-level ref with constraint", "unsafe-shared-mutable", "lib/x/f.ml", 1,
+     "let cache : int list ref = ref []\n");
+    ("top-level Hashtbl", "unsafe-shared-mutable", "lib/x/f.ml", 1,
+     "let memo = Hashtbl.create 16\n");
+    ("top-level array literal", "unsafe-shared-mutable", "lib/x/f.ml", 1,
+     "let slots = [| 0; 1 |]\n");
+    ("top-level Array.make", "unsafe-shared-mutable", "lib/x/f.ml", 1,
+     "let slots = Array.make 4 0\n");
+    ("nested module ref", "unsafe-shared-mutable", "lib/x/f.ml", 1,
+     "module M = struct\n  let state = ref 0\nend\n");
+    ("Atomic.make passes", "unsafe-shared-mutable", "lib/x/f.ml", 0,
+     "let counter = Atomic.make 0\n");
+    ("Mutex.create passes", "unsafe-shared-mutable", "lib/x/f.ml", 0,
+     "let mu = Mutex.create ()\n");
+    ("local ref passes", "unsafe-shared-mutable", "lib/x/f.ml", 0,
+     "let f () =\n  let acc = ref 0 in\n  incr acc;\n  !acc\n");
+    ("empty array literal passes", "unsafe-shared-mutable", "lib/x/f.ml", 0,
+     "let none = [||]\n");
+    ("bin/ out of scope", "unsafe-shared-mutable", "bin/cli.ml", 0,
+     "let cache = ref []\n");
+    (* poly-compare (new shapes; bare compare is covered in
+       test_lint.ml) ---------------------------------------------- *)
+    ("Hashtbl.hash", "poly-compare", "lib/graph/f.ml", 1,
+     "let h x = Hashtbl.hash x\n");
+    ("eq on tuple literal", "poly-compare", "lib/core/f.ml", 1,
+     "let f a b c d = (a, b) = (c, d)\n");
+    ("eq on constructor payload", "poly-compare", "lib/engine/f.ml", 1,
+     "let f x y = x = Some y\n");
+    ("neq on list literal", "poly-compare", "lib/x/f.ml", 1,
+     "let f x = x <> [ 1; 2 ]\n");
+    ("eq on bare constructor passes", "poly-compare", "lib/x/f.ml", 0,
+     "let f x = x = None\n");
+    ("eq on empty list passes", "poly-compare", "lib/x/f.ml", 0,
+     "let f x = x = []\n");
+    ("eq on idents passes", "poly-compare", "lib/x/f.ml", 0,
+     "let f (a : int) b = a = b\n");
+    (* hashtbl-iter-order ----------------------------------------- *)
+    ("unsorted fold", "hashtbl-iter-order", "lib/x/f.ml", 1,
+     "let dump tbl = Hashtbl.fold (fun k _ acc -> k :: acc) tbl []\n");
+    ("unsorted iter", "hashtbl-iter-order", "bin/cli.ml", 1,
+     "let dump tbl = Hashtbl.iter (fun k _ -> print_endline k) tbl\n");
+    ("sorted fold passes", "hashtbl-iter-order", "lib/x/f.ml", 0,
+     "let dump tbl =\n\
+     \  Hashtbl.fold (fun k _ acc -> k :: acc) tbl []\n\
+     \  |> List.sort String.compare\n");
+    ("sort in same item passes", "hashtbl-iter-order", "lib/x/f.ml", 0,
+     "let dump tbl =\n\
+     \  let keys = Hashtbl.fold (fun k _ acc -> k :: acc) tbl [] in\n\
+     \  List.iter print_endline (List.sort String.compare keys)\n");
+    ("test/ out of scope", "hashtbl-iter-order", "test/t.ml", 0,
+     "let dump tbl = Hashtbl.iter (fun k _ -> print_endline k) tbl\n");
+    (* catch-all-swallow ------------------------------------------ *)
+    ("late wildcard arm", "catch-all-swallow", "lib/x/f.ml", 1,
+     "let f g = try g () with Not_found -> 0 | _ -> 1\n");
+    ("exception wildcard in match", "catch-all-swallow", "lib/x/f.ml", 1,
+     "let f g = match g () with [] -> 0 | _ :: _ -> 1 | exception _ -> 2\n");
+    ("unused exception binding", "catch-all-swallow", "lib/x/f.ml", 1,
+     "let f g = try g () with e -> 0\n");
+    ("used exception binding passes", "catch-all-swallow", "lib/x/f.ml", 0,
+     "let f g = try g () with e -> print_endline (Printexc.to_string e); 0\n");
+    ("re-raising wildcard passes", "catch-all-swallow", "lib/x/f.ml", 0,
+     "let f g h =\n\
+     \  try g () with Not_found -> 0 | _ -> h (); raise Exit\n");
+    ("named arms pass", "catch-all-swallow", "lib/x/f.ml", 0,
+     "let f g = try g () with Not_found -> 0 | Failure _ -> 1\n");
+    ("value wildcard match passes", "catch-all-swallow", "lib/x/f.ml", 0,
+     "let f x = match x with [] -> 0 | _ -> 1\n");
+    ("store allowlisted", "catch-all-swallow", "lib/store/store.ml", 0,
+     "let f g = try g () with Not_found -> 0 | _ -> 1\n");
+    (* span-bracket ----------------------------------------------- *)
+    ("unprotected bracket", "span-bracket", "lib/x/f.ml", 1,
+     "let timed h work =\n\
+     \  let t0 = Obs.Clock.now () in\n\
+     \  work ();\n\
+     \  Obs.Metrics.observe h (Obs.Clock.now () -. t0)\n");
+    ("protected bracket passes", "span-bracket", "lib/x/f.ml", 0,
+     "let timed h work =\n\
+     \  let t0 = Obs.Clock.now () in\n\
+     \  Fun.protect\n\
+     \    ~finally:(fun () -> Obs.Metrics.observe h (Obs.Clock.now () -. t0))\n\
+     \    work\n");
+    ("wall-clock value is no bracket", "span-bracket", "lib/x/f.ml", 0,
+     "let wall work =\n\
+     \  let t0 = Obs.Clock.now () in\n\
+     \  let r = work () in\n\
+     \  (r, Obs.Clock.now () -. t0)\n");
+    ("single read is no bracket", "span-bracket", "lib/x/f.ml", 0,
+     "let stamp h = Obs.Metrics.observe h (Obs.Clock.now ())\n");
+    ("tools out of scope", "span-bracket", "tools/x/f.ml", 0,
+     "let timed h work =\n\
+     \  let t0 = Obs.Clock.now () in\n\
+     \  work ();\n\
+     \  Obs.Metrics.observe h (Obs.Clock.now () -. t0)\n");
+  ]
+
+let test_table () =
+  List.iter
+    (fun (name, rule, path, expected, src) ->
+      check ci (Printf.sprintf "%s (%s)" name rule) expected
+        (count rule ~path src))
+    table
+
+(* --------------------------------------------------------------- *)
+(* Suppressions                                                      *)
+
+let test_suppression_end_of_line () =
+  check ci "suppressed with reason" 0
+    (count "unsafe-shared-mutable"
+       "let cache = ref [] (* nettomo-lint: allow unsafe-shared-mutable — \
+        guarded by cache_mu *)\n")
+
+let test_suppression_comment_above () =
+  check ci "comment above covers the next line" 0
+    (count "unsafe-shared-mutable"
+       "(* nettomo-lint: allow unsafe-shared-mutable — guarded by mu *)\n\
+        let cache = ref []\n");
+  check ci "multi-line comment still reaches the binding" 0
+    (count "unsafe-shared-mutable"
+       "(* nettomo-lint: allow unsafe-shared-mutable — guarded by mu,\n\
+       \   locked on every path *)\n\
+        let cache = ref []\n")
+
+let test_suppression_needs_reason () =
+  check ci "reasonless allow is inert" 1
+    (count "unsafe-shared-mutable"
+       "(* nettomo-lint: allow unsafe-shared-mutable *)\n\
+        let cache = ref []\n");
+  check ci "dash alone is not a reason" 1
+    (count "unsafe-shared-mutable"
+       "(* nettomo-lint: allow unsafe-shared-mutable — *)\n\
+        let cache = ref []\n")
+
+let test_suppression_is_rule_scoped () =
+  check ci "other rules keep firing" 1
+    (count "unsafe-shared-mutable"
+       "(* nettomo-lint: allow poly-compare — wrong rule *)\n\
+        let cache = ref []\n");
+  check ci "wrong line does not suppress" 1
+    (count "unsafe-shared-mutable"
+       "(* nettomo-lint: allow unsafe-shared-mutable — too far away *)\n\
+        let unrelated = 1\n\
+        let cache = ref []\n")
+
+let test_suppression_parser () =
+  (match L.suppression_of_comment (5, "(* nettomo-lint: allow foo — bar *)") with
+  | Some s ->
+      check cs "rule" "foo" s.L.s_rule;
+      check ci "first" 5 s.L.s_first;
+      check ci "last" 6 s.L.s_last
+  | None -> Alcotest.fail "expected a suppression");
+  check cb "plain comment is none" true
+    (L.suppression_of_comment (1, "(* just words *)") = None)
+
+(* --------------------------------------------------------------- *)
+(* Baseline                                                          *)
+
+let viol file line rule =
+  { L.file; line; rule_id = rule; message = "m" }
+
+let test_baseline_roundtrip () =
+  let vs = [ viol "a.ml" 3 "r1"; viol "a.ml" 9 "r1"; viol "b.ml" 2 "r2" ] in
+  let parsed = L.parse_baseline (L.render_baseline vs) in
+  check ci "two entries" 2 (List.length parsed);
+  check ci "a.ml r1 count" 2 (List.assoc ("a.ml", "r1") parsed);
+  check ci "b.ml r2 count" 1 (List.assoc ("b.ml", "r2") parsed)
+
+let test_baseline_subtracts () =
+  let vs = [ viol "a.ml" 3 "r1"; viol "a.ml" 9 "r1"; viol "b.ml" 2 "r2" ] in
+  let baseline = [ (("a.ml", "r1"), 1) ] in
+  let fresh = L.apply_baseline baseline vs in
+  check ci "one a.ml finding tolerated" 2 (List.length fresh);
+  check cb "survivor is the later line" true
+    (List.exists (fun v -> v.L.file = "a.ml" && v.L.line = 9) fresh);
+  check cb "unrelated file untouched" true
+    (List.exists (fun v -> v.L.file = "b.ml") fresh);
+  check ci "empty baseline passes everything" 3
+    (List.length (L.apply_baseline [] vs));
+  check ci "full baseline swallows everything" 0
+    (List.length
+       (L.apply_baseline [ (("a.ml", "r1"), 2); (("b.ml", "r2"), 9) ] vs))
+
+(* --------------------------------------------------------------- *)
+(* Deterministic diagnostics                                         *)
+
+let test_output_ordering () =
+  (* Feed files out of order; output must sort by (file, line, rule)
+     and be stable across runs. *)
+  let files =
+    [
+      ("lib/z/late.ml", "let cache = ref []\nlet f x = x = Some 1\n");
+      ("lib/a/early.ml", "let h x = Hashtbl.hash x\n");
+      ("lib/a/early.mli", "val h : 'a -> int\n");
+      ("lib/z/late.mli", "val f : int option -> bool\n");
+    ]
+  in
+  let run () = L.lint_files files in
+  let first = run () in
+  check cb "two runs identical" true (first = run ());
+  let keys = List.map (fun v -> (v.L.file, v.L.line, v.L.rule_id)) first in
+  let sorted =
+    List.sort
+      (fun (f1, l1, r1) (f2, l2, r2) ->
+        match String.compare f1 f2 with
+        | 0 -> ( match Int.compare l1 l2 with 0 -> String.compare r1 r2 | c -> c)
+        | c -> c)
+      keys
+  in
+  check cb "sorted by (file, line, rule)" true (keys = sorted);
+  check cb "early.ml precedes late.ml" true
+    (match keys with ("lib/a/early.ml", _, _) :: _ -> true | _ -> false);
+  let j1 = L.to_json first and j2 = L.to_json (run ()) in
+  check cs "json byte-identical across runs" j1 j2
+
+let contains haystack needle =
+  let lh = String.length haystack and ln = String.length needle in
+  let rec scan i =
+    i + ln <= lh && (String.sub haystack i ln = needle || scan (i + 1))
+  in
+  ln = 0 || scan 0
+
+let test_json_shape () =
+  let json = L.to_json [ viol "a.ml" 3 "obj-magic" ] in
+  check cb "has file field" true (contains json "\"file\": \"a.ml\"");
+  check cb "has line field" true (contains json "\"line\": 3");
+  check cb "has fix hint" true (contains json "\"fix\"");
+  check cs "empty list is empty array" "[]\n" (L.to_json [])
+
+(* --------------------------------------------------------------- *)
+(* Registry / misc                                                   *)
+
+let test_list_rules_covers_new_rules () =
+  let ids = List.map fst L.rule_ids in
+  List.iter
+    (fun id -> check cb id true (List.mem id ids))
+    [
+      "unsafe-shared-mutable"; "poly-compare"; "hashtbl-iter-order";
+      "catch-all-swallow"; "span-bracket"; "obj-magic"; "bare-failwith";
+      "wall-clock"; "catch-all-try"; "todo-issue";
+    ];
+  check cb "every rule has a fix hint" true
+    (List.for_all (fun id -> L.fix_hint id <> None) ids)
+
+let test_parse_error_rule () =
+  let vs = lint "let f = (\n" in
+  check ci "one parse-error" 1
+    (List.length (List.filter (fun v -> v.L.rule_id = "parse-error") vs))
+
+let test_mli_not_parsed () =
+  (* Interfaces carry no expressions; only comment rules apply. *)
+  check ci "no findings on an interface" 0
+    (List.length (lint ~path:"lib/x/f.mli" "val cache : int list ref\n"));
+  check ci "todo-issue still applies" 1
+    (count "todo-issue" ~path:"lib/x/f.mli" "(* TODO tighten *)\nval f : int\n")
+
+let suite =
+  [
+    Alcotest.test_case "rule fixture table" `Quick test_table;
+    Alcotest.test_case "suppression end-of-line" `Quick
+      test_suppression_end_of_line;
+    Alcotest.test_case "suppression comment-above" `Quick
+      test_suppression_comment_above;
+    Alcotest.test_case "suppression needs a reason" `Quick
+      test_suppression_needs_reason;
+    Alcotest.test_case "suppression is rule-scoped" `Quick
+      test_suppression_is_rule_scoped;
+    Alcotest.test_case "suppression parser" `Quick test_suppression_parser;
+    Alcotest.test_case "baseline round-trip" `Quick test_baseline_roundtrip;
+    Alcotest.test_case "baseline subtracts counts" `Quick
+      test_baseline_subtracts;
+    Alcotest.test_case "deterministic ordering" `Quick test_output_ordering;
+    Alcotest.test_case "json shape" `Quick test_json_shape;
+    Alcotest.test_case "list-rules covers the AST rules" `Quick
+      test_list_rules_covers_new_rules;
+    Alcotest.test_case "parse errors are findings" `Quick test_parse_error_rule;
+    Alcotest.test_case "mli files: comment rules only" `Quick
+      test_mli_not_parsed;
+  ]

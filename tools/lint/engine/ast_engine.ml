@@ -1,0 +1,330 @@
+(* AST analysis substrate for nettomo-lint v2.
+
+   The v1 engine was a token lexer; it could not see binding structure
+   (top-level vs local [ref]), handler arms beyond the first, or where
+   a [Hashtbl.fold] result flows. This module parses every .ml file
+   with the compiler's own parser ([compiler-libs.common]) and gives
+   the per-rule modules a typed view of the parsetree plus the two
+   things the parsetree drops: comments (for todo-issue and the
+   in-source suppression syntax) and raw file paths (for scoping).
+
+   No typedtree: rules run on the untyped AST, so anything described
+   as "at non-scalar types" is a documented syntactic approximation
+   (e.g. a tuple or constructor literal operand). That keeps the lint
+   pass dependency-free and runnable before the project itself
+   compiles. *)
+
+type violation = {
+  file : string;
+  line : int;
+  rule_id : string;
+  message : string;
+}
+
+let violation_to_string v =
+  Printf.sprintf "%s:%d: [%s] %s" v.file v.line v.rule_id v.message
+
+let compare_violation a b =
+  match String.compare a.file b.file with
+  | 0 -> (
+      match Int.compare a.line b.line with
+      | 0 -> String.compare a.rule_id b.rule_id
+      | c -> c)
+  | c -> c
+
+(* ------------------------------------------------------------------ *)
+(* Parsed source                                                       *)
+
+type source = {
+  path : string;
+  structure : Parsetree.structure option;
+      (** [None] for .mli files and for files that fail to parse. *)
+  comments : (int * string) list;
+      (** (line where the comment opens, full text incl. delimiters) *)
+  parse_error : (int * string) option;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Comment scanner                                                     *)
+
+(* The compiler parser discards comments, so a small scanner collects
+   them: it only has to know enough lexical structure to avoid being
+   fooled by comment openers inside string literals, quoted strings
+   and char literals. *)
+
+let is_lower c = c >= 'a' && c <= 'z'
+
+let scan_comments src =
+  let n = String.length src in
+  let comments = ref [] in
+  let line = ref 1 in
+  let i = ref 0 in
+  let bump_lines s = String.iter (fun c -> if c = '\n' then incr line) s in
+  while !i < n do
+    let c = src.[!i] in
+    if c = '\n' then begin
+      incr line;
+      incr i
+    end
+    else if c = '(' && !i + 1 < n && src.[!i + 1] = '*' then begin
+      let start = !i and start_line = !line in
+      let depth = ref 0 in
+      let j = ref !i in
+      let stop = ref false in
+      while (not !stop) && !j < n do
+        if !j + 1 < n && src.[!j] = '(' && src.[!j + 1] = '*' then begin
+          incr depth;
+          j := !j + 2
+        end
+        else if !j + 1 < n && src.[!j] = '*' && src.[!j + 1] = ')' then begin
+          decr depth;
+          j := !j + 2;
+          if !depth = 0 then stop := true
+        end
+        else incr j
+      done;
+      let text = String.sub src start (!j - start) in
+      bump_lines text;
+      comments := (start_line, text) :: !comments;
+      i := !j
+    end
+    else if c = '"' then begin
+      let j = ref (!i + 1) in
+      let stop = ref false in
+      while (not !stop) && !j < n do
+        if src.[!j] = '\\' then j := !j + 2
+        else if src.[!j] = '"' then begin
+          incr j;
+          stop := true
+        end
+        else begin
+          if src.[!j] = '\n' then incr line;
+          incr j
+        end
+      done;
+      i := !j
+    end
+    else if c = '{' && !i + 1 < n && (src.[!i + 1] = '|' || is_lower src.[!i + 1])
+    then begin
+      (* possible quoted string {id|...|id} *)
+      let j = ref (!i + 1) in
+      while !j < n && is_lower src.[!j] do incr j done;
+      if !j < n && src.[!j] = '|' then begin
+        let id = String.sub src (!i + 1) (!j - !i - 1) in
+        let closing = "|" ^ id ^ "}" in
+        let cl = String.length closing in
+        let k = ref (!j + 1) in
+        let stop = ref false in
+        while (not !stop) && !k < n do
+          if !k + cl <= n && String.sub src !k cl = closing then begin
+            bump_lines (String.sub src !i (!k + cl - !i));
+            k := !k + cl;
+            stop := true
+          end
+          else incr k
+        done;
+        i := !k
+      end
+      else incr i
+    end
+    else if c = '\'' then begin
+      if !i + 1 < n && src.[!i + 1] = '\\' then begin
+        (* escaped char literal *)
+        let j = ref (!i + 2) in
+        while !j < n && src.[!j] <> '\'' do incr j done;
+        i := !j + 1
+      end
+      else if !i + 2 < n && src.[!i + 2] = '\'' then i := !i + 3 (* 'a' *)
+      else incr i (* type variable quote *)
+    end
+    else incr i
+  done;
+  List.rev !comments
+
+(* ------------------------------------------------------------------ *)
+(* Parsing                                                             *)
+
+let is_ml path = Filename.check_suffix path ".ml"
+let is_mli path = Filename.check_suffix path ".mli"
+
+let parse ~path content =
+  let comments = scan_comments content in
+  if not (is_ml path) then
+    { path; structure = None; comments; parse_error = None }
+  else
+    let lexbuf = Lexing.from_string content in
+    Location.init lexbuf path;
+    match Parse.implementation lexbuf with
+    | structure -> { path; structure = Some structure; comments; parse_error = None }
+    | exception exn ->
+        let default = (lexbuf.Lexing.lex_curr_p.Lexing.pos_lnum, "syntax error") in
+        let line, msg =
+          match exn with
+          | Syntaxerr.Error e -> (
+              let loc = Syntaxerr.location_of_error e in
+              ( loc.Location.loc_start.Lexing.pos_lnum,
+                match e with
+                | Syntaxerr.Unclosed (_, opening, _, _) ->
+                    Printf.sprintf "unclosed %s" opening
+                | _ -> "syntax error" ))
+          | Lexer.Error (_, loc) ->
+              (loc.Location.loc_start.Lexing.pos_lnum, "lexical error")
+          | _ -> default
+        in
+        { path; structure = None; comments; parse_error = Some (line, msg) }
+
+(* ------------------------------------------------------------------ *)
+(* AST helpers                                                         *)
+
+let line_of_loc (loc : Location.t) = loc.Location.loc_start.Lexing.pos_lnum
+
+(* [Longident.flatten] aborts on [Lapply]; this variant approximates
+   functor applications by their functor result path. *)
+let rec flatten_lid acc = function
+  | Longident.Lident s -> s :: acc
+  | Longident.Ldot (l, s) -> flatten_lid (s :: acc) l
+  | Longident.Lapply (_, l) -> flatten_lid acc l
+
+let lid_parts lid = flatten_lid [] lid
+
+let lid_last lid =
+  match List.rev (lid_parts lid) with [] -> "" | last :: _ -> last
+
+(* Does the identifier path end with the given suffix, e.g.
+   [lid_ends ["Hashtbl"; "iter"]] matches both [Hashtbl.iter] and
+   [Stdlib.Hashtbl.iter]. *)
+let lid_ends suffix lid =
+  let parts = lid_parts lid in
+  let lp = List.length parts and ls = List.length suffix in
+  lp >= ls
+  &&
+  let rec drop k = function xs when k = 0 -> xs | _ :: xs -> drop (k - 1) xs | [] -> [] in
+  drop (lp - ls) parts = suffix
+
+(* Iterate [f] over every expression in a structure (or any AST
+   fragment reachable through the default iterator). *)
+let iter_expressions_str str f =
+  let it =
+    {
+      Ast_iterator.default_iterator with
+      expr =
+        (fun self e ->
+          f e;
+          Ast_iterator.default_iterator.expr self e);
+    }
+  in
+  it.Ast_iterator.structure it str
+
+let iter_expressions_item item f =
+  let it =
+    {
+      Ast_iterator.default_iterator with
+      expr =
+        (fun self e ->
+          f e;
+          Ast_iterator.default_iterator.expr self e);
+    }
+  in
+  it.Ast_iterator.structure_item it item
+
+let iter_expressions_expr e0 f =
+  let it =
+    {
+      Ast_iterator.default_iterator with
+      expr =
+        (fun self e ->
+          f e;
+          Ast_iterator.default_iterator.expr self e);
+    }
+  in
+  it.Ast_iterator.expr it e0
+
+(* Does any expression in [e0] satisfy [p]? *)
+let expr_exists e0 p =
+  let found = ref false in
+  iter_expressions_expr e0 (fun e -> if p e then found := true);
+  !found
+
+(* Strip syntactic wrappers that do not change what an expression
+   denotes for our purposes. *)
+let rec peel (e : Parsetree.expression) =
+  match e.Parsetree.pexp_desc with
+  | Parsetree.Pexp_constraint (e, _)
+  | Parsetree.Pexp_coerce (e, _, _)
+  | Parsetree.Pexp_open (_, e) ->
+      peel e
+  | _ -> e
+
+let rec pat_var (p : Parsetree.pattern) =
+  match p.Parsetree.ppat_desc with
+  | Parsetree.Ppat_var { txt; _ } -> Some txt
+  | Parsetree.Ppat_constraint (p, _) -> pat_var p
+  | _ -> None
+
+(* Module-level value bindings: bindings whose lifetime is the whole
+   program, i.e. [Pstr_value] items of the file and of any nested
+   [module X = struct ... end] — but not [let]s inside expressions.
+   Functor bodies are skipped: their state is per-instantiation. *)
+let module_level_bindings str =
+  let rec of_structure acc str =
+    List.fold_left
+      (fun acc (item : Parsetree.structure_item) ->
+        match item.Parsetree.pstr_desc with
+        | Parsetree.Pstr_value (_, vbs) -> List.rev_append vbs acc
+        | Parsetree.Pstr_module mb -> of_module_expr acc mb.Parsetree.pmb_expr
+        | Parsetree.Pstr_recmodule mbs ->
+            List.fold_left
+              (fun acc mb -> of_module_expr acc mb.Parsetree.pmb_expr)
+              acc mbs
+        | Parsetree.Pstr_include incl ->
+            of_module_expr acc incl.Parsetree.pincl_mod
+        | _ -> acc)
+      acc str
+  and of_module_expr acc (me : Parsetree.module_expr) =
+    match me.Parsetree.pmod_desc with
+    | Parsetree.Pmod_structure s -> of_structure acc s
+    | Parsetree.Pmod_constraint (me, _) -> of_module_expr acc me
+    | _ -> acc
+  in
+  List.rev (of_structure [] str)
+
+(* ------------------------------------------------------------------ *)
+(* Rules                                                               *)
+
+type scope = Lib_ml | Any_ml | Dirs_ml of string list
+
+type rule = {
+  id : string;
+  description : string;
+  fix_hint : string;
+  scope : scope;
+  allowlist : string list;  (** repo-relative path suffixes exempted *)
+  check : source -> violation list;
+      (** emits violations with [file = ""]; the driver fills it in *)
+}
+
+let path_has_segment seg path =
+  List.mem seg (String.split_on_char '/' path)
+
+let in_lib path = path_has_segment "lib" path
+
+let in_scope rule path =
+  match rule.scope with
+  | Lib_ml -> in_lib path && is_ml path
+  | Any_ml -> is_ml path || is_mli path
+  | Dirs_ml dirs ->
+      is_ml path && List.exists (fun d -> path_has_segment d path) dirs
+
+let allowlisted rule path =
+  List.exists
+    (fun suffix ->
+      path = suffix
+      || Filename.check_suffix path ("/" ^ suffix)
+      || Filename.check_suffix path suffix)
+    rule.allowlist
+
+let v ~line ~rule_id message = { file = ""; line; rule_id; message }
+
+(* Run [f] only when the file parsed; comment-only rules bypass this. *)
+let on_structure source f =
+  match source.structure with None -> [] | Some str -> f str

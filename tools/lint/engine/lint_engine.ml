@@ -1,414 +1,123 @@
-(* Project linter engine: a lightweight OCaml lexer plus a table of
-   token-level rules. Deliberately lexical — no typedtree — so it runs
-   on the raw tree with zero build dependencies; each rule documents the
-   approximation it makes. *)
+(* nettomo-lint v2: AST-level domain-safety & determinism analyzer.
 
-type violation = { file : string; line : int; rule_id : string; message : string }
+   The engine parses every .ml file with the compiler's parser
+   (Ast_engine, on compiler-libs.common) and runs a table of per-rule
+   modules over the parsetree; comments are scanned separately for the
+   comment rules and for the in-source suppression syntax:
 
-let violation_to_string v =
-  Printf.sprintf "%s:%d: [%s] %s" v.file v.line v.rule_id v.message
+     (* nettomo-lint: allow <rule-id> — reason *)
 
-let compare_violation a b =
-  match String.compare a.file b.file with
-  | 0 -> ( match Int.compare a.line b.line with 0 -> String.compare a.rule_id b.rule_id | c -> c)
-  | c -> c
+   A suppression must carry a non-empty reason or it does not
+   suppress. It silences findings of that rule on any line the comment
+   covers plus the line immediately after it (so both end-of-line and
+   comment-above styles work).
 
-(* ------------------------------------------------------------------ *)
-(* Lexer                                                               *)
+   Legacy findings can also be parked in a baseline file
+   (file<TAB>rule<TAB>count); the CLI subtracts baselined counts so
+   new violations fail CI while the backlog is burned down
+   deliberately. *)
 
-type token = { text : string; tline : int }
-
-type lexed = {
-  tokens : token array;
-  comments : (int * string) list;  (** line where the comment opens, full text *)
+type violation = Ast_engine.violation = {
+  file : string;
+  line : int;
+  rule_id : string;
+  message : string;
 }
 
-let is_ident_start c =
-  (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+let violation_to_string = Ast_engine.violation_to_string
+let compare_violation = Ast_engine.compare_violation
 
-let is_ident_char c =
-  is_ident_start c || (c >= '0' && c <= '9') || c = '\''
+(* ------------------------------------------------------------------ *)
+(* Rule registry                                                       *)
 
-let is_op_char c = String.contains "!$%&*+-./:<=>?@^|~#" c
+let rules : Ast_engine.rule list =
+  Rule_idents.rules @ Rule_compare.rules @ Rule_exn.rules
+  @ Rule_mutable.rules @ Rule_order.rules @ Rule_span.rules
+  @ Rule_comments.rules
 
-(* Tokenize OCaml source: identifiers (including leading-quote type
-   variables), operator clusters, and single-character punctuation.
-   Strings (including {xxx|...|xxx} quoted strings) and character
-   literals vanish; comments are collected separately for the
-   comment-level rules. *)
-let lex src =
-  let n = String.length src in
-  let tokens = ref [] and comments = ref [] in
-  let line = ref 1 in
-  let emit text tline = tokens := { text; tline } :: !tokens in
-  let i = ref 0 in
-  let bump_lines s =
-    String.iter (fun c -> if c = '\n' then incr line) s
+let rule_ids =
+  List.map (fun (r : Ast_engine.rule) -> (r.Ast_engine.id, r.Ast_engine.description)) rules
+
+let fix_hint id =
+  List.find_map
+    (fun (r : Ast_engine.rule) ->
+      if r.Ast_engine.id = id then Some r.Ast_engine.fix_hint else None)
+    rules
+
+let parse_error_description =
+  "every .ml file parses (reported as rule parse-error)"
+
+(* ------------------------------------------------------------------ *)
+(* Suppressions                                                        *)
+
+type suppression = { s_rule : string; s_first : int; s_last : int }
+
+let dash_tokens = [ "\xe2\x80\x94" (* — *); "-"; "--"; ":" ]
+
+(* Parse one comment into a suppression, requiring a reason: a
+   reasonless [allow] is deliberately inert so the finding keeps
+   firing until somebody writes down why it is safe. *)
+let suppression_of_comment (line, text) =
+  let n_lines =
+    String.fold_left (fun acc c -> if c = '\n' then acc + 1 else acc) 0 text
   in
-  while !i < n do
-    let c = src.[!i] in
-    if c = '\n' then begin incr line; incr i end
-    else if c = ' ' || c = '\t' || c = '\r' then incr i
-    else if c = '(' && !i + 1 < n && src.[!i + 1] = '*' then begin
-      (* comment, nested *)
-      let start = !i and start_line = !line in
-      let depth = ref 0 in
-      let j = ref !i in
-      let stop = ref false in
-      while not !stop && !j < n do
-        if !j + 1 < n && src.[!j] = '(' && src.[!j + 1] = '*' then begin
-          incr depth; j := !j + 2
-        end
-        else if !j + 1 < n && src.[!j] = '*' && src.[!j + 1] = ')' then begin
-          decr depth;
-          j := !j + 2;
-          if !depth = 0 then stop := true
-        end
-        else incr j
-      done;
-      let text = String.sub src start (!j - start) in
-      bump_lines text;
-      comments := (start_line, text) :: !comments;
-      i := !j
-    end
-    else if c = '"' then begin
-      (* string literal *)
-      let j = ref (!i + 1) in
-      let stop = ref false in
-      while not !stop && !j < n do
-        if src.[!j] = '\\' then j := !j + 2
-        else if src.[!j] = '"' then begin incr j; stop := true end
-        else begin
-          if src.[!j] = '\n' then incr line;
-          incr j
-        end
-      done;
-      i := !j
-    end
-    else if c = '{' && !i + 1 < n
-            && (src.[!i + 1] = '|'
-               || (is_ident_start src.[!i + 1] && src.[!i + 1] <> '_')) then begin
-      (* possible quoted string {id|...|id} *)
-      let j = ref (!i + 1) in
-      while !j < n && src.[!j] >= 'a' && src.[!j] <= 'z' do incr j done;
-      if !j < n && src.[!j] = '|' then begin
-        let id = String.sub src (!i + 1) (!j - !i - 1) in
-        let closing = "|" ^ id ^ "}" in
-        let cl = String.length closing in
-        let k = ref (!j + 1) in
-        let stop = ref false in
-        while not !stop && !k < n do
-          if !k + cl <= n && String.sub src !k cl = closing then begin
-            bump_lines (String.sub src !i (!k + cl - !i));
-            k := !k + cl;
-            stop := true
-          end
-          else incr k
-        done;
-        i := !k
-      end
-      else begin
-        emit "{" !line;
-        incr i
-      end
-    end
-    else if c = '\'' then begin
-      (* char literal or type variable *)
-      if !i + 1 < n && src.[!i + 1] = '\\' then begin
-        (* escaped char literal *)
-        let j = ref (!i + 2) in
-        while !j < n && src.[!j] <> '\'' do incr j done;
-        i := !j + 1
-      end
-      else if !i + 2 < n && src.[!i + 2] = '\'' then i := !i + 3 (* 'a' *)
-      else incr i (* type variable quote; identifier follows as a token *)
-    end
-    else if is_ident_start c then begin
-      let j = ref !i in
-      while !j < n && is_ident_char src.[!j] do incr j done;
-      emit (String.sub src !i (!j - !i)) !line;
-      i := !j
-    end
-    else if c >= '0' && c <= '9' then begin
-      let j = ref !i in
-      while
-        !j < n
-        && (is_ident_char src.[!j] || src.[!j] = '.' || src.[!j] = 'x')
-      do
-        incr j
-      done;
-      i := !j
-    end
-    else if is_op_char c then begin
-      let j = ref !i in
-      while !j < n && is_op_char src.[!j] do incr j done;
-      emit (String.sub src !i (!j - !i)) !line;
-      i := !j
-    end
-    else begin
-      emit (String.make 1 c) !line;
-      incr i
-    end
-  done;
-  { tokens = Array.of_list (List.rev !tokens); comments = List.rev !comments }
+  let words =
+    String.split_on_char ' '
+      (String.map (fun c -> if c = '\n' || c = '\t' then ' ' else c) text)
+    |> List.filter (fun w -> w <> "")
+  in
+  let rec find = function
+    | "nettomo-lint:" :: "allow" :: rule :: rest ->
+        let reason = List.filter (fun w -> not (List.mem w dash_tokens)) rest in
+        let reason = List.filter (fun w -> w <> "*)") reason in
+        if reason = [] then None
+        else Some { s_rule = rule; s_first = line; s_last = line + n_lines + 1 }
+    | _ :: rest -> find rest
+    | [] -> None
+  in
+  find words
 
-(* ------------------------------------------------------------------ *)
-(* Rule table                                                          *)
+let suppressions_of_comments comments =
+  List.filter_map suppression_of_comment comments
 
-type scope = Lib_ml | Any_ml
-
-type rule = {
-  id : string;
-  description : string;
-  scope : scope;
-  allowlist : string list;  (** repo-relative path suffixes exempted *)
-  check : path:string -> lexed -> violation list;
-}
-
-let path_has_segment seg path =
-  let parts = String.split_on_char '/' path in
-  List.mem seg parts
-
-let in_lib path = path_has_segment "lib" path
-
-let is_ml path = Filename.check_suffix path ".ml"
-
-let in_scope rule path =
-  match rule.scope with
-  | Lib_ml -> in_lib path && is_ml path
-  | Any_ml -> is_ml path || Filename.check_suffix path ".mli"
-
-let allowlisted rule path =
+let suppressed suppressions v =
   List.exists
-    (fun suffix -> path = suffix || Filename.check_suffix path ("/" ^ suffix)
-                   || Filename.check_suffix path suffix)
-    rule.allowlist
+    (fun s ->
+      s.s_rule = v.rule_id && v.line >= s.s_first && v.line <= s.s_last)
+    suppressions
 
-let tok tokens k = if k >= 0 && k < Array.length tokens then tokens.(k).text else ""
+(* ------------------------------------------------------------------ *)
+(* Per-file driver                                                     *)
 
-(* obj-magic: [Obj.magic] defeats the type system entirely; the graph
-   and linear-algebra invariants cannot survive it. *)
-let check_obj_magic ~path:_ lexed =
-  let t = lexed.tokens in
-  let out = ref [] in
-  Array.iteri
-    (fun k token ->
-      if token.text = "Obj" && tok t (k + 1) = "." && tok t (k + 2) = "magic"
-      then
-        out :=
-          { file = ""; line = token.tline; rule_id = "obj-magic";
-            message = "Obj.magic is forbidden" }
-          :: !out)
-    t;
-  List.rev !out
-
-(* bare-failwith: raises must be typed (named exceptions) or routed
-   through the Errors module so escape hatches stay greppable. Lexical
-   approximation: a bare (unqualified) [failwith]/[invalid_arg]
-   identifier; [Errors.invalid_arg] is fine because the previous token
-   is a dot. *)
-let check_bare_failwith ~path:_ lexed =
-  let t = lexed.tokens in
-  let out = ref [] in
-  Array.iteri
-    (fun k token ->
-      if
-        (token.text = "failwith" || token.text = "invalid_arg")
-        && tok t (k - 1) <> "."
-      then
-        out :=
-          { file = ""; line = token.tline; rule_id = "bare-failwith";
-            message =
-              Printf.sprintf
-                "bare %s in lib/; use a named exception or Nettomo_util.Errors"
-                token.text }
-          :: !out)
-    t;
-  List.rev !out
-
-(* poly-compare: polymorphic structural comparison silently does the
-   wrong thing on abstract types (Graph.t adjacency maps, cached
-   counts); edges and nodes must go through Graph.edge_compare /
-   Int.compare, rationals through Rational.compare. Lexical
-   approximation: a bare [compare] identifier that is neither qualified
-   (previous token [.]) nor a definition (previous token [let]/[and]).
-   Files that define their own [let compare] are exempt — their bare
-   [compare] is the local monomorphic one. *)
-let check_poly_compare ~path:_ lexed =
-  let t = lexed.tokens in
-  let defines_compare = ref false in
-  Array.iteri
-    (fun k token ->
-      if
-        token.text = "compare"
-        && (tok t (k - 1) = "let" || tok t (k - 1) = "and")
-      then defines_compare := true)
-    t;
-  if !defines_compare then []
-  else begin
-    let out = ref [] in
-    Array.iteri
-      (fun k token ->
-        let flagged =
-          (token.text = "compare" && tok t (k - 1) <> "."
-           && tok t (k - 1) <> "let" && tok t (k - 1) <> "and")
-          || (token.text = "compare" && tok t (k - 1) = "."
-             && tok t (k - 2) = "Stdlib")
-        in
-        if flagged then
-          out :=
-            { file = ""; line = token.tline; rule_id = "poly-compare";
-              message =
-                "polymorphic compare; use Int.compare, Graph.edge_compare, \
-                 Rational.compare, ..." }
-            :: !out)
-      t;
-    List.rev !out
-  end
-
-(* catch-all-try: [try ... with _ ->] swallows everything, including
-   Invariant.Violation and asserts; handlers must name what they
-   expect. Lexical approximation: tracks try/match/record-update [with]
-   pairing through bracket nesting and flags a wildcard first handler
-   arm of a [try]. Later arms ([try e with A -> .. | _ -> ..]) are out
-   of lexical reach — reviewers cover those. *)
-let check_catch_all ~path:_ lexed =
-  let t = lexed.tokens in
-  let out = ref [] in
-  let stack = ref [] in
-  let push x = stack := x :: !stack in
-  (* pop through to the nearest opening bracket marker *)
-  let pop_bracket () =
-    let rec loop = function
-      | [] -> []
-      | `Bracket :: rest -> rest
-      | (`Try _ | `Match) :: rest -> loop rest
-    in
-    stack := loop !stack
+let lint_source ~path content =
+  let source = Ast_engine.parse ~path content in
+  let found =
+    List.concat_map
+      (fun (r : Ast_engine.rule) ->
+        if Ast_engine.in_scope r path && not (Ast_engine.allowlisted r path)
+        then r.Ast_engine.check source
+        else [])
+      rules
   in
-  Array.iteri
-    (fun k token ->
-      match token.text with
-      | "try" -> push (`Try token.tline)
-      | "match" -> push `Match
-      | "(" | "[" | "{" | "begin" | "struct" | "sig" | "object" ->
-          push `Bracket
-      | ")" | "]" | "}" | "end" -> pop_bracket ()
-      | "with" -> (
-          match !stack with
-          | `Try _ :: rest | `Match :: rest -> (
-              let arm =
-                if tok t (k + 1) = "|" then k + 2 else k + 1
-              in
-              (match !stack with
-              | `Try tline :: _
-                when tok t arm = "_" && tok t (arm + 1) = "->" ->
-                  out :=
-                    { file = ""; line = tline; rule_id = "catch-all-try";
-                      message =
-                        "catch-all exception handler (try ... with _ ->); \
-                         name the exceptions you expect" }
-                    :: !out
-              | _ -> ());
-              stack := rest)
-          | _ -> () (* record update or module constraint *))
-      | _ -> ())
-    t;
-  List.rev !out
-
-(* todo-issue: every TODO/XXX marker must reference an issue so stale
-   markers are traceable; [TODO(#42)] or any [#42] in the comment. *)
-let check_todo ~path:_ lexed =
-  let has_marker text =
-    let n = String.length text in
-    let rec find i =
-      if i + 4 > n then None
-      else if String.sub text i 4 = "TODO" then Some "TODO"
-      else if i + 3 <= n && String.sub text i 3 = "XXX" then Some "XXX"
-      else find (i + 1)
-    in
-    find 0
+  let found =
+    match source.Ast_engine.parse_error with
+    | Some (line, msg) when Ast_engine.is_ml path ->
+        {
+          file = "";
+          line;
+          rule_id = "parse-error";
+          message = "file does not parse: " ^ msg;
+        }
+        :: found
+    | _ -> found
   in
-  let has_issue_ref text =
-    let n = String.length text in
-    let rec find i =
-      if i + 2 > n then false
-      else if
-        text.[i] = '#' && text.[i + 1] >= '0' && text.[i + 1] <= '9'
-      then true
-      else find (i + 1)
-    in
-    find 0
-  in
-  List.filter_map
-    (fun (line, text) ->
-      match has_marker text with
-      | Some marker when not (has_issue_ref text) ->
-          Some
-            { file = ""; line; rule_id = "todo-issue";
-              message =
-                Printf.sprintf
-                  "%s marker without an issue reference (write %s(#NNN))"
-                  marker marker }
-      | _ -> None)
-    lexed.comments
+  let sup = suppressions_of_comments source.Ast_engine.comments in
+  found
+  |> List.filter (fun v -> not (suppressed sup v))
+  |> List.map (fun v -> { v with file = path })
+  |> List.sort compare_violation
 
-(* wall-clock: every wall-time read goes through Obs.Clock so the
-   injectable fake clock can make traces and timings byte-deterministic
-   in golden tests. Lexical approximation: any [gettimeofday]
-   identifier, plus [time] qualified by [Unix]. [Sys.time] (CPU time)
-   and [Unix.utimes]/[Unix.stat] stay allowed. *)
-let check_wall_clock ~path:_ lexed =
-  let t = lexed.tokens in
-  let out = ref [] in
-  Array.iteri
-    (fun k token ->
-      let flagged =
-        token.text = "gettimeofday"
-        || (token.text = "time" && tok t (k - 1) = "." && tok t (k - 2) = "Unix")
-      in
-      if flagged then
-        out :=
-          { file = ""; line = token.tline; rule_id = "wall-clock";
-            message =
-              "direct wall-clock read; route through Nettomo_obs.Obs.Clock.now" }
-          :: !out)
-    t;
-  List.rev !out
-
-let rules =
-  [
-    { id = "obj-magic";
-      description = "no Obj.magic anywhere";
-      scope = Any_ml; allowlist = []; check = check_obj_magic };
-    { id = "bare-failwith";
-      description =
-        "no bare failwith/invalid_arg in lib/ outside the Errors module";
-      scope = Lib_ml;
-      allowlist = [ "lib/util/errors.ml" ];
-      check = check_bare_failwith };
-    { id = "poly-compare";
-      description =
-        "no polymorphic compare in lib/ (use Int.compare, \
-         Graph.edge_compare, ...)";
-      scope = Lib_ml; allowlist = []; check = check_poly_compare };
-    { id = "catch-all-try";
-      description = "no catch-all try ... with _ -> handlers";
-      scope = Any_ml; allowlist = []; check = check_catch_all };
-    { id = "todo-issue";
-      description = "TODO/XXX markers must carry an issue reference (#NNN)";
-      scope = Any_ml; allowlist = []; check = check_todo };
-    { id = "wall-clock";
-      description =
-        "no direct Unix.gettimeofday / Unix.time outside Obs.Clock";
-      scope = Any_ml;
-      allowlist = [ "lib/obs/obs.ml" ];
-      check = check_wall_clock };
-  ]
-
-let rule_ids = List.map (fun r -> (r.id, r.description)) rules
-
-(* missing-mli is file-set-level, not token-level: every lib/ module
+(* missing-mli is file-set-level, not AST-level: every lib/ module
    needs an interface so the public surface is deliberate. *)
 let missing_mli_description = "every lib/ .ml module has a sibling .mli"
 
@@ -416,28 +125,128 @@ let missing_mli files =
   let files_set = List.sort_uniq String.compare files in
   List.filter_map
     (fun f ->
-      if in_lib f && is_ml f then
+      if Ast_engine.in_lib f && Ast_engine.is_ml f then
         let mli = f ^ "i" in
         if List.mem mli files_set then None
         else
           Some
-            { file = f; line = 1; rule_id = "missing-mli";
-              message = "lib/ module without an .mli interface" }
+            {
+              file = f;
+              line = 1;
+              rule_id = "missing-mli";
+              message = "lib/ module without an .mli interface";
+            }
       else None)
     files_set
 
-let lint_source ~path content =
-  let lexed = lex content in
-  List.concat_map
-    (fun rule ->
-      if in_scope rule path && not (allowlisted rule path) then
-        List.map (fun v -> { v with file = path }) (rule.check ~path lexed)
-      else [])
-    rules
-
 let lint_files files =
-  let per_file = List.concat_map (fun (path, content) -> lint_source ~path content) files in
+  let per_file =
+    List.concat_map (fun (path, content) -> lint_source ~path content) files
+  in
   List.sort compare_violation (per_file @ missing_mli (List.map fst files))
+
+(* ------------------------------------------------------------------ *)
+(* Baseline                                                            *)
+
+(* One entry per (file, rule): [file<TAB>rule<TAB>count]. Counts, not
+   line numbers, so unrelated edits shifting a file do not churn the
+   baseline; '#' lines are comments. *)
+
+let parse_baseline content =
+  String.split_on_char '\n' content
+  |> List.filter_map (fun line ->
+         let line = String.trim line in
+         if line = "" || line.[0] = '#' then None
+         else
+           match String.split_on_char '\t' line with
+           | [ file; rule; count ] -> (
+               match int_of_string_opt count with
+               | Some n when n > 0 -> Some ((file, rule), n)
+               | _ -> None)
+           | _ -> None)
+
+let count_by_file_rule violations =
+  List.fold_left
+    (fun acc v ->
+      let key = (v.file, v.rule_id) in
+      let prev = match List.assoc_opt key acc with Some n -> n | None -> 0 in
+      (key, prev + 1) :: List.remove_assoc key acc)
+    [] violations
+
+let render_baseline violations =
+  let entries =
+    count_by_file_rule violations
+    |> List.sort (fun ((f1, r1), _) ((f2, r2), _) ->
+           match String.compare f1 f2 with
+           | 0 -> String.compare r1 r2
+           | c -> c)
+  in
+  String.concat ""
+    ("# nettomo-lint baseline: legacy findings tolerated by `--baseline`.\n\
+      # One entry per file/rule: file<TAB>rule<TAB>count. Burn it down;\n\
+      # never add to it for new code.\n"
+    :: List.map
+         (fun ((file, rule), n) -> Printf.sprintf "%s\t%s\t%d\n" file rule n)
+         entries)
+
+(* Subtract baselined counts: the first [n] sorted findings of a
+   (file, rule) pair are tolerated, anything beyond is new. *)
+let apply_baseline baseline violations =
+  let remaining = ref baseline in
+  List.filter
+    (fun v ->
+      let key = (v.file, v.rule_id) in
+      match List.assoc_opt key !remaining with
+      | Some n when n > 0 ->
+          remaining :=
+            (key, n - 1) :: List.remove_assoc key !remaining;
+          false
+      | _ -> true)
+    (List.sort compare_violation violations)
+
+(* ------------------------------------------------------------------ *)
+(* JSON diagnostics                                                    *)
+
+(* Hand-rolled writer: the lint engine deliberately depends on nothing
+   but compiler-libs, so it cannot use Jsonx. Output is sorted by
+   (file, line, rule) and uses no non-deterministic source, so two
+   runs over the same tree are byte-identical. *)
+
+let json_escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\r' -> Buffer.add_string b "\\r"
+      | '\t' -> Buffer.add_string b "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let to_json violations =
+  let violations = List.sort compare_violation violations in
+  let b = Buffer.create 1024 in
+  Buffer.add_string b "[";
+  List.iteri
+    (fun i v ->
+      if i > 0 then Buffer.add_string b ",";
+      Buffer.add_string b
+        (Printf.sprintf
+           "\n  {\"file\": \"%s\", \"line\": %d, \"rule\": \"%s\", \
+            \"message\": \"%s\"%s}"
+           (json_escape v.file) v.line (json_escape v.rule_id)
+           (json_escape v.message)
+           (match fix_hint v.rule_id with
+           | Some hint -> Printf.sprintf ", \"fix\": \"%s\"" (json_escape hint)
+           | None -> "")))
+    violations;
+  Buffer.add_string b (if violations = [] then "]\n" else "\n]\n");
+  Buffer.contents b
 
 (* ------------------------------------------------------------------ *)
 (* Filesystem walk                                                     *)

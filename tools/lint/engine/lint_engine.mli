@@ -1,13 +1,11 @@
-(** The [nettomo-lint] engine: a comment/string-aware OCaml lexer and a
-    table of project rules, separated from the CLI so the test suite can
-    exercise every rule on inline sources.
+(** nettomo-lint v2: AST-level domain-safety & determinism analyzer.
 
-    Rules are lexical by design (no typedtree, zero build dependencies);
-    each rule's implementation documents the approximation it makes.
-    See DESIGN.md ("Correctness tooling") for the rule table and how to
-    add a rule. *)
+    Sources are parsed with the compiler's parser (compiler-libs); each
+    rule is a table entry with an id, description and fix hint. See
+    [Ast_engine] for the substrate and the per-rule modules for the
+    individual checks. *)
 
-type violation = {
+type violation = Ast_engine.violation = {
   file : string;
   line : int;  (** 1-based *)
   rule_id : string;
@@ -17,25 +15,53 @@ type violation = {
 val violation_to_string : violation -> string
 (** Machine-readable [file:line: [rule-id] message]. *)
 
+val compare_violation : violation -> violation -> int
+(** Total order by (file, line, rule_id) — the output order. *)
+
+val rules : Ast_engine.rule list
+
 val rule_ids : (string * string) list
-(** Token/comment-level rules: id and one-line description. *)
+(** (id, description) per registered AST rule, registry order. *)
+
+val fix_hint : string -> string option
+
+val parse_error_description : string
 
 val missing_mli_description : string
-
-val lint_source : path:string -> string -> violation list
-(** Run every applicable token/comment-level rule on one source file.
-    [path] decides applicability (rule scope and allowlists); the
-    content is lexed once. *)
 
 val missing_mli : string list -> violation list
 (** File-set-level rule: every [lib/**.ml] in the list must have its
     [.mli] in the list too. *)
 
+type suppression = { s_rule : string; s_first : int; s_last : int }
+
+val suppression_of_comment : int * string -> suppression option
+(** Parses [(* nettomo-lint: allow <rule-id> — reason *)]; [None] when
+    the comment is not a suppression or carries no reason. *)
+
+val lint_source : path:string -> string -> violation list
+(** Parse and lint one file's content: every in-scope rule, parse
+    errors reported as rule [parse-error], suppression comments
+    applied. Sorted by (line, rule). *)
+
 val lint_files : (string * string) list -> violation list
-(** [lint_files [(path, content); …]] = all rules, sorted by
-    file/line. *)
+(** [lint_source] over each (path, content) plus [missing_mli], sorted
+    by (file, line, rule). *)
+
+val parse_baseline : string -> ((string * string) * int) list
+(** Baseline file content -> tolerated count per (file, rule). *)
+
+val render_baseline : violation list -> string
+
+val apply_baseline :
+  ((string * string) * int) list -> violation list -> violation list
+(** Drop the first [n] findings of each baselined (file, rule). *)
+
+val to_json : violation list -> string
+(** Deterministic JSON diagnostics array, sorted by (file, line,
+    rule); byte-identical across runs over the same tree. *)
 
 val run_paths : string list -> violation list
 (** Walk directories (files are taken as-is), reading [.ml]/[.mli]
     files, skipping dot- and underscore-prefixed directories, and lint
-    everything found. *)
+    everything found. Raises [Sys_error] on unreadable paths. *)

@@ -1,0 +1,52 @@
+(* Comment-level rules. The parsetree drops comments, so these run on
+   the comment list collected by Ast_engine's scanner; they apply to
+   .mli files too (which are otherwise not parsed). *)
+
+open Ast_engine
+
+(* todo-issue: every TODO/XXX marker must reference an issue so stale
+   markers are traceable; [TODO(#42)] or any [#42] in the comment. *)
+let has_marker text =
+  let n = String.length text in
+  let rec find i =
+    if i + 4 > n then None
+    else if String.sub text i 4 = "TODO" then Some "TODO"
+    else if i + 3 <= n && String.sub text i 3 = "XXX" then Some "XXX"
+    else find (i + 1)
+  in
+  find 0
+
+let has_issue_ref text =
+  let n = String.length text in
+  let rec find i =
+    if i + 2 > n then false
+    else if text.[i] = '#' && text.[i + 1] >= '0' && text.[i + 1] <= '9' then
+      true
+    else find (i + 1)
+  in
+  find 0
+
+let check_todo source =
+  List.filter_map
+    (fun (line, text) ->
+      match has_marker text with
+      | Some marker when not (has_issue_ref text) ->
+          Some
+            (v ~line ~rule_id:"todo-issue"
+               (Printf.sprintf
+                  "%s marker without an issue reference (write %s(#NNN))"
+                  marker marker))
+      | _ -> None)
+    source.comments
+
+let rules =
+  [
+    {
+      id = "todo-issue";
+      description = "TODO/XXX markers must carry an issue reference (#NNN)";
+      fix_hint = "file the issue and write TODO(#NNN)";
+      scope = Any_ml;
+      allowlist = [];
+      check = check_todo;
+    };
+  ]

@@ -1,0 +1,97 @@
+(* poly-compare: polymorphic comparison silently does the wrong thing
+   on abstract types (Graph.t adjacency maps, memo tables, rationals)
+   and couples behaviour to representation. Three shapes are flagged:
+
+   - a bare/Stdlib [compare] identifier — use the typed comparator
+     (Int.compare, Graph.edge_compare, Rational.compare, ...);
+   - [Hashtbl.hash] — its result depends on the value representation
+     and the runtime's hash implementation; use Util.Checksum or a
+     typed hash;
+   - [=] / [<>] with a structured-literal operand (tuple, record,
+     non-empty list, constructor or variant with a payload, array) —
+     the untyped-AST approximation of "polymorphic equality at a
+     non-scalar type". Comparisons against bare constructors
+     ([x = None], [x = []]) only inspect the tag and stay allowed.
+
+   A file that defines its own [compare] is exempt from the bare-
+   [compare] shape: its unqualified [compare] is the local monomorphic
+   one. *)
+
+open Ast_engine
+
+let defines_compare str =
+  let found = ref false in
+  let it =
+    {
+      Ast_iterator.default_iterator with
+      value_binding =
+        (fun self vb ->
+          (match pat_var vb.Parsetree.pvb_pat with
+          | Some "compare" -> found := true
+          | Some _ | None -> ());
+          Ast_iterator.default_iterator.value_binding self vb);
+    }
+  in
+  it.Ast_iterator.structure it str;
+  !found
+
+let structured_literal e =
+  match (peel e).Parsetree.pexp_desc with
+  | Parsetree.Pexp_tuple _ | Parsetree.Pexp_record _ | Parsetree.Pexp_array _
+    ->
+      true
+  | Parsetree.Pexp_construct (_, Some _) ->
+      (* [Some e], [x :: xs], [Edge (u, v)] — but not plain tags *)
+      true
+  | Parsetree.Pexp_variant (_, Some _) -> true
+  | _ -> false
+
+let check source =
+  on_structure source @@ fun str ->
+  let compare_defined = defines_compare str in
+  let out = ref [] in
+  let add line msg = out := v ~line ~rule_id:"poly-compare" msg :: !out in
+  iter_expressions_str str (fun e ->
+      match e.Parsetree.pexp_desc with
+      | Parsetree.Pexp_ident { txt = Longident.Lident "compare"; loc }
+        when not compare_defined ->
+          add (line_of_loc loc)
+            "polymorphic compare; use Int.compare, Graph.edge_compare, \
+             Rational.compare, ..."
+      | Parsetree.Pexp_ident { txt; loc } when lid_ends [ "Stdlib"; "compare" ] txt
+        ->
+          add (line_of_loc loc)
+            "polymorphic compare; use Int.compare, Graph.edge_compare, \
+             Rational.compare, ..."
+      | Parsetree.Pexp_ident { txt; loc } when lid_ends [ "Hashtbl"; "hash" ] txt
+        ->
+          add (line_of_loc loc)
+            "Hashtbl.hash is representation-dependent; use Util.Checksum or \
+             a typed hash"
+      | Parsetree.Pexp_apply
+          ( { pexp_desc = Parsetree.Pexp_ident { txt = Longident.Lident (("=" | "<>") as op); _ }; _ },
+            [ (_, a); (_, b) ] )
+        when structured_literal a || structured_literal b ->
+          add (line_of_loc e.Parsetree.pexp_loc)
+            (Printf.sprintf
+               "polymorphic %s on a structured value; use a typed equality \
+                (Option.equal, List.equal, Graph.edge_equal, ...)"
+               op)
+      | _ -> ());
+  List.rev !out
+
+let rules =
+  [
+    {
+      id = "poly-compare";
+      description =
+        "no polymorphic compare/=/Hashtbl.hash at structured types in lib/ \
+         (use Int.compare, Graph.edge_compare, ...)";
+      fix_hint =
+        "call the typed comparator/equality for the concrete type, or define \
+         one next to the type";
+      scope = Lib_ml;
+      allowlist = [];
+      check;
+    };
+  ]

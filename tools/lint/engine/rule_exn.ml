@@ -1,0 +1,132 @@
+(* Exception-handling rules.
+
+   catch-all-try (ported from v1): a [try ... with _ ->] whose first
+   handler arm is a wildcard catches everything — including
+   Invariant.Violation, Out_of_memory and asserts. Name the exceptions
+   you expect.
+
+   catch-all-swallow (new, AST-only reach): wildcard arms the v1 lexer
+   could not see — a [_] arm after named arms ([try e with A -> .. |
+   _ -> ..]), a [match ... with exception _ ->] arm, or a handler that
+   binds the exception to a variable and then never looks at it. All of
+   these drop the exception value on the floor; a handler that
+   re-raises (mentions [raise]/[raise_notrace]/[reraise]) is not a
+   swallow. The Store's degrade-to-miss read path is the one documented
+   place where swallowing is the contract, hence its allowlist. *)
+
+open Ast_engine
+
+let rec is_wildcard (p : Parsetree.pattern) =
+  match p.Parsetree.ppat_desc with
+  | Parsetree.Ppat_any -> true
+  | Parsetree.Ppat_alias (p, _) | Parsetree.Ppat_constraint (p, _) ->
+      is_wildcard p
+  | _ -> false
+
+let mentions_raise body =
+  expr_exists body (fun e ->
+      match e.Parsetree.pexp_desc with
+      | Parsetree.Pexp_ident { txt; _ } -> (
+          match lid_last txt with
+          | "raise" | "raise_notrace" | "reraise" -> true
+          | _ -> false)
+      | _ -> false)
+
+let mentions_var name body =
+  expr_exists body (fun e ->
+      match e.Parsetree.pexp_desc with
+      | Parsetree.Pexp_ident { txt = Longident.Lident n; _ } -> n = name
+      | _ -> false)
+
+let swallows (c : Parsetree.case) =
+  c.Parsetree.pc_guard = None
+  && (not (mentions_raise c.Parsetree.pc_rhs))
+  &&
+  if is_wildcard c.Parsetree.pc_lhs then true
+  else
+    match pat_var c.Parsetree.pc_lhs with
+    | Some name -> not (mentions_var name c.Parsetree.pc_rhs)
+    | None -> false
+
+let check_catch_all_try source =
+  on_structure source @@ fun str ->
+  let out = ref [] in
+  iter_expressions_str str (fun e ->
+      match e.Parsetree.pexp_desc with
+      | Parsetree.Pexp_try (_, { pc_lhs; pc_guard = None; _ } :: _)
+        when is_wildcard pc_lhs ->
+          out :=
+            v
+              ~line:(line_of_loc e.Parsetree.pexp_loc)
+              ~rule_id:"catch-all-try"
+              "catch-all exception handler (try ... with _ ->); name the \
+               exceptions you expect"
+            :: !out
+      | _ -> ());
+  List.rev !out
+
+let check_catch_all_swallow source =
+  on_structure source @@ fun str ->
+  let out = ref [] in
+  let flag line what =
+    out :=
+      v ~line ~rule_id:"catch-all-swallow"
+        (Printf.sprintf
+           "%s drops the exception; name it, use it, or re-raise" what)
+      :: !out
+  in
+  iter_expressions_str str (fun e ->
+      match e.Parsetree.pexp_desc with
+      | Parsetree.Pexp_try (_, first :: rest) ->
+          (* the sole/first wildcard arm is catch-all-try's finding *)
+          if
+            (not (is_wildcard first.Parsetree.pc_lhs))
+            && swallows first
+            && pat_var first.Parsetree.pc_lhs <> None
+          then
+            flag
+              (line_of_loc first.Parsetree.pc_lhs.Parsetree.ppat_loc)
+              "handler binds the exception but never uses it";
+          List.iter
+            (fun (c : Parsetree.case) ->
+              if swallows c then
+                flag
+                  (line_of_loc c.Parsetree.pc_lhs.Parsetree.ppat_loc)
+                  "wildcard arm after named handlers")
+            rest
+      | Parsetree.Pexp_match (_, cases) ->
+          List.iter
+            (fun (c : Parsetree.case) ->
+              match c.Parsetree.pc_lhs.Parsetree.ppat_desc with
+              | Parsetree.Ppat_exception p
+                when is_wildcard p && swallows { c with pc_lhs = p } ->
+                  flag
+                    (line_of_loc c.Parsetree.pc_lhs.Parsetree.ppat_loc)
+                    "match ... with exception _ ->"
+              | _ -> ())
+            cases
+      | _ -> ());
+  List.rev !out
+
+let rules =
+  [
+    {
+      id = "catch-all-try";
+      description = "no catch-all try ... with _ -> handlers";
+      fix_hint = "name the exceptions the expression can actually raise";
+      scope = Any_ml;
+      allowlist = [];
+      check = check_catch_all_try;
+    };
+    {
+      id = "catch-all-swallow";
+      description =
+        "no handler arm that silently drops the exception (late wildcard \
+         arms, exception _ matches, unused bindings)";
+      fix_hint =
+        "match the specific exception, log/propagate the value, or re-raise";
+      scope = Any_ml;
+      allowlist = [ "lib/store/store.ml" ];
+      check = check_catch_all_swallow;
+    };
+  ]

@@ -1,0 +1,90 @@
+(* Identifier-based rules: forbidden or restricted names. These were
+   v1 token rules; on the AST they can no longer be fooled by strings,
+   comments, or field/label positions. *)
+
+open Ast_engine
+
+(* obj-magic: [Obj.magic] defeats the type system entirely; the graph
+   and linear-algebra invariants cannot survive it. *)
+let check_obj_magic source =
+  on_structure source @@ fun str ->
+  let out = ref [] in
+  iter_expressions_str str (fun e ->
+      match e.Parsetree.pexp_desc with
+      | Parsetree.Pexp_ident { txt; loc } when lid_ends [ "Obj"; "magic" ] txt ->
+          out :=
+            v ~line:(line_of_loc loc) ~rule_id:"obj-magic"
+              "Obj.magic is forbidden"
+            :: !out
+      | _ -> ());
+  List.rev !out
+
+(* bare-failwith: raises in lib/ must be typed (named exceptions) or
+   routed through the Errors module so escape hatches stay greppable.
+   An unqualified [failwith]/[invalid_arg] identifier is the bare
+   stdlib one; qualified uses ([Errors.invalid_arg]) are deliberate. *)
+let check_bare_failwith source =
+  on_structure source @@ fun str ->
+  let out = ref [] in
+  iter_expressions_str str (fun e ->
+      match e.Parsetree.pexp_desc with
+      | Parsetree.Pexp_ident
+          { txt = Longident.Lident (("failwith" | "invalid_arg") as name); loc }
+        ->
+          out :=
+            v ~line:(line_of_loc loc) ~rule_id:"bare-failwith"
+              (Printf.sprintf
+                 "bare %s in lib/; use a named exception or \
+                  Nettomo_util.Errors"
+                 name)
+            :: !out
+      | _ -> ());
+  List.rev !out
+
+(* wall-clock: every wall-time read goes through Obs.Clock so the
+   injectable fake clock can make traces and timings byte-deterministic
+   in golden tests. Any [gettimeofday] is a wall read regardless of
+   qualification; [time] only when it is [Unix.time] ([Sys.time] is CPU
+   time and stays allowed). *)
+let check_wall_clock source =
+  on_structure source @@ fun str ->
+  let out = ref [] in
+  iter_expressions_str str (fun e ->
+      match e.Parsetree.pexp_desc with
+      | Parsetree.Pexp_ident { txt; loc }
+        when lid_last txt = "gettimeofday" || lid_ends [ "Unix"; "time" ] txt ->
+          out :=
+            v ~line:(line_of_loc loc) ~rule_id:"wall-clock"
+              "direct wall-clock read; route through Nettomo_obs.Obs.Clock.now"
+            :: !out
+      | _ -> ());
+  List.rev !out
+
+let rules =
+  [
+    {
+      id = "obj-magic";
+      description = "no Obj.magic anywhere";
+      fix_hint = "express the conversion with a real type or a codec";
+      scope = Any_ml;
+      allowlist = [];
+      check = check_obj_magic;
+    };
+    {
+      id = "bare-failwith";
+      description =
+        "no bare failwith/invalid_arg in lib/ outside the Errors module";
+      fix_hint = "raise a named exception or use Nettomo_util.Errors";
+      scope = Lib_ml;
+      allowlist = [ "lib/util/errors.ml" ];
+      check = check_bare_failwith;
+    };
+    {
+      id = "wall-clock";
+      description = "no direct Unix.gettimeofday / Unix.time outside Obs.Clock";
+      fix_hint = "read time via Nettomo_obs.Obs.Clock.now";
+      scope = Any_ml;
+      allowlist = [ "lib/obs/obs.ml" ];
+      check = check_wall_clock;
+    };
+  ]

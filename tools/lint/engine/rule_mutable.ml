@@ -1,0 +1,69 @@
+(* unsafe-shared-mutable: module-level mutable state in lib/ outlives
+   any one request and is visible to every Pool worker domain, so it is
+   a data race waiting for the concurrent server to arrive. Flagged
+   binding shapes (at the structure level of the file or of any nested
+   [module X = struct ... end] — local [let]s inside functions are
+   per-call and stay allowed):
+
+   - [let x = ref ...]
+   - [let x = Hashtbl.create ...] (also Queue/Stack/Buffer/Bytes)
+   - [let x = Array.make ...] (and friends) or an array literal
+
+   [Atomic.make ...] and [Mutex.create ...] bindings are the sanctioned
+   forms and pass. The untyped AST cannot see whether a flagged binding
+   is in fact guarded by an adjacent Mutex — guarded state documents
+   itself with a suppression comment naming the guard:
+   [(* nettomo-lint: allow unsafe-shared-mutable — guarded by foo_mu *)]. *)
+
+open Ast_engine
+
+let mutable_kind rhs =
+  match (peel rhs).Parsetree.pexp_desc with
+  | Parsetree.Pexp_apply ({ pexp_desc = Parsetree.Pexp_ident { txt; _ }; _ }, _)
+    -> (
+      match lid_parts txt with
+      | [ "ref" ] -> Some "ref cell"
+      | [ ("Hashtbl" | "Queue" | "Stack" | "Buffer"); "create" ]
+      | [ "Stdlib"; ("Hashtbl" | "Queue" | "Stack" | "Buffer"); "create" ] ->
+          Some "mutable container"
+      | [ "Bytes"; ("create" | "make") ] -> Some "mutable container"
+      | [ "Array"; ("make" | "create" | "init" | "of_list" | "create_matrix"
+                    | "make_matrix") ] ->
+          Some "mutable array"
+      | _ -> None)
+  | Parsetree.Pexp_array (_ :: _) -> Some "mutable array"
+  | _ -> None
+
+let check source =
+  on_structure source @@ fun str ->
+  List.filter_map
+    (fun (vb : Parsetree.value_binding) ->
+      match (pat_var vb.Parsetree.pvb_pat, mutable_kind vb.Parsetree.pvb_expr) with
+      | Some name, Some kind ->
+          Some
+            (v
+               ~line:(line_of_loc vb.Parsetree.pvb_loc)
+               ~rule_id:"unsafe-shared-mutable"
+               (Printf.sprintf
+                  "top-level %s %S is shared across domains; use Atomic.t, \
+                   guard it with a Mutex (and say so in a suppression), or \
+                   make it per-call"
+                  kind name))
+      | _ -> None)
+    (module_level_bindings str)
+
+let rules =
+  [
+    {
+      id = "unsafe-shared-mutable";
+      description =
+        "no unguarded top-level ref / mutable container in lib/ (Pool worker \
+         domains share them)";
+      fix_hint =
+        "use Atomic.t, or a Mutex-guarded structure with a suppression \
+         naming the guard";
+      scope = Lib_ml;
+      allowlist = [];
+      check;
+    };
+  ]

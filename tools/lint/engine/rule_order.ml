@@ -1,0 +1,70 @@
+(* hashtbl-iter-order: [Hashtbl.iter]/[Hashtbl.fold] enumerate buckets
+   in hash order — a function of the key representation, the runtime's
+   hash, and insertion history. Any result that reaches protocol,
+   codec, metrics or report output unsorted makes golden transcripts
+   and byte-reproducibility hostage to the Hashtbl implementation.
+
+   Untyped-AST approximation of "flows into output without an
+   intervening sort": within one top-level structure item, an
+   occurrence of [Hashtbl.iter]/[Hashtbl.fold]/[Hashtbl.to_seq] is
+   flagged unless the same item also applies a sorting function (an
+   identifier whose last component starts with "sort"). Commutative
+   folds (set union, counters) repair order by construction — sort the
+   enumeration anyway or carry a suppression explaining why order
+   cannot matter. *)
+
+open Ast_engine
+
+let is_hashtbl_enum txt =
+  lid_ends [ "Hashtbl"; "iter" ] txt
+  || lid_ends [ "Hashtbl"; "fold" ] txt
+  || lid_ends [ "Hashtbl"; "to_seq" ] txt
+  || lid_ends [ "Hashtbl"; "to_seq_keys" ] txt
+  || lid_ends [ "Hashtbl"; "to_seq_values" ] txt
+
+let starts_with_sort s =
+  String.length s >= 4 && String.sub s 0 4 = "sort"
+
+let check source =
+  on_structure source @@ fun str ->
+  let out = ref [] in
+  List.iter
+    (fun item ->
+      let enums = ref [] and sorted = ref false in
+      iter_expressions_item item (fun e ->
+          match e.Parsetree.pexp_desc with
+          | Parsetree.Pexp_ident { txt; loc } ->
+              if is_hashtbl_enum txt then
+                enums := (line_of_loc loc, lid_last txt) :: !enums
+              else if starts_with_sort (lid_last txt) then sorted := true
+          | _ -> ());
+      if not !sorted then
+        List.iter
+          (fun (line, name) ->
+            out :=
+              v ~line ~rule_id:"hashtbl-iter-order"
+                (Printf.sprintf
+                   "Hashtbl.%s enumerates in hash order; sort the result \
+                    before it can reach any output, or suppress with the \
+                    commutativity argument"
+                   name)
+              :: !out)
+          (List.rev !enums))
+    str;
+  List.rev !out
+
+let rules =
+  [
+    {
+      id = "hashtbl-iter-order";
+      description =
+        "no unsorted Hashtbl.iter/fold enumeration in lib/bin/bench (hash \
+         order must not reach output)";
+      fix_hint =
+        "collect the bindings, List.sort them with a typed comparator, then \
+         iterate";
+      scope = Dirs_ml [ "lib"; "bin"; "bench" ];
+      allowlist = [];
+      check;
+    };
+  ]

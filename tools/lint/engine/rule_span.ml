@@ -1,0 +1,65 @@
+(* span-bracket: a manual timing bracket — read [Obs.Clock.now], run
+   the work, read the clock again and [Obs.Metrics.observe] the
+   difference — leaks its close side whenever the work raises: the
+   histogram silently under-counts exactly the requests that failed.
+   The close side must be exception-safe.
+
+   Untyped-AST approximation: a top-level structure item that contains
+   two or more [Clock.now] reads and at least one [Metrics.observe]
+   call but no [Fun.protect] is an unprotected bracket (flagged at the
+   first clock read). Items where the second read feeds a returned
+   value rather than an observation (wall-clock reporting) have no
+   [observe] and are not brackets. Use [Obs.Trace.span], or
+   [Fun.protect ~finally:(fun () -> observe ...)]. *)
+
+open Ast_engine
+
+let is_clock_now txt =
+  lid_last txt = "now" && List.mem "Clock" (lid_parts txt)
+
+let is_observe txt = lid_last txt = "observe"
+
+let is_fun_protect txt = lid_ends [ "Fun"; "protect" ] txt
+
+let check source =
+  on_structure source @@ fun str ->
+  let out = ref [] in
+  List.iter
+    (fun item ->
+      let clock_reads = ref [] in
+      let observes = ref 0 and protects = ref 0 in
+      iter_expressions_item item (fun e ->
+          match e.Parsetree.pexp_desc with
+          | Parsetree.Pexp_ident { txt; loc } ->
+              if is_clock_now txt then
+                clock_reads := line_of_loc loc :: !clock_reads
+              else if is_observe txt then incr observes
+              else if is_fun_protect txt then incr protects
+          | _ -> ());
+      match List.rev !clock_reads with
+      | first :: _ :: _ when !observes > 0 && !protects = 0 ->
+          out :=
+            v ~line:first ~rule_id:"span-bracket"
+              "manual timing bracket (Clock.now ... Metrics.observe) without \
+               Fun.protect; the observation is lost when the work raises — \
+               use Obs.Trace.span or Fun.protect ~finally"
+            :: !out
+      | _ -> ())
+    str;
+  List.rev !out
+
+let rules =
+  [
+    {
+      id = "span-bracket";
+      description =
+        "manual Clock.now/Metrics.observe timing brackets must close via \
+         Fun.protect (or use Obs.Trace.span)";
+      fix_hint =
+        "wrap the timed work in Fun.protect ~finally:(fun () -> observe ...) \
+         or Obs.Trace.span";
+      scope = Dirs_ml [ "lib"; "bin"; "bench" ];
+      allowlist = [ "lib/obs/obs.ml" ];
+      check;
+    };
+  ]

@@ -1,27 +1,56 @@
-(* nettomo-lint: project static-analysis pass.
+(* nettomo-lint: project static-analysis pass (AST engine).
 
-   Usage: nettomo_lint.exe [--list-rules] [-q] [DIR_OR_FILE ...]
+   Usage: nettomo_lint.exe [--list-rules] [-q] [--json]
+                           [--baseline FILE] [--write-baseline FILE]
+                           [DIR_OR_FILE ...]
 
    Walks the given directories (default: lib bin bench examples test
-   tools), lints every .ml/.mli, prints one "file:line: [rule-id]
-   message" diagnostic per violation, and exits 0 when clean, 1 on
-   violations, 2 on usage or I/O errors — suitable for CI and the
-   `dune build @lint` alias. *)
+   tools), parses every .ml (and scans every .mli) with the compiler's
+   parser, and reports one "file:line: [rule-id] message" diagnostic
+   per violation — or a deterministically sorted JSON array with
+   [--json], suitable as a CI artifact. [--baseline FILE] subtracts
+   the committed legacy findings; [--write-baseline FILE] regenerates
+   that file from the current tree. Exits 0 when clean (above the
+   baseline), 1 on violations, 2 on usage or I/O errors — suitable
+   for CI and the `dune build @lint` alias. *)
 
 let default_dirs = [ "lib"; "bin"; "bench"; "examples"; "test"; "tools" ]
+
+let usage () =
+  prerr_endline
+    "usage: nettomo_lint.exe [--list-rules] [-q] [--json] [--baseline FILE] \
+     [--write-baseline FILE] [DIR_OR_FILE ...]";
+  exit 2
 
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
   let quiet = List.mem "-q" args in
+  let json = List.mem "--json" args in
   if List.mem "--list-rules" args then begin
     List.iter
-      (fun (id, descr) -> Printf.printf "%-14s %s\n" id descr)
+      (fun (id, descr) -> Printf.printf "%-22s %s\n" id descr)
       (Lint_engine.rule_ids
-      @ [ ("missing-mli", Lint_engine.missing_mli_description) ]);
+      @ [
+          ("missing-mli", Lint_engine.missing_mli_description);
+          ("parse-error", Lint_engine.parse_error_description);
+        ]);
     exit 0
   end;
+  (* Flags taking a value, then positional paths. *)
+  let rec partition flags paths = function
+    | [] -> (flags, List.rev paths)
+    | ("--baseline" | "--write-baseline") :: ([] : string list) -> usage ()
+    | (("--baseline" | "--write-baseline") as f) :: value :: rest ->
+        partition ((f, value) :: flags) paths rest
+    | ("-q" | "--json") :: rest -> partition flags paths rest
+    | arg :: _ when String.length arg > 1 && arg.[0] = '-' ->
+        Printf.eprintf "nettomo-lint: unknown flag %s\n" arg;
+        usage ()
+    | path :: rest -> partition flags (path :: paths) rest
+  in
+  let flags, paths = partition [] [] args in
   let paths =
-    match List.filter (fun a -> a <> "-q") args with
+    match paths with
     | [] -> List.filter Sys.file_exists default_dirs
     | paths -> paths
   in
@@ -31,16 +60,46 @@ let () =
     exit 2
   end;
   match Lint_engine.run_paths paths with
-  | [] ->
-      if not quiet then
-        Printf.printf "nettomo-lint: clean (%s)\n" (String.concat " " paths);
-      exit 0
-  | violations ->
-      List.iter
-        (fun v -> print_endline (Lint_engine.violation_to_string v))
-        violations;
-      Printf.eprintf "nettomo-lint: %d violation(s)\n" (List.length violations);
-      exit 1
   | exception Sys_error msg ->
       Printf.eprintf "nettomo-lint: %s\n" msg;
       exit 2
+  | all -> (
+      match List.assoc_opt "--write-baseline" flags with
+      | Some file ->
+          Out_channel.with_open_bin file (fun oc ->
+              Out_channel.output_string oc (Lint_engine.render_baseline all));
+          Printf.printf "nettomo-lint: wrote baseline (%d finding(s)) to %s\n"
+            (List.length all) file;
+          exit 0
+      | None ->
+          let fresh =
+            match List.assoc_opt "--baseline" flags with
+            | None -> all
+            | Some file -> (
+                match
+                  In_channel.with_open_bin file In_channel.input_all
+                with
+                | content ->
+                    Lint_engine.apply_baseline
+                      (Lint_engine.parse_baseline content)
+                      all
+                | exception Sys_error msg ->
+                    Printf.eprintf "nettomo-lint: %s\n" msg;
+                    exit 2)
+          in
+          if json then print_string (Lint_engine.to_json fresh)
+          else
+            List.iter
+              (fun v -> print_endline (Lint_engine.violation_to_string v))
+              fresh;
+          if fresh = [] then begin
+            if (not quiet) && not json then
+              Printf.printf "nettomo-lint: clean (%s)\n"
+                (String.concat " " paths);
+            exit 0
+          end
+          else begin
+            Printf.eprintf "nettomo-lint: %d violation(s)\n"
+              (List.length fresh);
+            exit 1
+          end)
