@@ -9,6 +9,7 @@
      dune exec bench/main.exe -- --seed 42
      dune exec bench/main.exe -- --jobs 4     (parallel Monte-Carlo trials)
      dune exec bench/main.exe -- --json b.json (machine-readable report)
+     dune exec bench/main.exe -- serve-soak --clients 32 (socket soak)
 
    The Monte-Carlo experiments (fig9 fig10 fig11 fig12 table2 table3)
    run their trials on a Domain pool; per-trial PRNG substreams make
@@ -16,7 +17,7 @@
 
    Experiment ids match the per-experiment index in DESIGN.md:
      e1 e2 e3 e4 fig9 fig10 table2 fig11 table3 fig12 e11 ablation churn
-     churn-warm perf *)
+     churn-warm serve-soak perf *)
 
 open Nettomo_graph
 open Nettomo_topo
@@ -999,9 +1000,214 @@ let churn_warm cfg =
     "the warm pass replaces every full analysis with a store read; the\n\
      residual time is deltas, O(1) shortcuts and payload decoding."
 
+(* ------------------------------------------------------------------ *)
+(* Serve-soak: the socket front door under concurrent client load      *)
+
+module Server = Nettomo_engine.Server
+module Protocol = Nettomo_engine.Protocol
+
+let soak_req fields = Jsonx.to_string (Jsonx.Obj fields)
+
+let soak_send_all fd s =
+  let n = String.length s in
+  let rec go off =
+    if off < n then go (off + Unix.write_substring fd s off (n - off))
+  in
+  go 0
+
+let soak_recv_all fd =
+  let buf = Bytes.create 65536 in
+  let b = Buffer.create 65536 in
+  let rec go () =
+    let n = Unix.read fd buf 0 (Bytes.length buf) in
+    if n > 0 then begin
+      Buffer.add_subbytes b buf 0 n;
+      go ()
+    end
+  in
+  go ();
+  Buffer.contents b
+
+(* Pipelined client: send every request, half-close, read the whole
+   transcript. The server never blocks on a writer, so this cannot
+   deadlock at any workload size. *)
+let soak_client path requests =
+  let fd = Unix.socket ~cloexec:true Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Fun.protect
+    ~finally:(fun () ->
+      try Unix.close fd with Unix.Unix_error (_, _, _) -> ())
+    (fun () ->
+      Unix.connect fd (Unix.ADDR_UNIX path);
+      soak_send_all fd (String.concat "\n" requests ^ "\n");
+      Unix.shutdown fd Unix.SHUTDOWN_SEND;
+      soak_recv_all fd)
+
+(* Sessions fall back to the NETTOMO_STORE environment variable; a
+   store leaking in would warm the live run and the replay oracle
+   differently. Force it off for the duration. *)
+let soak_without_store_env f =
+  let prev = Sys.getenv_opt "NETTOMO_STORE" in
+  Unix.putenv "NETTOMO_STORE" "";
+  Fun.protect
+    ~finally:(fun () ->
+      match prev with
+      | Some v -> Unix.putenv "NETTOMO_STORE" v
+      | None -> ())
+    f
+
+let serve_soak cfg ~clients =
+  section
+    (Printf.sprintf
+       "Serve-soak: %d concurrent socket clients against one ER150 server\n\
+        (every transcript byte-checked against its single-client replay)"
+       clients);
+  let rounds = if cfg.full then 48 else 12 in
+  let rng = Prng.create (cfg.seed + 41) in
+  let g = Gen.until_connected (fun () -> Gen.erdos_renyi rng ~n:150 ~p:0.039) in
+  let monitors = Graph.NodeSet.elements (Mmp.place g) in
+  let load_line =
+    soak_req
+      [
+        ("id", Jsonx.Int 1);
+        ("op", Jsonx.String "load");
+        ("edges", Jsonx.String (Edgelist.to_string g));
+        ("monitors", Jsonx.List (List.map (fun m -> Jsonx.Int m) monitors));
+      ]
+  in
+  (* Clients cycle through a few distinct workload shapes: each shape
+     toggles its own non-edge at node 0, so concurrent sessions diverge
+     and a cross-connection leak cannot cancel out. The replay oracle
+     runs once per shape, so its cost stays flat as --clients grows. *)
+  let shapes = min clients 8 in
+  let spare =
+    let rec pick v acc =
+      if List.length acc >= shapes then Array.of_list (List.rev acc)
+      else if v >= Graph.n_nodes g then
+        failwith "serve-soak: node 0 has too few non-edges"
+      else pick (v + 1) (if Graph.mem_edge g 0 v then acc else v :: acc)
+    in
+    pick 1 []
+  in
+  (* No "plan" here: path planning on ER150 is minutes of CPU per call,
+     which would turn a concurrency soak into a single-query benchmark.
+     These three keep the pool busy at millisecond granularity. *)
+  let queries = [| "identifiable"; "mmp"; "stats" |] in
+  let workload s =
+    let v = spare.(s) in
+    let rec steps i acc =
+      if i > rounds then List.rev acc
+      else
+        let action = if i mod 2 = 1 then "add_link" else "remove_link" in
+        let d =
+          soak_req
+            [
+              ("id", Jsonx.Int (2 * i));
+              ("op", Jsonx.String "delta");
+              ("action", Jsonx.String action);
+              ("u", Jsonx.Int 0);
+              ("v", Jsonx.Int v);
+            ]
+        in
+        let q =
+          soak_req
+            [
+              ("id", Jsonx.Int ((2 * i) + 1));
+              ("op", Jsonx.String queries.((s + i) mod 3));
+            ]
+        in
+        steps (i + 1) (q :: d :: acc)
+    in
+    load_line :: steps 1 []
+  in
+  let per_client = 1 + (2 * rounds) in
+  soak_without_store_env (fun () ->
+      let path =
+        Filename.concat
+          (Filename.get_temp_dir_name ())
+          (Printf.sprintf "nettomo-bench-serve-%d.sock" (Unix.getpid ()))
+      in
+      let server =
+        Server.create ~seed:cfg.seed ~emit_wall_ms:false
+          ~max_conns:(clients + 4) ~pool:cfg.pool (Server.Unix_socket path)
+      in
+      let d = Domain.spawn (fun () -> Server.run server) in
+      let transcripts = Array.make clients "" in
+      let (), wall_s =
+        wall_time (fun () ->
+            let threads =
+              List.init clients (fun k ->
+                  Thread.create
+                    (fun () ->
+                      transcripts.(k) <-
+                        soak_client path (workload (k mod shapes)))
+                    ())
+            in
+            List.iter Thread.join threads)
+      in
+      let served = Obs.Metrics.counter_value (Server.requests_total server) in
+      let shed = Obs.Metrics.counter_value (Server.shed_total server) in
+      let h = Server.request_latency server in
+      let p50 = Obs.Metrics.histogram_quantile h 0.5 in
+      let p95 = Obs.Metrics.histogram_quantile h 0.95 in
+      let p99 = Obs.Metrics.histogram_quantile h 0.99 in
+      Server.shutdown server;
+      Domain.join d;
+      (* The determinism oracle: one serial replay per workload shape,
+         then byte-compare every connection's transcript against its
+         shape's replay. *)
+      let oracle =
+        Array.init shapes (fun s ->
+            let p = Protocol.create ~emit_wall_ms:false () in
+            String.concat ""
+              (List.map
+                 (fun r -> Protocol.handle_line p r ^ "\n")
+                 (workload s)))
+      in
+      let identical =
+        Array.for_all Fun.id
+          (Array.mapi
+             (fun k t -> String.equal t oracle.(k mod shapes))
+             transcripts)
+      in
+      if not identical then
+        Inv.violationf
+          "serve-soak: a transcript differs from its single-client replay";
+      let throughput = float_of_int served /. Float.max 1e-9 wall_s in
+      Printf.printf
+        "%d clients x %d requests: %d served (%d shed) in %.3f s -> %.0f req/s\n"
+        clients per_client served shed wall_s throughput;
+      Printf.printf
+        "request latency p50 %.2f ms, p95 %.2f ms, p99 %.2f ms (count %d)\n"
+        (1000. *. p50) (1000. *. p95) (1000. *. p99)
+        (Obs.Metrics.histogram_count h);
+      Printf.printf "all transcripts equal single-client replay: %b\n"
+        identical;
+      Report.add_trials cfg.report served;
+      Report.add_series cfg.report
+        (Jsonx.Obj
+           [
+             ("topology", Jsonx.String "ER150");
+             ("clients", Jsonx.Int clients);
+             ("requests_per_client", Jsonx.Int per_client);
+             ("requests_served", Jsonx.Int served);
+             ("shed", Jsonx.Int shed);
+             ("wall_s", Jsonx.Float wall_s);
+             ("throughput_rps", Jsonx.Float throughput);
+             ("latency_p50_s", Jsonx.Float p50);
+             ("latency_p95_s", Jsonx.Float p95);
+             ("latency_p99_s", Jsonx.Float p99);
+             ("latency_count", Jsonx.Int (Obs.Metrics.histogram_count h));
+             ("latency_sum_s", Jsonx.Float (Obs.Metrics.histogram_sum h));
+             ("transcripts_identical", Jsonx.Bool identical);
+           ]);
+      print_endline
+        "one dispatcher domain multiplexes every connection; the shared\n\
+         pool runs at most one in-flight request per connection, so each\n\
+         transcript reproduces serially.")
+
 let all_ids =
   [ "e1"; "e2"; "e3"; "e4"; "fig9"; "fig10"; "table2"; "fig11"; "table3";
-    "fig12"; "e11"; "ablation"; "churn"; "churn-warm"; "perf" ]
+    "fig12"; "e11"; "ablation"; "churn"; "churn-warm"; "serve-soak"; "perf" ]
 
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
@@ -1026,6 +1232,7 @@ let () =
   let jobs = int_opt "--jobs" 1 in
   let json_path = str_opt "--json" in
   let trace_path = str_opt "--trace" in
+  let clients = int_opt "--clients" 32 in
   (* Tracing is always on in the harness: the per-phase span summaries
      feed the report, and --trace additionally dumps the raw spans. *)
   Obs.Trace.enable ();
@@ -1078,6 +1285,7 @@ let () =
           | "ablation" -> timed id (fun () -> ablation cfg)
           | "churn" -> timed id (fun () -> churn cfg)
           | "churn-warm" -> timed id (fun () -> churn_warm cfg)
+          | "serve-soak" -> timed id (fun () -> serve_soak cfg ~clients)
           | "perf" -> timed id (fun () -> perf cfg)
           | _ -> ())
         selected);

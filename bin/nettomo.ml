@@ -528,7 +528,51 @@ let serve_cmd =
     in
     Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE" ~doc)
   in
-  let run jobs seed no_wall_time store_dir trace =
+  let listen_arg =
+    let doc =
+      "Serve many concurrent clients on a Unix-domain socket at $(docv) \
+       instead of a single session on stdin/stdout. A stale socket file is \
+       replaced; the file is removed on shutdown."
+    in
+    Arg.(value & opt (some string) None & info [ "listen" ] ~docv:"PATH" ~doc)
+  in
+  let tcp_arg =
+    let doc =
+      "Serve concurrent clients on loopback TCP port $(docv) (0 lets the \
+       kernel pick; the chosen port is printed on startup). Mutually \
+       exclusive with --listen."
+    in
+    Arg.(value & opt (some int) None & info [ "tcp" ] ~docv:"PORT" ~doc)
+  in
+  let max_conns_arg =
+    let doc =
+      "Maximum simultaneous connections in socket mode; further clients \
+       are shed with an \"overloaded\" error (default 64)."
+    in
+    Arg.(value & opt int 64 & info [ "max-conns" ] ~docv:"N" ~doc)
+  in
+  let shed_wait_arg =
+    let doc =
+      "Shed new connections while the worker pool's queue-wait p95 exceeds \
+       $(docv) seconds (default: no wait-based shedding)."
+    in
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "shed-wait-p95" ] ~docv:"SECONDS" ~doc)
+  in
+  let max_line_bytes_arg =
+    let doc =
+      "Socket mode: a request line longer than $(docv) bytes gets one \
+       bad_request response and the connection is closed (default 1 MiB)."
+    in
+    Arg.(
+      value
+      & opt int (1 lsl 20)
+      & info [ "max-line-bytes" ] ~docv:"BYTES" ~doc)
+  in
+  let run jobs seed no_wall_time store_dir trace listen tcp max_conns
+      shed_wait_p95 max_line_bytes =
     let trace =
       match trace with
       | Some _ as t -> t
@@ -547,30 +591,76 @@ let serve_cmd =
             ~finally:(fun () -> close_out oc)
             (fun () -> output_string oc (Obs.Trace.to_chrome_json ()))
     in
-    match
-      Fun.protect ~finally:write_trace (fun () ->
-          Pool.with_pool ~jobs (fun pool ->
-              let store = Option.map (fun d -> Store.open_dir d) store_dir in
-              let server =
-                Nettomo_engine.Protocol.create ~pool ~seed
-                  ~emit_wall_ms:(not no_wall_time) ?store ()
-              in
-              Nettomo_engine.Protocol.serve server stdin stdout))
-    with
-    | () -> `Ok ()
-    | exception Invalid_argument m -> `Error (false, m)
+    let socket_listen =
+      match (listen, tcp) with
+      | Some _, Some _ -> Error "--listen and --tcp are mutually exclusive"
+      | Some path, None -> Ok (Some (Nettomo_engine.Server.Unix_socket path))
+      | None, Some port -> Ok (Some (Nettomo_engine.Server.Tcp port))
+      | None, None -> Ok None
+    in
+    match socket_listen with
+    | Error m -> `Error (false, m)
+    | Ok socket_listen -> (
+        match
+          Fun.protect ~finally:write_trace (fun () ->
+              Pool.with_pool ~jobs (fun pool ->
+                  let store =
+                    Option.map (fun d -> Store.open_dir d) store_dir
+                  in
+                  match socket_listen with
+                  | None ->
+                      let server =
+                        Nettomo_engine.Protocol.create ~pool ~seed
+                          ~emit_wall_ms:(not no_wall_time) ?store ()
+                      in
+                      Nettomo_engine.Protocol.serve server stdin stdout
+                  | Some listen ->
+                      let server =
+                        Nettomo_engine.Server.create ~seed
+                          ~emit_wall_ms:(not no_wall_time) ?store ~max_conns
+                          ~max_line_bytes ?shed_wait_p95 ~pool listen
+                      in
+                      (match Nettomo_engine.Server.port server with
+                      | Some port ->
+                          Printf.eprintf "nettomo serve: listening on 127.0.0.1:%d\n%!" port
+                      | None -> ());
+                      (* SIGINT/SIGTERM ask the dispatcher to drain
+                         in-flight requests, flush and exit cleanly. *)
+                      let request_stop _ =
+                        Nettomo_engine.Server.shutdown server
+                      in
+                      let prev_int =
+                        Sys.signal Sys.sigint (Sys.Signal_handle request_stop)
+                      in
+                      let prev_term =
+                        Sys.signal Sys.sigterm (Sys.Signal_handle request_stop)
+                      in
+                      Fun.protect
+                        ~finally:(fun () ->
+                          Sys.set_signal Sys.sigint prev_int;
+                          Sys.set_signal Sys.sigterm prev_term)
+                        (fun () -> Nettomo_engine.Server.run server)))
+        with
+        | () -> `Ok ()
+        | exception Invalid_argument m -> `Error (false, m)
+        | exception Unix.Unix_error (err, fn, arg) ->
+            `Error
+              ( false,
+                Printf.sprintf "%s(%s): %s" fn arg (Unix.error_message err) ))
   in
   Cmd.v
     (Cmd.info "serve"
        ~doc:
          "Dynamic tomography session over a JSON-lines request/response \
-          protocol on stdin/stdout: load a topology, stream deltas, and \
-          query identifiability / classification / MMP / solver plans \
-          incrementally.")
+          protocol — a single session on stdin/stdout by default, or many \
+          concurrent client sessions on a Unix-domain socket (--listen) or \
+          loopback TCP port (--tcp), multiplexed onto one worker pool with \
+          admission control.")
     Term.(
       ret
         (const run $ jobs_arg $ seed_arg $ no_wall_time_arg $ store_arg
-       $ trace_arg))
+       $ trace_arg $ listen_arg $ tcp_arg $ max_conns_arg $ shed_wait_arg
+       $ max_line_bytes_arg))
 
 (* ------------------------------------------------------------------ *)
 (* store                                                               *)

@@ -1,0 +1,59 @@
+(* Incremental JSON-lines framing. One instance per input stream; all
+   state is instance-level so a server can own one per connection
+   (nothing here is shared across domains). The load-bearing contract
+   lives in [close]: a stream that ends mid-line still yields that
+   final partial line as a request — clients that forget the trailing
+   newline before EOF get an answer, on stdin and sockets alike. *)
+
+type t = {
+  buf : Buffer.t;  (* the current, not-yet-terminated line *)
+  max_line_bytes : int;  (* <= 0 means unlimited *)
+  mutable overflowed : bool;
+}
+
+let create ?(max_line_bytes = 0) () =
+  { buf = Buffer.create 256; max_line_bytes; overflowed = false }
+
+let overflowed t = t.overflowed
+
+let over_limit t =
+  t.max_line_bytes > 0 && Buffer.length t.buf > t.max_line_bytes
+
+let feed t s =
+  if t.overflowed then []
+  else begin
+    let out = ref [] in
+    let n = String.length s in
+    let i = ref 0 in
+    let ok = ref true in
+    while !ok && !i < n do
+      match String.index_from_opt s !i '\n' with
+      | Some j ->
+          Buffer.add_substring t.buf s !i (j - !i);
+          if over_limit t then begin
+            t.overflowed <- true;
+            ok := false
+          end
+          else begin
+            out := Buffer.contents t.buf :: !out;
+            Buffer.clear t.buf
+          end;
+          i := j + 1
+      | None ->
+          Buffer.add_substring t.buf s !i (n - !i);
+          if over_limit t then begin
+            t.overflowed <- true;
+            ok := false
+          end;
+          i := n
+    done;
+    List.rev !out
+  end
+
+let close t =
+  if t.overflowed then None
+  else begin
+    let s = Buffer.contents t.buf in
+    Buffer.clear t.buf;
+    if String.equal s "" then None else Some s
+  end

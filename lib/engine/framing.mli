@@ -1,0 +1,44 @@
+(** Incremental JSON-lines framing.
+
+    Both serve front ends — the legacy stdin loop and the socket
+    server — split their byte streams through this module, so the
+    framing rules are stated once and hold by construction everywhere:
+
+    - a {e line} is a maximal run of bytes not containing ['\n'] (the
+      separator is consumed, never delivered; no carriage-return
+      handling — the protocol is bytes, not telnet);
+    - {b a stream that ends mid-line still delivers that final partial
+      line} via {!close} — a client that forgets the trailing newline
+      before EOF gets an answer, not silence;
+    - a line longer than [max_line_bytes] trips the {!overflowed}
+      latch: already-complete lines from the same feed are still
+      returned, everything after the oversized line is discarded, and
+      the instance stays dead (servers answer with one [bad_request]
+      and drop the connection).
+
+    Instances hold only instance-level state: a server owns one per
+    connection, touched only by its dispatcher. *)
+
+type t
+
+val create : ?max_line_bytes:int -> unit -> t
+(** A fresh splitter. [max_line_bytes] bounds a single line's length
+    in bytes (exclusive — a line of exactly the bound is fine);
+    [<= 0] (the default) means unlimited, which is what the stdin
+    serve loop uses to stay byte-compatible with its golden files. *)
+
+val feed : t -> string -> string list
+(** Append a chunk of bytes and return the lines it completed, in
+    stream order. The trailing partial line (if any) is buffered for
+    the next [feed] or for {!close}. After an overflow, returns []
+    forever. *)
+
+val overflowed : t -> bool
+(** Whether an oversized line was seen. Latches: once set, {!feed}
+    discards input and {!close} returns [None]. Check after every
+    {!feed}. *)
+
+val close : t -> string option
+(** End of stream: the buffered final partial line, if there is one
+    and the stream never overflowed. Resets the buffer, so calling
+    twice yields [None] the second time. *)

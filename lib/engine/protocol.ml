@@ -17,6 +17,7 @@ type code =
   | Bad_topology
   | Invalid_delta
   | Query_failed
+  | Overloaded
 
 let code_to_string = function
   | Bad_json -> "bad_json"
@@ -25,6 +26,21 @@ let code_to_string = function
   | Bad_topology -> "bad_topology"
   | Invalid_delta -> "invalid_delta"
   | Query_failed -> "query_failed"
+  | Overloaded -> "overloaded"
+
+(* Server-level errors (shedding, oversized lines) are emitted without
+   a [t] in hand — the request may never have reached a session — so
+   this builds the response directly. No wall_ms: the field times
+   request handling, and these requests were never handled. *)
+let error_response ?(id = Jsonx.Null) code msg =
+  Jsonx.to_string
+    (Jsonx.Obj
+       [
+         ("id", id);
+         ("status", Jsonx.String "error");
+         ("code", Jsonx.String (code_to_string code));
+         ("error", Jsonx.String msg);
+       ])
 
 type t = {
   pool : Pool.t option;
@@ -363,17 +379,26 @@ let handle_line t line =
   in
   Jsonx.to_string (Jsonx.Obj fields)
 
+(* The stdin front end and the socket server share one framing layer
+   (Framing), so the "EOF mid-line is still a request" rule holds by
+   construction on both paths. Blank (whitespace-only) lines are a
+   protocol rule, not a framing rule, and are skipped here. *)
 let serve t ic oc =
-  let rec loop () =
-    match input_line ic with
-    | exception End_of_file -> ()
-    | line ->
-        if String.trim line = "" then loop ()
-        else begin
-          output_string oc (handle_line t line);
-          output_char oc '\n';
-          flush oc;
-          loop ()
-        end
+  let fr = Framing.create () in
+  let buf = Bytes.create 65536 in
+  let respond line =
+    if String.trim line <> "" then begin
+      output_string oc (handle_line t line);
+      output_char oc '\n';
+      flush oc
+    end
   in
-  loop ()
+  let rec loop () =
+    let n = input ic buf 0 (Bytes.length buf) in
+    if n > 0 then begin
+      List.iter respond (Framing.feed fr (Bytes.sub_string buf 0 n));
+      loop ()
+    end
+  in
+  loop ();
+  match Framing.close fr with Some line -> respond line | None -> ()

@@ -49,9 +49,20 @@ type code =
   | Invalid_delta  (** the delta was rejected; the session is unchanged *)
   | Query_failed
       (** the library rejected the query (precondition failure) *)
+  | Overloaded
+      (** the server shed the connection under load (too many
+          connections, or the pool queue-wait p95 over threshold);
+          retry later against the same address *)
 
 val code_to_string : code -> string
 (** The wire rendering, e.g. [Bad_request] ↦ ["bad_request"]. *)
+
+val error_response : ?id:Nettomo_util.Jsonx.t -> code -> string -> string
+(** A standalone error response line (no trailing newline, no
+    [wall_ms] — the request was never handled). Used by the socket
+    server for conditions that arise before a request reaches a
+    session: load shedding ([Overloaded]) and oversized request lines
+    ([Bad_request]). [id] defaults to [null]. *)
 
 val create :
   ?pool:Nettomo_util.Pool.t ->
@@ -77,4 +88,7 @@ val handle_line : t -> string -> string
 
 val serve : t -> in_channel -> out_channel -> unit
 (** Read requests until EOF, writing and flushing one response per
-    line. Blank lines are skipped. *)
+    line. Blank (whitespace-only) lines are skipped. Framing goes
+    through {!Framing}, so a final request line that reaches EOF
+    without a trailing newline is still answered — same rule as the
+    socket server. *)

@@ -1,0 +1,458 @@
+(* Concurrent multi-client serve front door.
+
+   One dispatcher domain (the caller of [run]) multiplexes every
+   connection with [Unix.select]; request execution is handed to the
+   shared worker pool via [Pool.submit]. The dispatcher owns all
+   connection state — workers only ever see (a) the per-connection
+   [Protocol.t] of the request they are running and (b) the
+   mutex-protected completion queue — so the design needs exactly one
+   lock and one self-pipe:
+
+     select ──▶ read bytes ──▶ Framing ──▶ pending lines
+        ▲                                        │ (≤ 1 in flight
+        │                                        ▼  per connection)
+     self-pipe ◀── completion queue ◀── Pool.submit(handle_line)
+
+   Determinism is load-bearing: because at most one request per
+   connection is in flight and pending/output queues are FIFO, each
+   connection's response stream is byte-identical to replaying that
+   connection's requests through a fresh [Protocol.t] serially — the
+   concurrency test battery diffs exactly that.
+
+   Admission control: a connection is shed at accept time (one
+   [overloaded] error line, then close) when the connection count is
+   at [max_conns] or the pool's queue-wait p95 — read from the same
+   histogram the Pool maintains for observability — exceeds
+   [shed_wait_p95]. The kernel accept backlog is the bounded accept
+   queue in front of that.
+
+   Graceful shutdown ([shutdown], or a signal handler calling it):
+   stop accepting and reading, finish in-flight and pending requests,
+   flush output, close. The drain is bounded by iteration count with a
+   short real select timeout, never by clock arithmetic — the fake
+   Obs clock advances on every read, so clock-based deadlines would
+   misfire under NETTOMO_CHECK test runs. *)
+
+module Pool = Nettomo_util.Pool
+module Store = Nettomo_store.Store
+module Obs = Nettomo_obs.Obs
+
+type listen = Unix_socket of string | Tcp of int
+
+type conn = {
+  cid : int;
+  fd : Unix.file_descr;
+  proto : Protocol.t;
+  fr : Framing.t;
+  pending : string Queue.t;  (* complete request lines, FIFO *)
+  outq : string Queue.t;  (* response lines (newline included), FIFO *)
+  mutable out_head : string;  (* partially-written line, "" when none *)
+  mutable out_off : int;
+  mutable in_flight : bool;  (* one request running on the pool *)
+  mutable eof : bool;  (* peer closed its write side *)
+  mutable closing : bool;  (* flush outq, then close (overflow path) *)
+  mutable dead : bool;  (* I/O error: close without flushing *)
+}
+
+type t = {
+  listen : listen;
+  pool : Pool.t;
+  seed : int;
+  emit_wall_ms : bool;
+  store : Store.t option;
+  max_conns : int;
+  max_line_bytes : int;
+  shed_wait_p95 : float option;
+  listener : Unix.file_descr;
+  actual_port : int option;  (* TCP only, after bind (port 0 resolves) *)
+  pipe_r : Unix.file_descr;  (* self-pipe: workers wake the dispatcher *)
+  pipe_w : Unix.file_descr;
+  stop : bool Atomic.t;
+  completed : (int * string) Queue.t;  (* cid, response line *)
+  completed_lock : Mutex.t;
+  mutable conns : conn list;  (* dispatcher-only; a list keeps
+                                 iteration order deterministic *)
+  mutable next_cid : int;
+  rbuf : Bytes.t;  (* dispatcher-only read scratch *)
+  m_conns : Obs.Metrics.gauge;
+  m_conns_total : Obs.Metrics.counter;
+  m_shed : Obs.Metrics.counter;
+  m_requests : Obs.Metrics.counter;
+  m_latency : Obs.Metrics.histogram;
+}
+
+let default_max_line_bytes = 1 lsl 20
+
+let close_fd fd = try Unix.close fd with Unix.Unix_error (_, _, _) -> ()
+
+let create ?(seed = 7) ?(emit_wall_ms = true) ?store ?(max_conns = 64)
+    ?(max_line_bytes = default_max_line_bytes) ?shed_wait_p95 ?(backlog = 64)
+    ~pool listen =
+  let bound fd k =
+    match k () with
+    | v -> v
+    | exception e ->
+        close_fd fd;
+        raise e
+  in
+  let listener, actual_port =
+    match listen with
+    | Unix_socket path ->
+        (* A stale socket file from a crashed server blocks bind. *)
+        (try Sys.remove path with Sys_error _ -> ());
+        let fd = Unix.socket ~cloexec:true Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+        bound fd (fun () ->
+            Unix.bind fd (Unix.ADDR_UNIX path);
+            Unix.listen fd backlog);
+        (fd, None)
+    | Tcp port ->
+        let fd = Unix.socket ~cloexec:true Unix.PF_INET Unix.SOCK_STREAM 0 in
+        let actual =
+          bound fd (fun () ->
+              Unix.setsockopt fd Unix.SO_REUSEADDR true;
+              Unix.bind fd (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+              Unix.listen fd backlog;
+              match Unix.getsockname fd with
+              | Unix.ADDR_INET (_, p) -> p
+              | Unix.ADDR_UNIX _ -> port)
+        in
+        (fd, Some actual)
+  in
+  Unix.set_nonblock listener;
+  let pipe_r, pipe_w = Unix.pipe ~cloexec:true () in
+  Unix.set_nonblock pipe_r;
+  Unix.set_nonblock pipe_w;
+  {
+    listen;
+    pool;
+    seed;
+    emit_wall_ms;
+    store;
+    max_conns;
+    max_line_bytes;
+    shed_wait_p95;
+    listener;
+    actual_port;
+    pipe_r;
+    pipe_w;
+    stop = Atomic.make false;
+    completed = Queue.create ();
+    completed_lock = Mutex.create ();
+    conns = [];
+    next_cid = 0;
+    rbuf = Bytes.create 65536;
+    m_conns = Obs.Metrics.gauge "serve_connections";
+    m_conns_total = Obs.Metrics.counter "serve_connections_total";
+    m_shed = Obs.Metrics.counter "serve_shed_total";
+    m_requests = Obs.Metrics.counter "serve_requests_total";
+    m_latency = Obs.Metrics.histogram "serve_request_seconds";
+  }
+
+let port t = t.actual_port
+let request_latency t = t.m_latency
+let connections_gauge t = t.m_conns
+let shed_total t = t.m_shed
+let requests_total t = t.m_requests
+
+(* Wake the dispatcher out of select. A full pipe (EAGAIN) means a
+   wakeup is already pending; EBADF/EPIPE mean the server is gone —
+   all three are exactly "no further wakeup needed". *)
+let wake t =
+  match Unix.write t.pipe_w (Bytes.make 1 'w') 0 1 with
+  | _ -> ()
+  | exception
+      Unix.Unix_error
+        ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EPIPE | Unix.EBADF), _, _) ->
+      ()
+
+let shutdown t =
+  Atomic.set t.stop true;
+  wake t
+
+(* ---------- output ---------- *)
+
+let has_output c = String.length c.out_head > 0 || not (Queue.is_empty c.outq)
+
+(* Opportunistic nonblocking flush; whatever does not fit stays queued
+   and select's write interest picks it up. A peer that vanished turns
+   the connection dead — its session is freed at the next reap. *)
+let try_flush c =
+  let rec go () =
+    if String.length c.out_head = 0 then
+      match Queue.take_opt c.outq with
+      | None -> ()
+      | Some s ->
+          c.out_head <- s;
+          c.out_off <- 0;
+          go ()
+    else
+      let len = String.length c.out_head - c.out_off in
+      match Unix.write_substring c.fd c.out_head c.out_off len with
+      | n ->
+          c.out_off <- c.out_off + n;
+          if c.out_off >= String.length c.out_head then begin
+            c.out_head <- "";
+            c.out_off <- 0
+          end;
+          go ()
+      | exception
+          Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _)
+        ->
+          ()
+      | exception Unix.Unix_error (_, _, _) -> c.dead <- true
+  in
+  if not c.dead then go ()
+
+let enqueue_out c line =
+  Queue.push (line ^ "\n") c.outq;
+  try_flush c
+
+(* ---------- accept & admission ---------- *)
+
+let should_shed t =
+  List.length t.conns >= t.max_conns
+  ||
+  match t.shed_wait_p95 with
+  | None -> false
+  | Some threshold ->
+      Obs.Metrics.histogram_quantile (Pool.queue_wait t.pool) 0.95 > threshold
+
+let shed t fd =
+  Obs.Metrics.incr t.m_shed;
+  let line =
+    Protocol.error_response Protocol.Overloaded
+      "server overloaded; retry later"
+    ^ "\n"
+  in
+  (* Best-effort: the client may already be gone, and a fresh socket
+     buffer that cannot take one line is itself a reason to give up. *)
+  (match Unix.write_substring fd line 0 (String.length line) with
+  | _ -> ()
+  | exception Unix.Unix_error (_, _, _) -> ());
+  close_fd fd
+
+let add_conn t fd =
+  Unix.set_nonblock fd;
+  let cid = t.next_cid in
+  t.next_cid <- cid + 1;
+  let proto =
+    Protocol.create ~pool:t.pool ~seed:t.seed ~emit_wall_ms:t.emit_wall_ms
+      ?store:t.store ()
+  in
+  let c =
+    {
+      cid;
+      fd;
+      proto;
+      fr = Framing.create ~max_line_bytes:t.max_line_bytes ();
+      pending = Queue.create ();
+      outq = Queue.create ();
+      out_head = "";
+      out_off = 0;
+      in_flight = false;
+      eof = false;
+      closing = false;
+      dead = false;
+    }
+  in
+  t.conns <- t.conns @ [ c ];
+  Obs.Metrics.incr t.m_conns_total;
+  Obs.Metrics.set_gauge t.m_conns (float_of_int (List.length t.conns))
+
+let accept_ready t =
+  let rec go () =
+    match Unix.accept ~cloexec:true t.listener with
+    | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) -> ()
+    | exception Unix.Unix_error ((Unix.ECONNABORTED | Unix.EINTR), _, _) ->
+        go ()
+    | fd, _ ->
+        if should_shed t then shed t fd else add_conn t fd;
+        go ()
+  in
+  go ()
+
+(* ---------- reads ---------- *)
+
+let read_conn t c =
+  match Unix.read c.fd t.rbuf 0 (Bytes.length t.rbuf) with
+  | 0 -> (
+      c.eof <- true;
+      (* The framing EOF rule: a final line without '\n' is a request. *)
+      match Framing.close c.fr with
+      | Some line -> Queue.push line c.pending
+      | None -> ())
+  | n ->
+      List.iter
+        (fun l -> Queue.push l c.pending)
+        (Framing.feed c.fr (Bytes.sub_string t.rbuf 0 n));
+      if Framing.overflowed c.fr && not c.closing then begin
+        (* One bad_request, then close: pipelined requests behind the
+           oversized line are torn down with the connection. *)
+        Queue.clear c.pending;
+        c.closing <- true;
+        enqueue_out c
+          (Protocol.error_response Protocol.Bad_request
+             (Printf.sprintf "request line exceeds %d bytes" t.max_line_bytes))
+      end
+  | exception
+      Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _) ->
+      ()
+  | exception Unix.Unix_error (_, _, _) -> c.dead <- true
+
+(* ---------- request dispatch & completion ---------- *)
+
+let submit_request t cid proto line =
+  Pool.submit t.pool (fun () ->
+      let t0 = Obs.Clock.now () in
+      Fun.protect
+        ~finally:(fun () ->
+          Obs.Metrics.observe t.m_latency
+            (Float.max 0. (Obs.Clock.now () -. t0)))
+        (fun () ->
+          let resp =
+            match Protocol.handle_line proto line with
+            | resp -> resp
+            | exception e ->
+                (* handle_line never raises on bad input; what does get
+                   here is an engine bug (NETTOMO_CHECK invariant
+                   violations included). Surface it to the client
+                   rather than silently killing the worker domain. *)
+                Protocol.error_response Protocol.Query_failed
+                  ("internal error: " ^ Printexc.to_string e)
+          in
+          Mutex.lock t.completed_lock;
+          Queue.push (cid, resp) t.completed;
+          Mutex.unlock t.completed_lock;
+          wake t))
+
+let dispatch_ready t =
+  List.iter
+    (fun c ->
+      if (not c.in_flight) && not c.dead then begin
+        let rec next () =
+          match Queue.take_opt c.pending with
+          | None -> ()
+          | Some line when String.trim line = "" -> next ()
+          | Some line ->
+              c.in_flight <- true;
+              submit_request t c.cid c.proto line
+        in
+        next ()
+      end)
+    t.conns
+
+let drain_completed t =
+  let rec go () =
+    Mutex.lock t.completed_lock;
+    let item = Queue.take_opt t.completed in
+    Mutex.unlock t.completed_lock;
+    match item with
+    | None -> ()
+    | Some (cid, resp) ->
+        (match List.find_opt (fun c -> c.cid = cid) t.conns with
+        | Some c ->
+            c.in_flight <- false;
+            Obs.Metrics.incr t.m_requests;
+            if not c.dead then enqueue_out c resp
+        | None -> () (* connection dropped while its request ran *));
+        go ()
+  in
+  go ()
+
+let drain_pipe t =
+  let rec go () =
+    match Unix.read t.pipe_r t.rbuf 0 (Bytes.length t.rbuf) with
+    | 0 -> ()
+    | _ -> go ()
+    | exception
+        Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _)
+      ->
+        ()
+  in
+  go ()
+
+(* ---------- reaping ---------- *)
+
+let finished c =
+  c.dead
+  || (c.eof || c.closing)
+     && (not c.in_flight)
+     && Queue.is_empty c.pending
+     && not (has_output c)
+
+let reap t =
+  let gone, live = List.partition finished t.conns in
+  match gone with
+  | [] -> ()
+  | _ ->
+      List.iter (fun c -> close_fd c.fd) gone;
+      t.conns <- live;
+      Obs.Metrics.set_gauge t.m_conns (float_of_int (List.length live))
+
+(* ---------- main loop ---------- *)
+
+(* Returns [true] when the drain completed (no connection still busy),
+   [false] when the iteration bound expired first — in which case a
+   straggling worker may still hold a reference to the self-pipe, and
+   the caller must not close it. *)
+let rec loop t ~drain_left =
+  reap t;
+  let stopping = Atomic.get t.stop in
+  let busy =
+    List.exists
+      (fun c -> c.in_flight || (not (Queue.is_empty c.pending)) || has_output c)
+      t.conns
+  in
+  if stopping && ((not busy) || drain_left <= 0) then not busy
+  else begin
+    let rds = ref [ t.pipe_r ] in
+    if not stopping then rds := t.listener :: !rds;
+    let wrs = ref [] in
+    List.iter
+      (fun c ->
+        (* During drain the server stops reading: in-flight and pending
+           requests finish, new bytes stay in the kernel. *)
+        if (not stopping) && not (c.eof || c.closing || c.dead) then
+          rds := c.fd :: !rds;
+        if has_output c && not c.dead then wrs := c.fd :: !wrs)
+      t.conns;
+    (* Real seconds, deliberately not Obs.Clock: the fake clock ticks
+       on every read, so using it for timeouts would warp under test
+       runs. Blocking select is the idle state; the short timeout while
+       stopping is what bounds the drain together with [drain_left]. *)
+    let timeout = if stopping then 0.05 else -1. in
+    match Unix.select !rds !wrs [] timeout with
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> loop t ~drain_left
+    | rs, ws, _ ->
+        if List.mem t.pipe_r rs then drain_pipe t;
+        if (not stopping) && List.mem t.listener rs then accept_ready t;
+        List.iter (fun c -> if List.mem c.fd rs then read_conn t c) t.conns;
+        List.iter
+          (fun c -> if (not c.dead) && List.mem c.fd ws then try_flush c)
+          t.conns;
+        drain_completed t;
+        dispatch_ready t;
+        loop t ~drain_left:(if stopping then drain_left - 1 else drain_left)
+  end
+
+let run t =
+  (* A peer closing mid-write must surface as EPIPE (handled per
+     connection), not kill the process. *)
+  let prev_sigpipe = Sys.signal Sys.sigpipe Sys.Signal_ignore in
+  Fun.protect
+    ~finally:(fun () -> Sys.set_signal Sys.sigpipe prev_sigpipe)
+    (fun () ->
+      let clean = loop t ~drain_left:200 in
+      List.iter (fun c -> close_fd c.fd) t.conns;
+      t.conns <- [];
+      Obs.Metrics.set_gauge t.m_conns 0.;
+      close_fd t.listener;
+      (match t.listen with
+      | Unix_socket path -> ( try Sys.remove path with Sys_error _ -> ())
+      | Tcp _ -> ());
+      if clean then begin
+        (* Only when no worker can still wake us: closing the pipe under
+           a straggler would let its write land on a recycled fd. *)
+        close_fd t.pipe_r;
+        close_fd t.pipe_w
+      end)

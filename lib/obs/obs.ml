@@ -129,6 +129,33 @@ module Metrics = struct
     | Histogram { sum; _ } -> Atomic.get sum
     | Counter _ | Gauge _ -> 0.
 
+  (* Quantile estimate from the cumulative bucket counts: the smallest
+     bound whose cumulative count reaches q * total. Observations in
+     the trailing +Inf bucket report the largest finite bound — an
+     under-estimate, but a stable one (admission control compares the
+     result against a threshold; "at least this much" is the useful
+     direction). *)
+  let histogram_quantile h q =
+    match h.cell with
+    | Counter _ | Gauge _ -> 0.
+    | Histogram { bounds; counts; _ } ->
+        let counts = Array.map Atomic.get counts in
+        let total = Array.fold_left ( + ) 0 counts in
+        if total = 0 then 0.
+        else begin
+          let q = Float.max 0. (Float.min 1. q) in
+          let rank = q *. float_of_int total in
+          let n = Array.length bounds in
+          let rec go i cumulative =
+            if i >= n then bounds.(n - 1)
+            else
+              let cumulative = cumulative + counts.(i) in
+              if float_of_int cumulative >= rank then bounds.(i)
+              else go (i + 1) cumulative
+          in
+          if n = 0 then 0. else go 0 0
+        end
+
   (* --- text exposition ------------------------------------------------- *)
 
   let escape_label_value s =

@@ -74,6 +74,16 @@ module Metrics : sig
   val histogram_count : histogram -> int
   val histogram_sum : histogram -> float
 
+  val histogram_quantile : histogram -> float -> float
+  (** [histogram_quantile h q] estimates the [q]-quantile ([q] clamped
+      to [\[0, 1\]]) from the bucket counts: the smallest bucket bound
+      whose cumulative count reaches [q * total].  Returns [0.] on an
+      empty histogram, and the largest finite bound when the quantile
+      lands in the implicit [+Inf] bucket (a deliberate under-estimate
+      — callers compare against thresholds, where "at least this much"
+      is the safe direction).  Load shedding in the serve front door
+      reads the pool queue-wait p95 through this. *)
+
   val dump : unit -> string
   (** Prometheus-style text exposition of every registered
       instrument, aggregated by (name, labels) and sorted, hence

@@ -33,6 +33,12 @@ type t = {
   max_bytes : int;
   usable : bool;
   c : counters;
+  lock : Mutex.t;
+      (* serializes the byte accounting and the eviction pass so one
+         handle can be shared across domains (the concurrent serve
+         front door hands one store to every connection's session);
+         reads never take it — [find] touches only files and atomic
+         counters *)
   mutable bytes : int;  (* approximate directory total, maintained by put *)
 }
 
@@ -176,7 +182,7 @@ let open_dir ?(max_bytes = default_max_bytes) dir =
     }
   in
   let bytes = if usable && max_bytes > 0 then dir_bytes dir else 0 in
-  { dir; max_bytes; usable; c; bytes }
+  { dir; max_bytes; usable; c; lock = Mutex.create (); bytes }
 
 let dir t = t.dir
 let usable t = t.usable
@@ -233,7 +239,10 @@ let find t key = find_with t key ~decode:(fun payload -> Some payload)
 
 (* ---------- writes ---------- *)
 
-let gc_if_over t =
+(* Caller must hold [t.lock]: the decision, the eviction pass and the
+   accounting reset form one critical section, so two domains cannot
+   double-evict over the same directory snapshot. *)
+let gc_if_over_locked t =
   if t.max_bytes > 0 && t.bytes > t.max_bytes then (
     let t0 = Obs.Clock.now () in
     Fun.protect
@@ -273,10 +282,14 @@ let put t key payload =
             try Sys.remove tmp with Sys_error _ -> ())
         | () ->
             Obs.Metrics.incr t.c.puts;
-            t.bytes <- t.bytes - old_size + String.length raw;
+            Mutex.lock t.lock;
+            Fun.protect
+              ~finally:(fun () -> Mutex.unlock t.lock)
+              (fun () ->
+                t.bytes <- t.bytes - old_size + String.length raw;
+                gc_if_over_locked t);
             Obs.Metrics.observe t.c.put_s
-              (Float.max 0. (Obs.Clock.now () -. t0));
-            gc_if_over t))
+              (Float.max 0. (Obs.Clock.now () -. t0))))
 
 (* ---------- offline maintenance ---------- *)
 

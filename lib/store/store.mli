@@ -30,8 +30,12 @@
     file name as the deterministic tie-break) are evicted until the
     total fits again.
 
-    A [t] is single-domain: counters and the byte budget are plain
-    mutable state. Multiple {e processes} may share one directory — the
+    A [t] is domain-safe and may be shared across concurrent sessions
+    (the serve front door hands one handle to every connection):
+    counters are atomic {!Nettomo_obs.Obs} cells, reads touch nothing
+    else, and the byte budget plus the eviction pass are serialized by
+    an internal mutex — concurrent readers never contend with each
+    other. Multiple {e processes} may also share one directory — the
     atomic-rename publish keeps every read well-formed, and last writer
     wins per key. *)
 

@@ -25,6 +25,7 @@ type metrics = {
   m_queue_wait : Obs.Metrics.histogram;
   m_slot_busy : Obs.Metrics.histogram array; (* length jobs; index = slot *)
   m_busy_total : float Atomic.t; (* seconds of task time across slots *)
+  m_running : int Atomic.t; (* submitted tasks currently executing *)
   mutable m_idle_slots : int; (* last value pushed to m_idle *)
 }
 
@@ -100,6 +101,7 @@ let create ~jobs =
               ~labels:[ ("slot", string_of_int i) ]
               "pool_task_seconds");
       m_busy_total = Atomic.make 0.;
+      m_running = Atomic.make 0;
       m_idle_slots = 0;
     }
   in
@@ -136,6 +138,38 @@ let try_pop pool =
 let set_idle pool idle =
   pool.metrics.m_idle_slots <- idle;
   Obs.Metrics.set_gauge pool.metrics.m_idle (float_of_int idle)
+
+let queue_wait pool = pool.metrics.m_queue_wait
+
+(* Long-lived serving (the socket front door) reuses the same worker
+   slots as batch fan-out: [submit] enqueues a one-off task and returns
+   immediately.  Unlike [map], the caller does not participate, so on a
+   [jobs = 1] pool (no spawned workers) the task runs synchronously in
+   the caller — keeping the pool-wide rule that [jobs = 1] means serial
+   execution rather than deadlock.  Each submitted task maintains the
+   idle-slot accounting ([jobs] minus currently-running submissions) so
+   a drained server reads [idle_slots = jobs]; the counter is atomic,
+   the gauge write is last-writer-wins across workers — an approximate
+   instrument, never a synchronization point. *)
+let submit pool task =
+  if pool.closed then Errors.invalid_arg "Pool.submit: pool is closed";
+  let accounted () =
+    let running = 1 + Atomic.fetch_and_add pool.metrics.m_running 1 in
+    set_idle pool (max 0 (pool.jobs - running));
+    Fun.protect
+      ~finally:(fun () ->
+        let running = Atomic.fetch_and_add pool.metrics.m_running (-1) - 1 in
+        set_idle pool (max 0 (pool.jobs - running)))
+      task
+  in
+  let entry = (Obs.Clock.now (), accounted) in
+  if pool.jobs = 1 then run_timed pool ~slot:0 entry
+  else begin
+    Mutex.lock pool.lock;
+    Queue.push entry pool.queue;
+    Condition.signal pool.work_available;
+    Mutex.unlock pool.lock
+  end
 
 let map ?chunk pool f items =
   if pool.closed then Errors.invalid_arg "Pool.map: pool is closed";

@@ -35,7 +35,15 @@ val idle_slots : t -> int
     not put to work (fewer chunks than workers): [jobs - min jobs
     n_chunks], or [jobs] after a map over an empty array. Also
     exported as the [pool_slots_idle] gauge on the Obs registry.
-    [0] before the first map. *)
+    [0] before the first map. {!submit} maintains the same instrument
+    as [jobs] minus the number of currently-running submitted tasks,
+    so a fully drained server reads [idle_slots = jobs]. *)
+
+val queue_wait : t -> Nettomo_obs.Obs.Metrics.histogram
+(** The pool's queue-wait histogram (seconds between enqueue and the
+    moment a slot picks the task up) — the admission-control signal of
+    the serve front door, read through
+    {!Nettomo_obs.Obs.Metrics.histogram_quantile}. *)
 
 val recommended_jobs : unit -> int
 (** The runtime's recommended domain count for this machine
@@ -47,6 +55,20 @@ val map : ?chunk:int -> t -> ('a -> 'b) -> 'a array -> 'b array
     four ways per worker, at least 1). Result order matches input
     order regardless of scheduling. Raises [Invalid_argument] if
     [chunk <= 0]. *)
+
+val submit : t -> (unit -> unit) -> unit
+(** [submit pool task] enqueues a one-off task for the worker domains
+    and returns immediately; unlike {!map} the caller does not
+    participate. On a [jobs = 1] pool (which spawns no workers) the
+    task instead runs synchronously in the caller before [submit]
+    returns — serial execution, never deadlock, consistent with the
+    pool-wide [jobs = 1] contract. Tasks run in FIFO order but
+    concurrently with each other (and with {!map} chunks); callers
+    needing per-stream ordering must serialize their own submissions,
+    as the serve dispatcher does with its one-in-flight-per-connection
+    rule. A task that raises terminates its worker domain — reserve
+    [submit] for tasks that handle their own errors. Raises
+    [Invalid_argument] on a closed pool. *)
 
 val map_reduce :
   ?chunk:int ->

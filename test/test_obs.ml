@@ -170,10 +170,35 @@ let test_summary_survives_clear_boundary () =
           check Alcotest.bool "aggregate total positive" true (total > 0.)
       | None -> Alcotest.fail "span name missing from summary")
 
+let test_histogram_quantile () =
+  let h =
+    Obs.Metrics.histogram
+      ~buckets:[ 1.0; 2.0; 4.0; 8.0 ]
+      "test_obs_quantile_seconds"
+  in
+  check cf "empty histogram reads 0" 0. (Obs.Metrics.histogram_quantile h 0.5);
+  (* One observation per bucket: 0.5→le1, 1.5→le2, 3→le4, 100→+Inf. *)
+  List.iter (Obs.Metrics.observe h) [ 0.5; 1.5; 3.0; 100.0 ];
+  check cf "p25 hits the first bucket" 1.
+    (Obs.Metrics.histogram_quantile h 0.25);
+  check cf "p50 hits the second bucket" 2.
+    (Obs.Metrics.histogram_quantile h 0.5);
+  check cf "p75 hits the third bucket" 4.
+    (Obs.Metrics.histogram_quantile h 0.75);
+  (* The +Inf bucket reports the largest finite bound: a deliberate
+     under-estimate so threshold comparisons err on the safe side. *)
+  check cf "p100 under-estimates to the last finite bound" 8.
+    (Obs.Metrics.histogram_quantile h 1.0);
+  (* q is clamped. *)
+  check cf "q below 0 clamps" 1. (Obs.Metrics.histogram_quantile h (-3.));
+  check cf "q above 1 clamps" 8. (Obs.Metrics.histogram_quantile h 7.)
+
 let suite =
   [
     Alcotest.test_case "histogram bucket edges are inclusive" `Quick
       test_histogram_bucket_edges;
+    Alcotest.test_case "histogram quantile estimation" `Quick
+      test_histogram_quantile;
     Alcotest.test_case "histogram rejects bad bucket bounds" `Quick
       test_histogram_rejects_bad_buckets;
     Alcotest.test_case "nested spans close in LIFO order" `Quick

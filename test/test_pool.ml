@@ -174,6 +174,75 @@ let test_idle_slots_reported () =
       ignore (Pool.map pool Fun.id [||]);
       check ci "empty map leaves every slot idle" 4 (Pool.idle_slots pool))
 
+(* ---------- submit: the long-lived serving entry point ---------- *)
+
+let spin_until ?(max_spins = 500_000_000) ~what cond =
+  let rec go spins =
+    if not (cond ()) then
+      if spins > max_spins then Alcotest.failf "timed out waiting for %s" what
+      else begin
+        Domain.cpu_relax ();
+        go (spins + 1)
+      end
+  in
+  go 0
+
+let test_submit_runs_tasks () =
+  (* jobs = 1 spawns no workers: submit must run the task synchronously
+     in the caller (the serial contract), not deadlock on an empty
+     worker set. *)
+  Pool.with_pool ~jobs:1 (fun pool ->
+      let hit = ref false in
+      Pool.submit pool (fun () -> hit := true);
+      check Alcotest.bool "jobs=1 submit is synchronous" true !hit);
+  (* jobs = 4: every submitted task runs exactly once on some worker. *)
+  Pool.with_pool ~jobs:4 (fun pool ->
+      let n = 200 in
+      let sum = Atomic.make 0 in
+      let finished = Atomic.make 0 in
+      for i = 1 to n do
+        Pool.submit pool (fun () ->
+            ignore (Atomic.fetch_and_add sum i);
+            ignore (Atomic.fetch_and_add finished 1))
+      done;
+      spin_until ~what:"submitted tasks" (fun () -> Atomic.get finished = n);
+      check ci "each task ran exactly once" (n * (n + 1) / 2) (Atomic.get sum));
+  (* A closed pool rejects submissions like it rejects map. *)
+  let pool = Pool.create ~jobs:1 in
+  Pool.close pool;
+  match Pool.submit pool (fun () -> ()) with
+  | () -> Alcotest.fail "submit on a closed pool must raise"
+  | exception Invalid_argument _ -> ()
+
+let test_submit_idle_accounting () =
+  Pool.with_pool ~jobs:3 (fun pool ->
+      let release = Atomic.make false in
+      let started = Atomic.make false in
+      let finished = Atomic.make false in
+      Pool.submit pool (fun () ->
+          Atomic.set started true;
+          spin_until ~what:"release flag" (fun () -> Atomic.get release);
+          Atomic.set finished true);
+      spin_until ~what:"task start" (fun () -> Atomic.get started);
+      check ci "one running task leaves jobs - 1 idle" 2
+        (Pool.idle_slots pool);
+      Atomic.set release true;
+      spin_until ~what:"task finish" (fun () -> Atomic.get finished);
+      (* The gauge write happens in the task's finally, strictly after
+         the finished flag — give it the same spin treatment. *)
+      spin_until ~what:"idle gauge to settle" (fun () ->
+          Pool.idle_slots pool = 3);
+      check ci "drained pool reads idle = jobs" 3 (Pool.idle_slots pool))
+
+let test_submit_records_queue_wait () =
+  Pool.with_pool ~jobs:1 (fun pool ->
+      let h = Pool.queue_wait pool in
+      let before = Nettomo_obs.Obs.Metrics.histogram_count h in
+      Pool.submit pool (fun () -> ());
+      Pool.submit pool (fun () -> ());
+      check ci "one queue-wait observation per submit" (before + 2)
+        (Nettomo_obs.Obs.Metrics.histogram_count h))
+
 let suite =
   [
     Alcotest.test_case "map = serial map (all jobs x chunks)" `Quick
@@ -197,4 +266,10 @@ let suite =
       test_recommended_jobs_positive;
     Alcotest.test_case "idle slots reported per map" `Quick
       test_idle_slots_reported;
+    Alcotest.test_case "submit runs every task once" `Quick
+      test_submit_runs_tasks;
+    Alcotest.test_case "submit maintains idle-slot accounting" `Quick
+      test_submit_idle_accounting;
+    Alcotest.test_case "submit records queue wait" `Quick
+      test_submit_records_queue_wait;
   ]

@@ -163,6 +163,85 @@ let test_metrics_op () =
           "session_full_computes_total";
         ]
 
+(* ------------------------------------------------------------------ *)
+(* Framing: the line splitter shared by the stdin loop and the socket
+   server. The load-bearing regression is the EOF rule — a final
+   request that reaches end-of-stream without a trailing newline must
+   still be answered, on both front ends by construction. *)
+
+module Framing = Nettomo_engine.Framing
+
+let sl = Alcotest.(list string)
+
+let test_framing_chunks () =
+  let fr = Framing.create () in
+  check sl "partial line buffers" [] (Framing.feed fr "ab");
+  check sl "completion joins the chunks" [ "abc" ] (Framing.feed fr "c\n");
+  check sl "many lines in one feed" [ "x"; "y" ] (Framing.feed fr "x\ny\nz");
+  check cb "no overflow" false (Framing.overflowed fr);
+  (match Framing.close fr with
+  | Some tail -> check cs "EOF delivers the partial final line" "z" tail
+  | None -> Alcotest.fail "final partial line lost at EOF");
+  check cb "close drains the buffer" true (Framing.close fr = None);
+  (* Empty lines between separators are delivered (the protocol layer,
+     not the framing layer, skips blanks). *)
+  let fr = Framing.create () in
+  check sl "empty lines preserved" [ "a"; ""; "b" ] (Framing.feed fr "a\n\nb\n");
+  check cb "clean EOF yields nothing" true (Framing.close fr = None)
+
+let test_framing_overflow () =
+  let fr = Framing.create ~max_line_bytes:4 () in
+  check sl "lines before the oversized one still arrive" [ "ab" ]
+    (Framing.feed fr "ab\ntoolong\ncd\n");
+  check cb "overflow latched" true (Framing.overflowed fr);
+  check sl "input after overflow is discarded" [] (Framing.feed fr "ef\n");
+  check cb "no final line from an overflowed stream" true
+    (Framing.close fr = None);
+  (* A line of exactly the bound is fine; one byte more is not. *)
+  let fr = Framing.create ~max_line_bytes:4 () in
+  check sl "at the bound" [ "abcd" ] (Framing.feed fr "abcd\n");
+  check cb "still healthy" false (Framing.overflowed fr);
+  (* Overflow also trips on an unterminated line that grows past the
+     bound across feeds (the slowloris shape). *)
+  let fr = Framing.create ~max_line_bytes:4 () in
+  check sl "first chunk under the bound" [] (Framing.feed fr "abc");
+  check sl "second chunk crosses it" [] (Framing.feed fr "de");
+  check cb "overflow across feeds" true (Framing.overflowed fr)
+
+(* Run [Protocol.serve] over a byte string, returning the raw output. *)
+let serve_string input =
+  let in_file = Filename.temp_file "nettomo_serve" ".in" in
+  let out_file = Filename.temp_file "nettomo_serve" ".out" in
+  Fun.protect
+    ~finally:(fun () ->
+      (try Sys.remove in_file with Sys_error _ -> ());
+      try Sys.remove out_file with Sys_error _ -> ())
+    (fun () ->
+      Out_channel.with_open_bin in_file (fun oc ->
+          Out_channel.output_string oc input);
+      let s = fresh () in
+      In_channel.with_open_bin in_file (fun ic ->
+          Out_channel.with_open_bin out_file (fun oc ->
+              Protocol.serve s ic oc));
+      In_channel.with_open_bin out_file In_channel.input_all)
+
+let test_serve_eof_without_newline () =
+  let requests = fig1_line ^ "\n" ^ {|{"id":2,"op":"identifiable"}|} in
+  (* No trailing newline: the second request ends at EOF. *)
+  let out = serve_string requests in
+  let lines =
+    String.split_on_char '\n' out |> List.filter (fun l -> l <> "")
+  in
+  check Alcotest.int "both requests answered" 2 (List.length lines);
+  let v = parse_response (List.nth lines 1) in
+  check cs "final request status" "ok"
+    (Option.value (member_string "status" v) ~default:"<missing>");
+  check cb "final request id echoed" true
+    (Jsonx.member "id" v = Some (Jsonx.Int 2));
+  (* And the unterminated stream answers byte-identically to the
+     terminated one. *)
+  check cs "newline at EOF is immaterial" (serve_string (requests ^ "\n")) out
+
 let suite =
   [
     Alcotest.test_case "bad_json" `Quick test_bad_json;
@@ -174,4 +253,8 @@ let suite =
     Alcotest.test_case "batch sub-error carries code" `Quick
       test_batch_suberror_code;
     Alcotest.test_case "metrics op dumps the registry" `Quick test_metrics_op;
+    Alcotest.test_case "framing: incremental chunks" `Quick test_framing_chunks;
+    Alcotest.test_case "framing: oversized lines" `Quick test_framing_overflow;
+    Alcotest.test_case "serve answers a final line without newline" `Quick
+      test_serve_eof_without_newline;
   ]
