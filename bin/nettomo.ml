@@ -8,10 +8,12 @@
      place      minimum monitor placement (Algorithm 1, MMP)
      solve      simulate delays and recover them from path measurements
      partial    per-link identifiability of an arbitrary placement
+     coverage   structural per-link coverage and greedy monitor augmentation
      routing    fixed shortest-path-routing baseline vs MMP
      robust     single-failure robustness of a placement
      experiment RMP Monte-Carlo sweep (parallel via --jobs, JSON via --json)
      serve      dynamic session over a JSON-lines protocol on stdin/stdout
+     bench      utilities over nettomo-bench/1 reports (bench diff A B)
      dot        Graphviz export
 
    Topologies are read and written in the edge-list format of
@@ -27,6 +29,7 @@ module Jsonx = Nettomo_util.Jsonx
 module Q = Nettomo_linalg.Rational
 module Store = Nettomo_store.Store
 module Obs = Nettomo_obs.Obs
+module Coverage = Nettomo_coverage.Coverage
 
 (* ------------------------------------------------------------------ *)
 (* Common arguments                                                    *)
@@ -369,6 +372,68 @@ let partial_cmd =
          "Partial identifiability: which links a (possibly insufficient) \
           placement identifies.")
     Term.(ret (const run $ topology_arg $ monitors_arg $ seed_arg))
+
+(* ------------------------------------------------------------------ *)
+(* coverage                                                            *)
+
+let coverage_cmd =
+  let links_arg =
+    Arg.(
+      value & flag
+      & info [ "links" ]
+          ~doc:"Print the per-link verdict (reason) for every link.")
+  in
+  let augment_arg =
+    let doc =
+      "Also run the greedy planner: add up to $(docv) monitors maximizing \
+       marginal coverage."
+    in
+    Arg.(value & opt (some int) None & info [ "k"; "augment" ] ~docv:"K" ~doc)
+  in
+  let run file monitors seed links k =
+    let g = load file in
+    match net_of g monitors with
+    | `Error _ as e -> e
+    | `Ok net -> (
+        match Coverage.classify ~seed net with
+        | exception Invalid_argument m -> `Error (false, m)
+        | r ->
+            Format.printf "%a@." Coverage.pp r;
+            if links then
+              Graph.EdgeMap.iter
+                (fun (u, v) (vd : Coverage.verdict) ->
+                  Format.printf "  %d-%d: %s (%s)@." u v
+                    (if vd.Coverage.identifiable then "identifiable"
+                     else "unidentifiable")
+                    (Coverage.reason_to_string vd.Coverage.reason))
+                r.Coverage.verdicts
+            else if
+              not (Graph.EdgeSet.is_empty r.Coverage.unidentifiable)
+            then begin
+              Format.printf "unidentifiable links:";
+              Graph.EdgeSet.iter
+                (fun (u, v) -> Format.printf " %d-%d" u v)
+                r.Coverage.unidentifiable;
+              Format.printf "@."
+            end;
+            (match k with
+            | None -> `Ok ()
+            | Some k -> (
+                match Coverage.augment ~seed ~k net with
+                | exception Invalid_argument m -> `Error (false, m)
+                | plan ->
+                    Format.printf "%a@." Coverage.pp_plan plan;
+                    `Ok ())))
+  in
+  Cmd.v
+    (Cmd.info "coverage"
+       ~doc:
+         "Per-link identifiability under the current monitors (structural \
+          rules + rank fallback), the maximal identifiable sub-network, and \
+          optionally a greedy monitor-augmentation plan.")
+    Term.(
+      ret (const run $ topology_arg $ monitors_arg $ seed_arg $ links_arg
+         $ augment_arg))
 
 (* ------------------------------------------------------------------ *)
 (* routing                                                             *)
@@ -879,6 +944,157 @@ let obs_cmd =
     [ dump_cmd; check_trace_cmd ]
 
 (* ------------------------------------------------------------------ *)
+(* bench                                                               *)
+
+let bench_cmd =
+  let diff_cmd =
+    let file_a =
+      Arg.(
+        required & pos 0 (some file) None
+        & info [] ~docv:"A" ~doc:"Baseline nettomo-bench/1 JSON report.")
+    in
+    let file_b =
+      Arg.(
+        required & pos 1 (some file) None
+        & info [] ~docv:"B" ~doc:"Candidate nettomo-bench/1 JSON report.")
+    in
+    let threshold_arg =
+      let doc = "Relative swing above which a numeric series field is flagged." in
+      Arg.(value & opt float 0.10 & info [ "threshold" ] ~docv:"FRAC" ~doc)
+    in
+    (* Only the "series" payloads are gated: they are the deterministic
+       half of the report contract (byte-identical across --jobs).
+       wall_s and spans are timing and only reported. *)
+    let num = function
+      | Jsonx.Int i -> Some (float_of_int i)
+      | Jsonx.Float f -> Some f
+      | Jsonx.Null | Jsonx.Bool _ | Jsonx.String _ | Jsonx.List _ | Jsonx.Obj _
+        ->
+          None
+    in
+    let rec diff_value ~threshold path a b flags =
+      match (num a, num b) with
+      | Some x, Some y ->
+          let swing = Float.abs (y -. x) /. Float.max (Float.abs x) 1e-9 in
+          if swing > threshold then
+            Printf.sprintf "%s: %g -> %g (%+.0f%%)" path x y (100.0 *. swing)
+            :: flags
+          else flags
+      | _ -> (
+          match (a, b) with
+          | Jsonx.String x, Jsonx.String y ->
+              if String.equal x y then flags
+              else Printf.sprintf "%s: %S -> %S" path x y :: flags
+          | Jsonx.Bool x, Jsonx.Bool y ->
+              if Bool.equal x y then flags
+              else Printf.sprintf "%s: %b -> %b" path x y :: flags
+          | Jsonx.Null, Jsonx.Null -> flags
+          | Jsonx.Obj fa, Jsonx.Obj fb ->
+              let keys =
+                List.sort_uniq String.compare
+                  (List.map fst fa @ List.map fst fb)
+              in
+              List.fold_left
+                (fun flags key ->
+                  let sub = path ^ "." ^ key in
+                  match (List.assoc_opt key fa, List.assoc_opt key fb) with
+                  | Some va, Some vb -> diff_value ~threshold sub va vb flags
+                  | Some _, None -> (sub ^ ": removed") :: flags
+                  | None, Some _ -> (sub ^ ": added") :: flags
+                  | None, None -> flags)
+                flags keys
+          | Jsonx.List la, Jsonx.List lb ->
+              if List.length la <> List.length lb then
+                Printf.sprintf "%s: %d entries -> %d" path (List.length la)
+                  (List.length lb)
+                :: flags
+              else
+                List.fold_left
+                  (fun (i, flags) (va, vb) ->
+                    ( i + 1,
+                      diff_value ~threshold
+                        (Printf.sprintf "%s[%d]" path i)
+                        va vb flags ))
+                  (0, flags) (List.combine la lb)
+                |> snd
+          | _ -> (path ^ ": type mismatch") :: flags)
+    in
+    let load_report file =
+      let raw = In_channel.with_open_bin file In_channel.input_all in
+      match Jsonx.parse raw with
+      | Error m -> Error (Printf.sprintf "%s: not valid JSON: %s" file m)
+      | Ok doc -> (
+          match
+            Option.bind (Jsonx.member "schema" doc) Jsonx.to_string_opt
+          with
+          | Some "nettomo-bench/1" -> (
+              match Jsonx.member "experiments" doc with
+              | Some (Jsonx.List es) ->
+                  Ok
+                    (List.filter_map
+                       (fun e ->
+                         match
+                           ( Option.bind (Jsonx.member "id" e)
+                               Jsonx.to_string_opt,
+                             Jsonx.member "series" e,
+                             Jsonx.member "wall_s" e )
+                         with
+                         | Some id, Some series, wall -> Some (id, series, wall)
+                         | _ -> None)
+                       es)
+              | Some _ | None ->
+                  Error (file ^ ": report has no experiments array"))
+          | Some s ->
+              Error (Printf.sprintf "%s: unsupported schema %S" file s)
+          | None -> Error (file ^ ": missing schema field"))
+    in
+    let run a b threshold =
+      match (load_report a, load_report b) with
+      | Error m, _ | _, Error m -> `Error (false, m)
+      | Ok ea, Ok eb ->
+          let flags = ref [] in
+          List.iter
+            (fun (id, series_a, wall_a) ->
+              match List.find_opt (fun (i, _, _) -> String.equal i id) eb with
+              | None ->
+                  flags := Printf.sprintf "%s: experiment removed" id :: !flags
+              | Some (_, series_b, wall_b) ->
+                  (match (Option.bind wall_a num, Option.bind wall_b num) with
+                  | Some wa, Some wb ->
+                      Format.printf "%-16s wall %8.3f s -> %8.3f s (timing, not \
+                                     gated)@."
+                        id wa wb
+                  | _ -> ());
+                  flags :=
+                    diff_value ~threshold (id ^ ".series") series_a series_b
+                      !flags)
+            ea;
+          List.iter
+            (fun (id, _, _) ->
+              if not (List.exists (fun (i, _, _) -> String.equal i id) ea) then
+                flags := Printf.sprintf "%s: experiment added" id :: !flags)
+            eb;
+          let flags = List.rev !flags in
+          List.iter (fun f -> Format.printf "SWING %s@." f) flags;
+          Format.printf "%d series swing(s) above %.0f%%@." (List.length flags)
+            (100.0 *. threshold);
+          if flags = [] then `Ok ()
+          else `Error (false, "bench reports diverge beyond the threshold")
+    in
+    Cmd.v
+      (Cmd.info "diff"
+         ~doc:
+           "Compare two nettomo-bench/1 JSON reports: flag series fields \
+            that swing more than the threshold (default 10%), exit non-zero \
+            on any flag. Wall times and spans are reported but never gated.")
+      Term.(ret (const run $ file_a $ file_b $ threshold_arg))
+  in
+  Cmd.group
+    (Cmd.info "bench"
+       ~doc:"Utilities over nettomo-bench/1 JSON reports (see bench/main.ml).")
+    [ diff_cmd ]
+
+(* ------------------------------------------------------------------ *)
 (* dot                                                                 *)
 
 let dot_cmd =
@@ -906,6 +1122,6 @@ let () =
        (Cmd.group info
           [
             gen_cmd; stats_cmd; decompose_cmd; check_cmd; place_cmd; solve_cmd;
-            partial_cmd; routing_cmd; robust_cmd; experiment_cmd; serve_cmd;
-            store_cmd; obs_cmd; dot_cmd;
+            partial_cmd; coverage_cmd; routing_cmd; robust_cmd; experiment_cmd;
+            serve_cmd; store_cmd; obs_cmd; bench_cmd; dot_cmd;
           ]))

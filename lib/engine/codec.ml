@@ -14,6 +14,7 @@ module Classify = Nettomo_core.Classify
 module Mmp = Nettomo_core.Mmp
 module Solver = Nettomo_core.Solver
 module Measurement = Nettomo_core.Measurement
+module Coverage = Nettomo_coverage.Coverage
 
 (* ---------- store keys ---------- *)
 
@@ -33,6 +34,14 @@ let key_plan ~seed (fp : Fingerprint.t) =
 
 let key_components block = Printf.sprintf "tri-%016Lx" block
 let key_edges block = Printf.sprintf "sep-%016Lx" block
+
+let key_coverage ~seed (fp : Fingerprint.t) =
+  Printf.sprintf "cov-%016Lx-%016Lx-%d" fp.Fingerprint.structure
+    fp.Fingerprint.monitors seed
+
+let key_augment ~seed ~k (fp : Fingerprint.t) =
+  Printf.sprintf "aug-%016Lx-%016Lx-%d-%d" fp.Fingerprint.structure
+    fp.Fingerprint.monitors seed k
 
 (* ---------- writer ---------- *)
 
@@ -58,6 +67,11 @@ let add_result add_ok b = function
   | Error m ->
       add_int b 0;
       add_str b m
+
+(* Hex float literals round-trip exactly, so float fields stay
+   byte-deterministic like everything else in the stream. *)
+let add_float b f =
+  add_str b (Printf.sprintf "%h" f)
 
 let add_nodes b ns = add_list add_int b (NS.elements ns)
 
@@ -119,6 +133,9 @@ let rlist rd r =
 
 let rresult rok r =
   match rint r with 1 -> Ok (rok r) | 0 -> Error (rstr r) | _ -> fail ()
+
+let rfloat r =
+  match float_of_string_opt (rstr r) with Some f -> f | None -> fail ()
 
 let rnodes r = List.fold_left (fun acc v -> NS.add v acc) NS.empty (rlist rint r)
 
@@ -268,3 +285,105 @@ let decode_components s =
 
 let encode_edges es = render "sep1" (fun b -> add_list add_edge b es)
 let decode_edges s = run_decode "sep1" (rlist redge) s
+
+let add_mode b = function
+  | Coverage.Structural -> add_int b 0
+  | Coverage.Exact -> add_int b 1
+  | Coverage.Sampled -> add_int b 2
+
+let rmode r =
+  match rint r with
+  | 0 -> Coverage.Structural
+  | 1 -> Coverage.Exact
+  | 2 -> Coverage.Sampled
+  | _ -> fail ()
+
+let reason_code = function
+  | Coverage.Whole_network -> 0
+  | Coverage.Monitor_link -> 1
+  | Coverage.Low_degree -> 2
+  | Coverage.Unmeasurable -> 3
+  | Coverage.Block_theorem -> 4
+  | Coverage.Block_rank -> 5
+  | Coverage.Rank -> 6
+  | Coverage.Unresolved -> 7
+
+let rreason r =
+  match rint r with
+  | 0 -> Coverage.Whole_network
+  | 1 -> Coverage.Monitor_link
+  | 2 -> Coverage.Low_degree
+  | 3 -> Coverage.Unmeasurable
+  | 4 -> Coverage.Block_theorem
+  | 5 -> Coverage.Block_rank
+  | 6 -> Coverage.Rank
+  | 7 -> Coverage.Unresolved
+  | _ -> fail ()
+
+(* The identifiable / unidentifiable partition is a pure projection of
+   the verdict map, so only the verdicts are serialized. *)
+let encode_coverage r =
+  render "cov1"
+    (fun b ->
+      add_result
+        (fun b (rep : Coverage.report) ->
+          add_mode b rep.Coverage.mode;
+          add_list
+            (fun b (e, (v : Coverage.verdict)) ->
+              add_edge b e;
+              add_bool b v.Coverage.identifiable;
+              add_int b (reason_code v.Coverage.reason))
+            b
+            (EM.bindings rep.Coverage.verdicts))
+        b r)
+
+let decode_coverage s =
+  run_decode "cov1"
+    (rresult (fun r ->
+         let mode = rmode r in
+         let bindings =
+           rlist
+             (fun r ->
+               let e = redge r in
+               let identifiable = rbool r in
+               let reason = rreason r in
+               (e, { Coverage.identifiable; reason }))
+             r
+         in
+         let verdicts =
+           List.fold_left
+             (fun acc (e, v) -> EM.add e v acc)
+             EM.empty bindings
+         in
+         let identifiable, unidentifiable =
+           List.fold_left
+             (fun (i, u) (e, (v : Coverage.verdict)) ->
+               if v.Coverage.identifiable then (ES.add e i, u)
+               else (i, ES.add e u))
+             (ES.empty, ES.empty) bindings
+         in
+         { Coverage.mode; verdicts; identifiable; unidentifiable }))
+    s
+
+let encode_augment r =
+  render "aug1"
+    (fun b ->
+      add_result
+        (fun b (p : Coverage.plan) ->
+          add_int b p.Coverage.requested;
+          add_list add_int b p.Coverage.added;
+          add_float b p.Coverage.coverage_before;
+          add_float b p.Coverage.coverage_after;
+          add_bool b p.Coverage.full)
+        b r)
+
+let decode_augment s =
+  run_decode "aug1"
+    (rresult (fun r ->
+         let requested = rint r in
+         let added = rlist rint r in
+         let coverage_before = rfloat r in
+         let coverage_after = rfloat r in
+         let full = rbool r in
+         { Coverage.requested; added; coverage_before; coverage_after; full }))
+    s

@@ -38,6 +38,13 @@ val key_components : int64 -> string
 val key_edges : int64 -> string
 (** Separation pairs of a block, same key space as {!key_components}. *)
 
+val key_coverage : seed:int -> Fingerprint.t -> string
+(** Coverage reports depend on the full fingerprint and on the seed
+    driving the sampled rank fallback. *)
+
+val key_augment : seed:int -> k:int -> Fingerprint.t -> string
+(** Augmentation plans additionally depend on the requested budget. *)
+
 (** {1 Artifacts} *)
 
 val encode_identifiable : (bool, string) result -> string
@@ -67,3 +74,14 @@ val decode_components : string -> Triconnected.component list option
 
 val encode_edges : Graph.edge list -> string
 val decode_edges : string -> Graph.edge list option
+
+val encode_coverage :
+  (Nettomo_coverage.Coverage.report, string) result -> string
+
+val decode_coverage :
+  string -> (Nettomo_coverage.Coverage.report, string) result option
+(** The identifiable / unidentifiable partition is rebuilt from the
+    serialized verdict map. *)
+
+val encode_augment : (Nettomo_coverage.Coverage.plan, string) result -> string
+val decode_augment : string -> (Nettomo_coverage.Coverage.plan, string) result option

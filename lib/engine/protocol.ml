@@ -6,6 +6,7 @@ module Net = Nettomo_core.Net
 module Classify = Nettomo_core.Classify
 module Mmp = Nettomo_core.Mmp
 module Solver = Nettomo_core.Solver
+module Coverage = Nettomo_coverage.Coverage
 module Edgelist = Nettomo_topo.Edgelist
 module Store = Nettomo_store.Store
 module Obs = Nettomo_obs.Obs
@@ -160,16 +161,59 @@ let plan_payload net (p : Solver.plan) =
     ("paths", Jsonx.List (List.map node_list p.Solver.paths));
   ]
 
+let coverage_payload (r : Coverage.report) =
+  let links =
+    Graph.EdgeMap.bindings r.Coverage.verdicts
+    |> List.map (fun ((u, v), (vd : Coverage.verdict)) ->
+           Jsonx.Obj
+             [
+               ("link", node_list [ u; v ]);
+               ("identifiable", Jsonx.Bool vd.Coverage.identifiable);
+               ( "reason",
+                 Jsonx.String (Coverage.reason_to_string vd.Coverage.reason) );
+             ])
+  in
+  [
+    ("mode", Jsonx.String (Coverage.mode_to_string r.Coverage.mode));
+    ("coverage", Jsonx.Float (Coverage.coverage r));
+    ( "identifiable_links",
+      Jsonx.Int (Graph.EdgeSet.cardinal r.Coverage.identifiable) );
+    ( "unidentifiable_links",
+      Jsonx.Int (Graph.EdgeSet.cardinal r.Coverage.unidentifiable) );
+    ("links", Jsonx.List links);
+  ]
+
+let augment_payload (p : Coverage.plan) =
+  [
+    ("requested", Jsonx.Int p.Coverage.requested);
+    ("added", node_list p.Coverage.added);
+    ("coverage_before", Jsonx.Float p.Coverage.coverage_before);
+    ("coverage_after", Jsonx.Float p.Coverage.coverage_after);
+    ("full", Jsonx.Bool p.Coverage.full);
+  ]
+
 (* ------------------------------------------------------------------ *)
 (* Queries                                                             *)
 
-type query = Q_identifiable | Q_classify | Q_mmp | Q_plan
+type query =
+  | Q_identifiable
+  | Q_classify
+  | Q_mmp
+  | Q_plan
+  | Q_coverage
+  | Q_augment of int  (** budget of monitor additions *)
+
+let default_augment_budget = 1
 
 let query_of_string = function
   | "identifiable" -> Ok Q_identifiable
   | "classify" -> Ok Q_classify
   | "mmp" -> Ok Q_mmp
   | "plan" -> Ok Q_plan
+  | "coverage" -> Ok Q_coverage
+  (* In a batch, queries are named with no per-query arguments, so
+     "augment" runs with the default budget. *)
+  | "augment" -> Ok (Q_augment default_augment_budget)
   | s -> bad_request "unknown query %S" s
 
 (* A query the session accepted but the library rejected (precondition
@@ -184,7 +228,9 @@ let eval_session session q =
     | Q_classify -> Result.map classify_payload (Session.classify session)
     | Q_mmp -> Result.map mmp_payload (Session.mmp session)
     | Q_plan ->
-        Result.map (plan_payload (Session.net session)) (Session.plan session))
+        Result.map (plan_payload (Session.net session)) (Session.plan session)
+    | Q_coverage -> Result.map coverage_payload (Session.coverage session)
+    | Q_augment k -> Result.map augment_payload (Session.augment ~k session))
 
 (* Batch sub-queries are evaluated as pure from-scratch computations
    over an immutable snapshot of the network, so they can fan out over
@@ -198,6 +244,10 @@ let eval_scratch ~seed net = function
   | Q_classify -> Result.map classify_payload (Session.Scratch.classify net)
   | Q_mmp -> Result.map mmp_payload (Session.Scratch.mmp net)
   | Q_plan -> Result.map (plan_payload net) (Session.Scratch.plan ~seed net)
+  | Q_coverage ->
+      Result.map coverage_payload (Session.Scratch.coverage ~seed net)
+  | Q_augment k ->
+      Result.map augment_payload (Session.Scratch.augment ~seed ~k net)
 
 (* ------------------------------------------------------------------ *)
 (* Dispatch                                                            *)
@@ -253,10 +303,14 @@ let dispatch t req =
         Result.map_error (fun m -> (Invalid_delta, m)) (Session.apply s d)
       in
       Ok (shape_payload s)
-  | ("identifiable" | "classify" | "mmp" | "plan") as q ->
+  | ("identifiable" | "classify" | "mmp" | "plan" | "coverage") as q ->
       let* s = require_session t in
       let* q = query_of_string q in
       eval_session s q
+  | "augment" ->
+      let* s = require_session t in
+      let* k = opt_int_field "k" ~default:default_augment_budget req in
+      eval_session s (Q_augment k)
   | "batch" ->
       let* s = require_session t in
       let* names = field "queries" req in

@@ -23,10 +23,16 @@
       ["monitors"]. Invalid deltas return an error and leave the
       session unchanged.
     - [{"op":"identifiable"}], [{"op":"classify"}], [{"op":"mmp"}],
-      [{"op":"plan"}] — the session queries.
+      [{"op":"plan"}], [{"op":"coverage"}] — the session queries.
+      [coverage] responds with the per-link identifiability verdicts
+      and reasons of {!Nettomo_coverage.Coverage.classify}.
+    - [{"op":"augment","k":3}] — greedy monitor augmentation
+      ({!Nettomo_coverage.Coverage.augment}); [k] is optional and
+      defaults to 1.
     - [{"op":"batch","queries":["identifiable","mmp"]}] — independent
       queries fanned out over the pool; responds with a ["results"]
-      array in request order, deterministic across [--jobs].
+      array in request order, deterministic across [--jobs]. A batched
+      ["augment"] runs with the default budget of 1.
     - [{"op":"stats"}] — the session's {!Session.stats} counters plus
       the persistent-store counters ([store_hits] / [store_misses] /
       [store_corrupt_skips] / [store_puts] / [store_evictions], all

@@ -10,6 +10,8 @@ module Classify = Nettomo_core.Classify
 module Mmp = Nettomo_core.Mmp
 module Solver = Nettomo_core.Solver
 module Extended = Nettomo_core.Extended
+module Partial = Nettomo_core.Partial
+module Coverage = Nettomo_coverage.Coverage
 module Store = Nettomo_store.Store
 module Obs = Nettomo_obs.Obs
 
@@ -41,17 +43,26 @@ type stats = {
   full_computes : int;
 }
 
-(* The four memoised query kinds, used to label memo hit/miss counters
-   on the Obs registry. *)
-type query = Q_identifiable | Q_classify | Q_mmp | Q_plan
+(* The memoised query kinds, used to label memo hit/miss counters on
+   the Obs registry. *)
+type query =
+  | Q_identifiable
+  | Q_classify
+  | Q_mmp
+  | Q_plan
+  | Q_coverage
+  | Q_augment
 
 let query_index = function
   | Q_identifiable -> 0
   | Q_classify -> 1
   | Q_mmp -> 2
   | Q_plan -> 3
+  | Q_coverage -> 4
+  | Q_augment -> 5
 
-let query_labels = [ "identifiable"; "classify"; "mmp"; "plan" ]
+let query_labels =
+  [ "identifiable"; "classify"; "mmp"; "plan"; "coverage"; "augment" ]
 
 (* Counters are per-session Obs instruments: [stats] reads this
    session's cells, the process-wide metrics dump aggregates them, so
@@ -66,6 +77,9 @@ type counters = {
   c_block_hits : Obs.Metrics.counter;
   c_block_misses : Obs.Metrics.counter;
   c_full_computes : Obs.Metrics.counter;
+  c_coverage_identifiable : Obs.Metrics.counter;
+  c_coverage_unidentifiable : Obs.Metrics.counter;
+  c_coverage_monitors_added : Obs.Metrics.counter;
 }
 
 let memo_hit c q = Obs.Metrics.incr c.c_memo_hits.(query_index q)
@@ -75,6 +89,10 @@ type entry = {
   mutable e_identifiable : (bool, string) result option;
   mutable e_classify : (Classify.kind Graph.EdgeMap.t, string) result option;
   mutable e_plan : (Solver.plan, string) result option;
+  mutable e_coverage : (Coverage.report, string) result option;
+  mutable e_augment : (int * (Coverage.plan, string) result) option;
+      (** keyed by the requested budget [k]; only the most recent one is
+          kept per state *)
 }
 
 type t = {
@@ -163,6 +181,12 @@ let create ?(seed = 7) ?store net =
         c_block_hits = Obs.Metrics.counter "session_block_hits_total";
         c_block_misses = Obs.Metrics.counter "session_block_misses_total";
         c_full_computes = Obs.Metrics.counter "session_full_computes_total";
+        c_coverage_identifiable =
+          Obs.Metrics.counter "coverage_links_identifiable_total";
+        c_coverage_unidentifiable =
+          Obs.Metrics.counter "coverage_links_unidentifiable_total";
+        c_coverage_monitors_added =
+          Obs.Metrics.counter "coverage_monitors_added_total";
       };
   }
 
@@ -210,6 +234,9 @@ module Scratch = struct
 
   let plan ~seed n =
     run_catch (fun () -> Solver.independent_paths ~rng:(Prng.create seed) n)
+
+  let coverage ~seed n = run_catch (fun () -> Coverage.classify ~seed n)
+  let augment ~seed ~k n = run_catch (fun () -> Coverage.augment ~seed ~k n)
 end
 
 let equal_report (a : Mmp.report) (b : Mmp.report) =
@@ -239,6 +266,46 @@ let equal_classification = Graph.EdgeMap.equal equal_kind
 let equal_plan (a : Solver.plan) (b : Solver.plan) =
   a.Solver.rank = b.Solver.rank
   && List.equal equal_path a.Solver.paths b.Solver.paths
+
+let equal_mode (a : Coverage.mode) b =
+  match (a, b) with
+  | Coverage.Structural, Coverage.Structural -> true
+  | Coverage.Exact, Coverage.Exact -> true
+  | Coverage.Sampled, Coverage.Sampled -> true
+  | (Coverage.Structural | Coverage.Exact | Coverage.Sampled), _ -> false
+
+let equal_reason (a : Coverage.reason) b =
+  match (a, b) with
+  | Coverage.Whole_network, Coverage.Whole_network -> true
+  | Coverage.Monitor_link, Coverage.Monitor_link -> true
+  | Coverage.Low_degree, Coverage.Low_degree -> true
+  | Coverage.Unmeasurable, Coverage.Unmeasurable -> true
+  | Coverage.Block_theorem, Coverage.Block_theorem -> true
+  | Coverage.Block_rank, Coverage.Block_rank -> true
+  | Coverage.Rank, Coverage.Rank -> true
+  | Coverage.Unresolved, Coverage.Unresolved -> true
+  | ( ( Coverage.Whole_network | Coverage.Monitor_link | Coverage.Low_degree
+      | Coverage.Unmeasurable | Coverage.Block_theorem | Coverage.Block_rank
+      | Coverage.Rank | Coverage.Unresolved ),
+      _ ) ->
+      false
+
+let equal_verdict (a : Coverage.verdict) (b : Coverage.verdict) =
+  Bool.equal a.Coverage.identifiable b.Coverage.identifiable
+  && equal_reason a.Coverage.reason b.Coverage.reason
+
+let equal_coverage (a : Coverage.report) (b : Coverage.report) =
+  equal_mode a.Coverage.mode b.Coverage.mode
+  && Graph.EdgeMap.equal equal_verdict a.Coverage.verdicts b.Coverage.verdicts
+  && ES.equal a.Coverage.identifiable b.Coverage.identifiable
+  && ES.equal a.Coverage.unidentifiable b.Coverage.unidentifiable
+
+let equal_augment (a : Coverage.plan) (b : Coverage.plan) =
+  a.Coverage.requested = b.Coverage.requested
+  && List.equal Int.equal a.Coverage.added b.Coverage.added
+  && Float.equal a.Coverage.coverage_before b.Coverage.coverage_before
+  && Float.equal a.Coverage.coverage_after b.Coverage.coverage_after
+  && Bool.equal a.Coverage.full b.Coverage.full
 
 let equal_bicomp (a : Biconnected.component) (b : Biconnected.component) =
   NS.equal a.Biconnected.nodes b.Biconnected.nodes
@@ -448,7 +515,15 @@ let memo_entry t =
   match Hashtbl.find_opt t.memo key with
   | Some e -> e
   | None ->
-      let e = { e_identifiable = None; e_classify = None; e_plan = None } in
+      let e =
+        {
+          e_identifiable = None;
+          e_classify = None;
+          e_plan = None;
+          e_coverage = None;
+          e_augment = None;
+        }
+      in
       Hashtbl.add t.memo key e;
       e
 
@@ -713,4 +788,108 @@ let plan t =
         r
   in
   differential t "plan" equal_plan r (fun () -> Scratch.plan ~seed:t.seed t.net);
+  r
+
+(* NETTOMO_CHECK: on graphs small enough for Partial.analyze's Exact
+   mode, the structural classifier must reproduce the rank oracle's
+   identifiable set link for link (the structural rules are exact there;
+   only past [rank_node_limit] does the report degrade to a lower
+   bound). *)
+let coverage_oracle t r =
+  Invariant.check (fun () ->
+      match r with
+      | Error _ -> ()
+      | Ok (rep : Coverage.report) ->
+          if Graph.n_nodes (Net.graph t.net) <= 12 then (
+            match Partial.analyze t.net with
+            | exception Paths.Limit_exceeded -> ()
+            | oracle ->
+                if
+                  not
+                    (ES.equal rep.Coverage.identifiable
+                       oracle.Partial.identifiable)
+                then
+                  Invariant.violationf
+                    "Session.coverage: classifier diverges from \
+                     Partial.analyze Exact (state %s)"
+                    (Fingerprint.to_string t.fp)))
+
+let coverage t =
+  Obs.Metrics.incr t.counters.c_queries;
+  let e = memo_entry t in
+  let r =
+    match e.e_coverage with
+    | Some r ->
+        memo_hit t.counters Q_coverage;
+        r
+    | None ->
+        memo_miss t.counters Q_coverage;
+        let key = Codec.key_coverage ~seed:t.seed t.fp in
+        let r =
+          match store_find t key Codec.decode_coverage with
+          | Some r -> r
+          | None ->
+              Obs.Metrics.incr t.counters.c_full_computes;
+              let r =
+                Obs.Trace.span
+                  ~attrs:[ ("query", "coverage") ]
+                  "session.compute"
+                  (fun () -> Scratch.coverage ~seed:t.seed t.net)
+              in
+              (match r with
+              | Ok rep ->
+                  Obs.Metrics.incr
+                    ~by:(ES.cardinal rep.Coverage.identifiable)
+                    t.counters.c_coverage_identifiable;
+                  Obs.Metrics.incr
+                    ~by:(ES.cardinal rep.Coverage.unidentifiable)
+                    t.counters.c_coverage_unidentifiable
+              | Error _ -> ());
+              store_put t key (Codec.encode_coverage r);
+              r
+        in
+        e.e_coverage <- Some r;
+        r
+  in
+  differential t "coverage" equal_coverage r (fun () ->
+      Scratch.coverage ~seed:t.seed t.net);
+  coverage_oracle t r;
+  r
+
+let augment t ~k =
+  Obs.Metrics.incr t.counters.c_queries;
+  let e = memo_entry t in
+  let r =
+    match e.e_augment with
+    | Some (k', r) when k' = k ->
+        memo_hit t.counters Q_augment;
+        r
+    | Some _ | None ->
+        memo_miss t.counters Q_augment;
+        let key = Codec.key_augment ~seed:t.seed ~k t.fp in
+        let r =
+          match store_find t key Codec.decode_augment with
+          | Some r -> r
+          | None ->
+              Obs.Metrics.incr t.counters.c_full_computes;
+              let r =
+                Obs.Trace.span
+                  ~attrs:[ ("query", "augment") ]
+                  "session.compute"
+                  (fun () -> Scratch.augment ~seed:t.seed ~k t.net)
+              in
+              (match r with
+              | Ok p ->
+                  Obs.Metrics.incr
+                    ~by:(List.length p.Coverage.added)
+                    t.counters.c_coverage_monitors_added
+              | Error _ -> ());
+              store_put t key (Codec.encode_augment r);
+              r
+        in
+        e.e_augment <- Some (k, r);
+        r
+  in
+  differential t "augment" equal_augment r (fun () ->
+      Scratch.augment ~seed:t.seed ~k t.net);
   r

@@ -1,7 +1,8 @@
 (** Session-based dynamic tomography: a mutable wrapper around a
     monitored network that answers identifiability / classification /
-    MMP / solver-plan queries under topology churn, reusing analysis
-    state across deltas instead of recomputing from zero.
+    MMP / solver-plan / coverage / augmentation queries under topology
+    churn, reusing analysis state across deltas instead of recomputing
+    from zero.
 
     The caching scheme (see DESIGN.md §10) is content-addressed through
     {!Fingerprint}:
@@ -99,6 +100,18 @@ val plan : t -> (Nettomo_core.Solver.plan, string) result
     [Prng.create seed] per computation, so answers are a deterministic
     function of (state, seed). *)
 
+val coverage : t -> (Nettomo_coverage.Coverage.report, string) result
+(** {!Nettomo_coverage.Coverage.classify} with the session seed driving
+    the sampled rank fallback; memoized per state and persisted under a
+    seed-qualified store key. Under [NETTOMO_CHECK] the answer is
+    additionally compared against {!Nettomo_core.Partial.analyze}'s
+    Exact mode whenever the network has at most 12 nodes. *)
+
+val augment : t -> k:int -> (Nettomo_coverage.Coverage.plan, string) result
+(** {!Nettomo_coverage.Coverage.augment} for a budget of [k] monitor
+    additions. Memoized per (state, [k]) — only the most recently used
+    [k] is kept in memory per state, all are persisted. *)
+
 (** {1 From-scratch references}
 
     The baseline the engine is checked against: plain library calls
@@ -115,6 +128,17 @@ module Scratch : sig
 
   val plan :
     seed:int -> Nettomo_core.Net.t -> (Nettomo_core.Solver.plan, string) result
+
+  val coverage :
+    seed:int ->
+    Nettomo_core.Net.t ->
+    (Nettomo_coverage.Coverage.report, string) result
+
+  val augment :
+    seed:int ->
+    k:int ->
+    Nettomo_core.Net.t ->
+    (Nettomo_coverage.Coverage.plan, string) result
 end
 
 (** {1 Equality of answers} *)
@@ -127,6 +151,12 @@ val equal_classification :
   bool
 
 val equal_plan : Nettomo_core.Solver.plan -> Nettomo_core.Solver.plan -> bool
+
+val equal_coverage :
+  Nettomo_coverage.Coverage.report -> Nettomo_coverage.Coverage.report -> bool
+
+val equal_augment :
+  Nettomo_coverage.Coverage.plan -> Nettomo_coverage.Coverage.plan -> bool
 
 val equal_result : ('a -> 'a -> bool) -> ('a, string) result -> ('a, string) result -> bool
 (** Payloads by the given equality, errors by message. *)

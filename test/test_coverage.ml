@@ -1,0 +1,202 @@
+open Nettomo_graph
+open Nettomo_core
+module Coverage = Nettomo_coverage.Coverage
+module Prng = Nettomo_util.Prng
+
+let check = Alcotest.check
+let cb = Alcotest.bool
+let ci = Alcotest.int
+let cf = Alcotest.float 0.0
+
+let reason_of r e = (Graph.EdgeMap.find e r.Coverage.verdicts).Coverage.reason
+
+let test_fig1_full_structural () =
+  let r = Coverage.classify Paper.fig1 in
+  check cb "structural mode" true (r.Coverage.mode = Coverage.Structural);
+  check cf "full coverage" 1.0 (Coverage.coverage r);
+  check cb "whole-network reason" true
+    (reason_of r (Graph.edge 0 4) = Coverage.Whole_network)
+
+let test_fig1_two_monitors_matches_partial () =
+  let net = Net.with_monitors Paper.fig1 [ 0; 1 ] in
+  let r = Coverage.classify net in
+  let oracle = Partial.analyze net in
+  check cb "oracle is exact" true (oracle.Partial.mode = Partial.Exact);
+  check Fixtures.edgeset_testable "identifiable set matches Partial exact"
+    oracle.Partial.identifiable r.Coverage.identifiable
+
+let test_monitor_link_reason () =
+  (* Square with adjacent monitors: the direct link is the only
+     identifiable one; the two interior degree-2 nodes kill the rest. *)
+  let net = Net.create Fixtures.square ~monitors:[ 0; 1 ] in
+  let r = Coverage.classify net in
+  check cb "monitor link accepted" true
+    (reason_of r (Graph.edge 0 1) = Coverage.Monitor_link);
+  check cb "degree-2 path rejected" true
+    (reason_of r (Graph.edge 1 2) = Coverage.Low_degree);
+  check cf "one of four links" 0.25 (Coverage.coverage r)
+
+let test_unmeasurable_block () =
+  (* A K4 hanging off cut vertex 2 with both monitors in the triangle on
+     the other side: the K4 carries no measurement path at all. Its
+     interior nodes have degree 3, so only the block rule rejects it. *)
+  let g =
+    Graph.of_edges
+      [
+        (0, 1); (1, 2); (0, 2);
+        (2, 3); (2, 4); (2, 5); (3, 4); (3, 5); (4, 5);
+      ]
+  in
+  let net = Net.create g ~monitors:[ 0; 1 ] in
+  let r = Coverage.classify net in
+  check cb "dangling block unmeasurable" true
+    (reason_of r (Graph.edge 3 4) = Coverage.Unmeasurable);
+  let oracle = Partial.analyze net in
+  check Fixtures.edgeset_testable "matches Partial exact"
+    oracle.Partial.identifiable r.Coverage.identifiable
+
+let test_identifiable_subnet () =
+  let net = Net.create Fixtures.square ~monitors:[ 0; 1 ] in
+  let r = Coverage.classify net in
+  let sub = Coverage.identifiable_subnet r in
+  check ci "one link survives" 1 (Graph.n_edges sub);
+  check cb "it is the monitor link" true (Graph.mem_edge sub 0 1)
+
+let test_requires_two_monitors () =
+  Alcotest.check_raises "one monitor rejected"
+    (Invalid_argument "Coverage.classify: need at least two monitors")
+    (fun () ->
+      ignore (Coverage.classify (Net.with_monitors Paper.fig1 [ 0 ])))
+
+let test_unresolved_is_lower_bound () =
+  (* Force the conservative path: rank_node_limit 0 skips the global
+     fallback, so whatever the structure could not decide is reported
+     unidentifiable and the mode flips to Sampled. *)
+  let net = Net.with_monitors Paper.fig1 [ 0; 1 ] in
+  let r = Coverage.classify ~exact_node_limit:0 ~rank_node_limit:0 net in
+  check cb "sampled mode" true (r.Coverage.mode = Coverage.Sampled);
+  let truth = Identifiability.identifiable_links_bruteforce net in
+  check cb "still a sound lower bound" true
+    (Graph.EdgeSet.subset r.Coverage.identifiable truth)
+
+let prop_classify_matches_bruteforce =
+  QCheck2.Test.make ~name:"classify = brute-force per-link set (small graphs)"
+    ~count:60
+    QCheck2.Gen.(triple (int_bound 1_000_000) (int_range 4 9) (int_range 0 10))
+    (fun (seed, n, extra) ->
+      let rng = Prng.create seed in
+      let g = Fixtures.random_connected rng n extra in
+      let kappa = 2 + Prng.int rng (min 3 (n - 1)) in
+      let monitors = Array.to_list (Prng.sample rng kappa (Graph.node_array g)) in
+      let net = Net.create g ~monitors in
+      let r = Coverage.classify net in
+      Graph.EdgeSet.equal r.Coverage.identifiable
+        (Identifiability.identifiable_links_bruteforce net))
+
+let prop_sampled_fallback_is_sound =
+  QCheck2.Test.make
+    ~name:"sampled fallback never claims an unidentifiable link" ~count:40
+    QCheck2.Gen.(pair (int_bound 1_000_000) (int_range 5 9))
+    (fun (seed, n) ->
+      let rng = Prng.create seed in
+      let g = Fixtures.random_connected rng n (n / 2) in
+      let net = Net.create g ~monitors:[ 0; n - 1 ] in
+      (* exact_node_limit 0 pushes every undecided link through the
+         sampled independent-path basis. *)
+      let r = Coverage.classify ~seed ~exact_node_limit:0 net in
+      let truth = Identifiability.identifiable_links_bruteforce net in
+      Graph.EdgeSet.subset r.Coverage.identifiable truth)
+
+let prop_coverage_monotone_in_monitors =
+  QCheck2.Test.make ~name:"classify coverage is monotone in the monitor set"
+    ~count:40
+    QCheck2.Gen.(triple (int_bound 1_000_000) (int_range 5 9) (int_range 0 8))
+    (fun (seed, n, extra) ->
+      let rng = Prng.create seed in
+      let g = Fixtures.random_connected rng n extra in
+      let base = [ 0; n - 1 ] in
+      let more = 1 + Prng.int rng (n - 2) in
+      QCheck2.assume (not (List.mem more base));
+      let c1 = Coverage.coverage (Coverage.classify (Net.create g ~monitors:base)) in
+      let c2 =
+        Coverage.coverage (Coverage.classify (Net.create g ~monitors:(more :: base)))
+      in
+      c2 >= c1)
+
+let test_augment_zero_and_negative () =
+  let net = Net.with_monitors Paper.fig1 [ 0; 1 ] in
+  let plan = Coverage.augment ~k:0 net in
+  check ci "k = 0 adds nothing" 0 (List.length plan.Coverage.added);
+  check cb "before = after" true
+    (plan.Coverage.coverage_before = plan.Coverage.coverage_after);
+  Alcotest.check_raises "negative k rejected"
+    (Invalid_argument "Coverage.augment: k must be non-negative") (fun () ->
+      ignore (Coverage.augment ~k:(-1) net))
+
+let test_augment_reaches_full () =
+  let net = Net.with_monitors Paper.fig1 [ 0; 1 ] in
+  let plan = Coverage.augment ~k:5 net in
+  check cb "reaches full coverage" true plan.Coverage.full;
+  check cf "coverage after is 1.0" 1.0 plan.Coverage.coverage_after;
+  check cb "coverage improved" true
+    (plan.Coverage.coverage_after > plan.Coverage.coverage_before);
+  (* Check the plan is genuine: classify under the augmented set. *)
+  let monitors = 0 :: 1 :: plan.Coverage.added in
+  let r = Coverage.classify (Net.with_monitors net monitors) in
+  check cf "plan verifies" 1.0 (Coverage.coverage r)
+
+let test_augment_deterministic () =
+  let net = Net.with_monitors Paper.fig1 [ 0; 2 ] in
+  let p1 = Coverage.augment ~k:3 net in
+  let p2 = Coverage.augment ~k:3 net in
+  check cb "same added list" true (p1.Coverage.added = p2.Coverage.added);
+  check cb "same coverage" true
+    (p1.Coverage.coverage_after = p2.Coverage.coverage_after)
+
+let test_augment_cold_start () =
+  (* Fewer than two monitors: coverage_before is 0.0 by convention and
+     the planner bootstraps the whole placement. *)
+  let net = Net.create Fixtures.petersen ~monitors:[] in
+  let plan = Coverage.augment ~k:10 net in
+  check cf "cold start from zero" 0.0 plan.Coverage.coverage_before;
+  check cb "reaches full" true plan.Coverage.full;
+  check cf "full coverage" 1.0 plan.Coverage.coverage_after
+
+let test_augment_vs_mmp () =
+  (* Greedy augmentation from a cold pair must land within MMP + 2 on a
+     preferential-attachment topology (the acceptance bound the bench
+     checks on the real ISP maps). *)
+  let rng = Prng.create 41 in
+  let g = Nettomo_topo.Gen.barabasi_albert rng ~n:30 ~nmin:3 in
+  let mmp = Graph.NodeSet.cardinal (Mmp.place g) in
+  let net = Net.create g ~monitors:[ 0; 1 ] in
+  let plan = Coverage.augment ~k:(Graph.n_nodes g) net in
+  check cb "reaches full coverage" true plan.Coverage.full;
+  check cb "within MMP + 2" true (2 + List.length plan.Coverage.added <= mmp + 2)
+
+let suite =
+  [
+    Alcotest.test_case "fig1 full monitors: structural accept" `Quick
+      test_fig1_full_structural;
+    Alcotest.test_case "fig1 two monitors = Partial exact" `Quick
+      test_fig1_two_monitors_matches_partial;
+    Alcotest.test_case "monitor-link and low-degree reasons" `Quick
+      test_monitor_link_reason;
+    Alcotest.test_case "unmeasurable dangling block" `Quick
+      test_unmeasurable_block;
+    Alcotest.test_case "identifiable sub-network" `Quick test_identifiable_subnet;
+    Alcotest.test_case "requires two monitors" `Quick test_requires_two_monitors;
+    Alcotest.test_case "unresolved links stay a lower bound" `Quick
+      test_unresolved_is_lower_bound;
+    QCheck_alcotest.to_alcotest prop_classify_matches_bruteforce;
+    QCheck_alcotest.to_alcotest prop_sampled_fallback_is_sound;
+    QCheck_alcotest.to_alcotest prop_coverage_monotone_in_monitors;
+    Alcotest.test_case "augment: k = 0 and negative k" `Quick
+      test_augment_zero_and_negative;
+    Alcotest.test_case "augment reaches full coverage" `Quick
+      test_augment_reaches_full;
+    Alcotest.test_case "augment is deterministic" `Quick
+      test_augment_deterministic;
+    Alcotest.test_case "augment cold start" `Quick test_augment_cold_start;
+    Alcotest.test_case "augment within MMP + 2" `Quick test_augment_vs_mmp;
+  ]

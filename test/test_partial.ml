@@ -91,6 +91,58 @@ let prop_monotone_in_monitors =
       let r2 = Partial.analyze (Net.create g ~monitors:(more :: base)) in
       Graph.EdgeSet.subset r1.Partial.identifiable r2.Partial.identifiable)
 
+(* Every ≤12-node fixture topology with a representative monitor set:
+   small enough that [Partial.analyze] defaults to Exact mode, so the
+   sampled run (forced with [~exact_node_limit:0]) has an exact oracle
+   to be compared against. *)
+let fixture_nets =
+  [
+    ("fig1", Paper.fig1);
+    ("fig1/2mon", Net.with_monitors Paper.fig1 [ 0; 1 ]);
+    ("fig6", Paper.fig6);
+    ("triangle", Net.create Fixtures.triangle ~monitors:[ 0; 1 ]);
+    ("square", Net.create Fixtures.square ~monitors:[ 0; 2 ]);
+    ("k4", Net.create Fixtures.k4 ~monitors:[ 0; 1; 2 ]);
+    ("k5", Net.create Fixtures.k5 ~monitors:[ 0; 4 ]);
+    ("bowtie", Net.create Fixtures.bowtie ~monitors:[ 0; 4 ]);
+    ("two_k4", Net.create Fixtures.two_k4_by_pair ~monitors:[ 0; 5 ]);
+    ("wheel5", Net.create Fixtures.wheel5 ~monitors:[ 1; 3 ]);
+    ("petersen", Net.create Fixtures.petersen ~monitors:[ 0; 6; 7 ]);
+    ("path6", Net.create (Fixtures.path_graph 6) ~monitors:[ 0; 5 ]);
+    ("cycle8", Net.create (Fixtures.cycle_graph 8) ~monitors:[ 0; 4 ]);
+  ]
+
+let test_sampled_subset_of_exact_on_fixtures () =
+  List.iter
+    (fun (name, net) ->
+      let exact = Partial.analyze net in
+      check cb (name ^ ": oracle is exact") true
+        (exact.Partial.mode = Partial.Exact);
+      let rng = Prng.create 7 in
+      let sampled = Partial.analyze ~rng ~exact_node_limit:0 net in
+      check cb (name ^ ": sampled never exceeds exact") true
+        (Graph.EdgeSet.subset sampled.Partial.identifiable
+           exact.Partial.identifiable))
+    fixture_nets
+
+let test_coverage_monotone_on_fixtures () =
+  List.iter
+    (fun (name, net) ->
+      let before = Partial.coverage (Partial.analyze net) in
+      let g = Net.graph net in
+      let mons = Net.monitor_list net in
+      List.iter
+        (fun v ->
+          if not (Net.is_monitor net v) then
+            let after =
+              Partial.coverage (Partial.analyze (Net.with_monitors net (v :: mons)))
+            in
+            check cb
+              (Printf.sprintf "%s: coverage non-decreasing adding %d" name v)
+              true (after >= before))
+        (Graph.nodes g))
+    fixture_nets
+
 let suite =
   [
     Alcotest.test_case "fig1 full coverage" `Quick test_fig1_full_coverage;
@@ -103,4 +155,8 @@ let suite =
     QCheck_alcotest.to_alcotest prop_exact_matches_bruteforce;
     QCheck_alcotest.to_alcotest prop_sampled_is_sound;
     QCheck_alcotest.to_alcotest prop_monotone_in_monitors;
+    Alcotest.test_case "sampled subset of exact on all fixtures" `Quick
+      test_sampled_subset_of_exact_on_fixtures;
+    Alcotest.test_case "coverage monotone under monitor addition" `Quick
+      test_coverage_monotone_on_fixtures;
   ]

@@ -271,6 +271,44 @@ let test_shared_store_cross_session () =
           check Alcotest.bool "B hit A's artifacts" true
             (after_b.Store.hits > after_a.Store.hits)))
 
+let test_shared_store_coverage () =
+  let dir =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "nettomo-test-cov-store-%d" (Unix.getpid ()))
+  in
+  Fun.protect
+    ~finally:(fun () -> try rm_rf dir with Sys_error _ -> ())
+    (fun () ->
+      let store = Store.open_dir dir in
+      (* Same shape as the mmp leg above, but over the cov and aug
+         artifacts: the coverage report and the augmentation plan round
+         through the store across sessions. *)
+      let reqs =
+        [
+          load_req ~id:1 ~n:9;
+          op_req ~id:2 "coverage";
+          req
+            [
+              ("id", Jsonx.Int 3);
+              ("op", Jsonx.String "augment");
+              ("k", Jsonx.Int 2);
+            ];
+        ]
+      in
+      with_server ~store (fun ~path ~server:_ ~pool:_ ->
+          let a = run_client path reqs in
+          let after_a = Store.stats store in
+          let b = run_client path reqs in
+          let after_b = Store.stats store in
+          check cs "client A equals storeless replay" (replay reqs) a;
+          check cs "client B equals storeless replay" (replay reqs) b;
+          check Alcotest.bool "A published coverage artifacts" true
+            (after_a.Store.puts >= 2);
+          check ci "B published nothing new" after_a.Store.puts
+            after_b.Store.puts;
+          check Alcotest.bool "B hit A's artifacts" true
+            (after_b.Store.hits > after_a.Store.hits)))
+
 (* ---------- fault injection ---------- *)
 
 let test_disconnect_mid_request () =
@@ -510,6 +548,8 @@ let suite =
       `Quick test_concurrent_transcripts;
     Alcotest.test_case "shared store serves across sessions, counted once"
       `Quick test_shared_store_cross_session;
+    Alcotest.test_case "shared store serves coverage and plans across sessions"
+      `Quick test_shared_store_coverage;
     Alcotest.test_case "fault: disconnect mid-request" `Quick
       test_disconnect_mid_request;
     Alcotest.test_case "fault: half-written line completes later" `Quick
