@@ -71,9 +71,10 @@ let net_of g monitors =
 let gen_cmd =
   let model_arg =
     let doc =
-      "Topology model: er (Erdős–Rényi), rg (random geometric), ba \
-       (Barabási–Albert), pl (Chung–Lu power law), isp (synthetic \
-       ISP-like), grid, ring, complete."
+      "Topology model: er (Erdős–Rényi), er-sparse (skip-sampled ER for \
+       10^4+ nodes), rg (random geometric), ba (Barabási–Albert), pl \
+       (Chung–Lu power law), waxman, waxman-sparse (thinned Waxman for \
+       10^4+ nodes), isp (synthetic ISP-like), grid, ring, complete."
     in
     Arg.(value & opt string "ba" & info [ "model" ] ~docv:"MODEL" ~doc)
   in
@@ -90,7 +91,12 @@ let gen_cmd =
     Arg.(value & opt int 3 & info [ "nmin" ] ~doc:"BA minimum attachment degree.")
   in
   let alpha_arg =
-    Arg.(value & opt float 0.42 & info [ "alpha" ] ~doc:"PL degree exponent.")
+    Arg.(
+      value & opt float 0.42
+      & info [ "alpha" ] ~doc:"PL degree exponent / Waxman distance scale.")
+  in
+  let beta_arg =
+    Arg.(value & opt float 0.3 & info [ "beta" ] ~doc:"Waxman base link rate.")
   in
   let as_arg =
     Arg.(
@@ -107,14 +113,17 @@ let gen_cmd =
       & info [ "connected" ]
           ~doc:"Redraw until the realization is connected (ER / RG / PL).")
   in
-  let run model n p radius nmin alpha as_name connected seed output =
+  let run model n p radius nmin alpha beta as_name connected seed output =
     let rng = Prng.create seed in
     let draw () =
       match model with
       | "er" -> Ok (Gen.erdos_renyi rng ~n ~p)
+      | "er-sparse" -> Ok (Gen.erdos_renyi_sparse rng ~n ~p)
       | "rg" -> Ok (Gen.random_geometric rng ~n ~radius)
       | "ba" -> Ok (Gen.barabasi_albert rng ~n ~nmin)
       | "pl" -> Ok (Gen.power_law rng ~n ~alpha)
+      | "waxman" -> Ok (Gen.waxman rng ~n ~alpha ~beta)
+      | "waxman-sparse" -> Ok (Gen.waxman_sparse rng ~n ~alpha ~beta)
       | "grid" ->
           let side = int_of_float (sqrt (float_of_int n)) in
           Ok (Gen.grid side side)
@@ -144,7 +153,7 @@ let gen_cmd =
     Term.(
       ret
         (const run $ model_arg $ n_arg $ p_arg $ radius_arg $ nmin_arg
-       $ alpha_arg $ as_arg $ connected_arg $ seed_arg $ output_arg))
+       $ alpha_arg $ beta_arg $ as_arg $ connected_arg $ seed_arg $ output_arg))
   in
   Cmd.v (Cmd.info "gen" ~doc:"Generate a random or synthetic ISP topology.") term
 
@@ -273,7 +282,23 @@ let solve_cmd =
       value & flag
       & info [ "mmp" ] ~doc:"Ignore --monitors and use MMP's placement.")
   in
-  let run file monitors use_mmp seed =
+  let exact_arg =
+    Arg.(
+      value & flag
+      & info [ "exact" ]
+          ~doc:
+            "Use the exact rational solver over randomly searched simple \
+             paths (the paper's measurement model) instead of the default \
+             constructive walk planner. Exponentially slower; answers in \
+             exact rationals.")
+  in
+  let quiet_arg =
+    Arg.(
+      value & flag
+      & info [ "summary" ]
+          ~doc:"Print only the campaign summary, not every link metric.")
+  in
+  let run file monitors use_mmp exact summary seed =
     let g = load file in
     let monitors =
       if use_mmp then Graph.NodeSet.elements (Mmp.place g) else monitors
@@ -283,27 +308,56 @@ let solve_cmd =
     | `Ok net ->
         let rng = Prng.create seed in
         let truth = Measurement.random_weights ~lo:1 ~hi:100 rng g in
-        (match Solver.recover ~rng net truth with
-        | None ->
-            Format.printf
-              "network is not identifiable with these monitors (no full-rank \
-               path set found)@."
-        | Some recovered ->
-            Format.printf "recovered %d link metrics from %d end-to-end paths:@."
-              (List.length recovered) (List.length recovered);
-            List.iter
-              (fun ((u, v), w) ->
-                Format.printf "  %d-%d: %s (true %s)@." u v (Q.to_string w)
-                  (Q.to_string (Measurement.weight truth (u, v))))
-              recovered);
-        `Ok ()
+        if exact then (
+          match Solver.recover ~rng net truth with
+          | None ->
+              Format.printf
+                "network is not identifiable with these monitors (no \
+                 full-rank path set found)@.";
+              `Ok ()
+          | Some recovered ->
+              Format.printf
+                "recovered %d link metrics from %d end-to-end paths:@."
+                (List.length recovered) (List.length recovered);
+              if not summary then
+                List.iter
+                  (fun ((u, v), w) ->
+                    Format.printf "  %d-%d: %s (true %s)@." u v (Q.to_string w)
+                      (Q.to_string (Measurement.weight truth (u, v))))
+                  recovered;
+              `Ok ())
+        else
+          (* The constructive fast path: one BFS spanning tree, exactly
+             |E| walk measurements, linear-time recovery — scales to
+             10^4-node topologies where the exact path search cannot. *)
+          match Nettomo_measure.Solve.simulate net truth with
+          | Error m -> `Error (false, m)
+          | Ok sol ->
+              Format.printf
+                "recovered %d link metrics from %d constructive walk \
+                 measurements:@."
+                (Array.length sol.Nettomo_measure.Solve.metrics)
+                sol.Nettomo_measure.Solve.measurements;
+              if not summary then
+                Array.iteri
+                  (fun i (u, v) ->
+                    Format.printf "  %d-%d: %g (true %s)@." u v
+                      sol.Nettomo_measure.Solve.metrics.(i)
+                      (Q.to_string (Measurement.weight truth (u, v))))
+                  sol.Nettomo_measure.Solve.links;
+              `Ok ()
   in
   Cmd.v
     (Cmd.info "solve"
        ~doc:
-        "Simulate hidden link delays and recover them from end-to-end path \
-         measurements.")
-    Term.(ret (const run $ topology_arg $ monitors_arg $ auto_arg $ seed_arg))
+        "Simulate hidden link delays and recover them from end-to-end \
+         measurements — constructively planned monitor walks by default \
+         (linear-time recovery), or the exact rational path solver with \
+         --exact.")
+    Term.(
+      ret
+        (const run $ topology_arg $ monitors_arg $ auto_arg $ exact_arg
+       $ quiet_arg $ seed_arg))
 
 (* ------------------------------------------------------------------ *)
 (* robust                                                              *)
@@ -962,6 +1016,14 @@ let bench_cmd =
       let doc = "Relative swing above which a numeric series field is flagged." in
       Arg.(value & opt float 0.10 & info [ "threshold" ] ~docv:"FRAC" ~doc)
     in
+    let ignore_arg =
+      let doc =
+        "Comma-separated series field names to exclude from the gate — for \
+         timing-carrying series fields (e.g. incremental_s,speedup) so the \
+         deterministic remainder can still be diffed in CI."
+      in
+      Arg.(value & opt (list string) [] & info [ "ignore" ] ~docv:"FIELDS" ~doc)
+    in
     (* Only the "series" payloads are gated: they are the deterministic
        half of the report contract (byte-identical across --jobs).
        wall_s and spans are timing and only reported. *)
@@ -972,7 +1034,7 @@ let bench_cmd =
         ->
           None
     in
-    let rec diff_value ~threshold path a b flags =
+    let rec diff_value ~threshold ~ignore_fields path a b flags =
       match (num a, num b) with
       | Some x, Some y ->
           let swing = Float.abs (y -. x) /. Float.max (Float.abs x) 1e-9 in
@@ -996,12 +1058,15 @@ let bench_cmd =
               in
               List.fold_left
                 (fun flags key ->
-                  let sub = path ^ "." ^ key in
-                  match (List.assoc_opt key fa, List.assoc_opt key fb) with
-                  | Some va, Some vb -> diff_value ~threshold sub va vb flags
-                  | Some _, None -> (sub ^ ": removed") :: flags
-                  | None, Some _ -> (sub ^ ": added") :: flags
-                  | None, None -> flags)
+                  if List.mem key ignore_fields then flags
+                  else
+                    let sub = path ^ "." ^ key in
+                    match (List.assoc_opt key fa, List.assoc_opt key fb) with
+                    | Some va, Some vb ->
+                        diff_value ~threshold ~ignore_fields sub va vb flags
+                    | Some _, None -> (sub ^ ": removed") :: flags
+                    | None, Some _ -> (sub ^ ": added") :: flags
+                    | None, None -> flags)
                 flags keys
           | Jsonx.List la, Jsonx.List lb ->
               if List.length la <> List.length lb then
@@ -1012,7 +1077,7 @@ let bench_cmd =
                 List.fold_left
                   (fun (i, flags) (va, vb) ->
                     ( i + 1,
-                      diff_value ~threshold
+                      diff_value ~threshold ~ignore_fields
                         (Printf.sprintf "%s[%d]" path i)
                         va vb flags ))
                   (0, flags) (List.combine la lb)
@@ -1048,7 +1113,7 @@ let bench_cmd =
               Error (Printf.sprintf "%s: unsupported schema %S" file s)
           | None -> Error (file ^ ": missing schema field"))
     in
-    let run a b threshold =
+    let run a b threshold ignore_fields =
       match (load_report a, load_report b) with
       | Error m, _ | _, Error m -> `Error (false, m)
       | Ok ea, Ok eb ->
@@ -1066,8 +1131,8 @@ let bench_cmd =
                         id wa wb
                   | _ -> ());
                   flags :=
-                    diff_value ~threshold (id ^ ".series") series_a series_b
-                      !flags)
+                    diff_value ~threshold ~ignore_fields (id ^ ".series")
+                      series_a series_b !flags)
             ea;
           List.iter
             (fun (id, _, _) ->
@@ -1086,8 +1151,9 @@ let bench_cmd =
          ~doc:
            "Compare two nettomo-bench/1 JSON reports: flag series fields \
             that swing more than the threshold (default 10%), exit non-zero \
-            on any flag. Wall times and spans are reported but never gated.")
-      Term.(ret (const run $ file_a $ file_b $ threshold_arg))
+            on any flag. Wall times and spans are reported but never gated; \
+            --ignore excludes named series fields from the gate.")
+      Term.(ret (const run $ file_a $ file_b $ threshold_arg $ ignore_arg))
   in
   Cmd.group
     (Cmd.info "bench"

@@ -11,7 +11,8 @@ type plan = {
   rank : int;
 }
 
-let independent_paths ?rng ?max_stall ?(enumeration_limit = 200_000) net =
+let independent_paths ?rng ?max_stall ?(enumeration_limit = 200_000)
+    ?(seed_paths = []) net =
   Nettomo_obs.Obs.Trace.span "solver.independent_paths" @@ fun () ->
   let g = Net.graph net in
   let space = Measurement.space g in
@@ -38,6 +39,18 @@ let independent_paths ?rng ?max_stall ?(enumeration_limit = 200_000) net =
   in
   let pairs = Net.monitor_pairs net in
   if pairs <> [] && n > 0 then begin
+    (* Layer 0: caller-supplied candidates (e.g. the constructive
+       spanning-tree paths of [Measure.Paths.simple_candidates]) —
+       structured rows that cover far more of the space than the random
+       layer reaches within its stall budget. Invalid candidates are
+       ignored rather than rejected so callers can over-approximate. *)
+    List.iter
+      (fun p ->
+        if
+          (not (Basis.is_full basis))
+          && Measurement.is_measurement_path net p
+        then ignore (offer p))
+      seed_paths;
     (* Layer 1: shortest paths between all monitor pairs. *)
     List.iter
       (fun (m1, m2) ->

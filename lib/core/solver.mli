@@ -23,6 +23,7 @@ val independent_paths :
   ?rng:Nettomo_util.Prng.t ->
   ?max_stall:int ->
   ?enumeration_limit:int ->
+  ?seed_paths:Paths.path list ->
   Net.t ->
   plan
 (** A maximal set of linearly independent measurement paths found by the
@@ -32,7 +33,12 @@ val independent_paths :
     the exhaustive fallback, which only runs on graphs of at most 16
     nodes — so on larger networks the plan is maximal only with high
     probability. On identifiable networks of moderate size the plan
-    reaches full rank. *)
+    reaches full rank. [seed_paths] are candidate paths offered before
+    any search layer (entries that are not valid measurement paths of
+    the network are skipped); structured candidates — e.g. the
+    spanning-tree families of [Measure.Paths.simple_candidates] — push
+    the reached rank far beyond what the stall-bounded random layer
+    finds on larger networks. *)
 
 val full_rank : Net.t -> plan -> bool
 (** Whether the plan has as many paths as the network has links. *)

@@ -198,7 +198,7 @@ let basis_of_plan space (plan : Solver.plan) =
 
 (* ------------------------------------------------------------------ *)
 
-let classify ?(seed = 0) ?(exact_node_limit = 12) ?(rank_node_limit = 64) net =
+let classify ?(seed = 0) ?(exact_node_limit = 12) ?(rank_node_limit = 160) net =
   if Net.kappa net < 2 then
     Errors.invalid_arg "Coverage.classify: need at least two monitors";
   Obs.Trace.span "coverage.classify" @@ fun () ->
@@ -329,51 +329,88 @@ let classify ?(seed = 0) ?(exact_node_limit = 12) ?(rank_node_limit = 64) net =
       (* Rank fallback on the pruned sub-network: the union of the
          relevant blocks carries exactly the measurement paths of the
          full graph, so row-space membership there equals membership in
-         the full measurement space. Exact Gaussian elimination over
-         rationals is the repo's scaling wall, so the fallback is
-         size-bounded: past [rank_node_limit] nodes the surviving links
-         are conservatively reported unidentifiable — the report stays
-         a sound lower bound, exactly like Sampled mode. *)
+         the full measurement space. Measurement paths never cross
+         between connected components, so the fallback runs per
+         component — the size bounds apply to each piece, not to their
+         sum, and one oversized component no longer forfeits the rest.
+         Exact Gaussian elimination over rationals is the repo's
+         scaling wall, so each component is size-bounded: past
+         [rank_node_limit] nodes its surviving links are conservatively
+         reported unidentifiable — the report stays a sound lower
+         bound, exactly like Sampled mode. Within the bound, the
+         sampled layer is seeded with the constructive spanning-tree
+         candidates of [Measure.Paths] (tree monitor paths plus
+         tree–chord–tree detours), which reach far higher rank than the
+         stall-bounded random search alone — this is what gives partial
+         placements a real lower bound instead of one near zero. *)
       let gp = Graph.of_edges (Graph.EdgeSet.elements measurable) in
-      let np = Graph.n_nodes gp in
-      if np > rank_node_limit then begin
-        let verdicts =
-          Graph.EdgeSet.fold
-            (fun e vs ->
-              Graph.EdgeMap.add e
-                { identifiable = false; reason = Unresolved }
-                vs)
-            undecided verdicts
-        in
-        finish Sampled verdicts
-      end
-      else begin
-        let netp =
-          Net.create gp
-            ~monitors:(List.filter (Graph.mem_node gp) (Net.monitor_list net))
-        in
-        let mode = if np <= exact_node_limit then Exact else Sampled in
-        let space = Measurement.space gp in
-        let basis =
-          Obs.Trace.span "coverage.rank_fallback" @@ fun () ->
-          match mode with
-          | Exact -> Identifiability.measurement_basis netp
-          | Structural | Sampled ->
-              basis_of_plan space
-                (Solver.independent_paths ~rng:(Prng.create seed) netp)
-        in
-        let n = Measurement.n_links space in
-        let verdicts =
-          Graph.EdgeSet.fold
-            (fun e vs ->
-              let row = unit_row n (Measurement.column space e) in
-              Graph.EdgeMap.add e
-                { identifiable = Basis.mem basis row; reason = Rank }
-                vs)
-            undecided verdicts
-        in
-        finish mode verdicts
-      end
+      let mode = ref Structural in
+      let escalate m =
+        match (!mode, m) with
+        | Structural, _ -> mode := m
+        | Exact, Sampled -> mode := Sampled
+        | _ -> ()
+      in
+      let verdicts = ref verdicts in
+      let unresolved e =
+        verdicts :=
+          Graph.EdgeMap.add e { identifiable = false; reason = Unresolved }
+            !verdicts
+      in
+      Obs.Trace.span "coverage.rank_fallback" @@ fun () ->
+      List.iter
+        (fun nodes ->
+          let gc = Graph.induced gp nodes in
+          let mine = Graph.EdgeSet.inter (Graph.edge_set gc) undecided in
+          if not (Graph.EdgeSet.is_empty mine) then begin
+            let monitors =
+              List.filter (Graph.mem_node gc) (Net.monitor_list net)
+            in
+            let nc = Graph.n_nodes gc in
+            if nc > rank_node_limit || List.length monitors < 2 then begin
+              escalate Sampled;
+              Graph.EdgeSet.iter unresolved mine
+            end
+            else begin
+              let netc = Net.create gc ~monitors in
+              let cmode = if nc <= exact_node_limit then Exact else Sampled in
+              escalate cmode;
+              let space = Measurement.space gc in
+              let basis =
+                match cmode with
+                | Exact -> Identifiability.measurement_basis netc
+                | Structural | Sampled ->
+                    let seed_paths =
+                      Nettomo_measure.Paths.simple_candidates
+                        (Nettomo_measure.Csr.of_net netc)
+                    in
+                    (* On components beyond the exact-enumeration range
+                       the structured spanning-tree seeds already reach
+                       near-maximal membership, while each productive
+                       random-layer row costs about a second of exact
+                       elimination at high rank — so the random search
+                       only runs on components where elimination is
+                       still cheap. *)
+                    let max_stall =
+                      if Graph.n_edges gc > 150 then 0 else 50 * (nc + 1)
+                    in
+                    basis_of_plan space
+                      (Solver.independent_paths ~rng:(Prng.create seed)
+                         ~max_stall ~seed_paths netc)
+              in
+              let n = Measurement.n_links space in
+              Graph.EdgeSet.iter
+                (fun e ->
+                  let row = unit_row n (Measurement.column space e) in
+                  verdicts :=
+                    Graph.EdgeMap.add e
+                      { identifiable = Basis.mem basis row; reason = Rank }
+                      !verdicts)
+                mine
+            end
+          end)
+        (Traversal.components gp);
+      finish !mode !verdicts
     end
   end
 

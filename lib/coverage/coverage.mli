@@ -109,8 +109,13 @@ val classify :
     so reports are deterministic; [exact_node_limit] (default 12) is
     the pruned-subgraph size up to which the fallback enumerates
     exactly, matching {!Nettomo_core.Partial.analyze};
-    [rank_node_limit] (default 64) is the size past which the global
-    rank fallback is skipped and surviving links become [Unresolved].
+    [rank_node_limit] (default 160) is the size past which the rank
+    fallback is skipped and surviving links become [Unresolved]. The
+    fallback runs per connected component of the pruned sub-network —
+    the limits bound each component, not their union — and its sampled
+    layer is seeded with the constructive spanning-tree candidates of
+    [Measure.Paths.simple_candidates], so partial monitor placements
+    get a meaningful lower bound rather than one near zero.
     Requires at least two monitors ([Invalid_argument] otherwise); may
     raise [Paths.Limit_exceeded] from the exact fallback on
     pathological small-but-dense graphs. *)

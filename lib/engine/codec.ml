@@ -15,6 +15,7 @@ module Mmp = Nettomo_core.Mmp
 module Solver = Nettomo_core.Solver
 module Measurement = Nettomo_core.Measurement
 module Coverage = Nettomo_coverage.Coverage
+module Solve = Nettomo_measure.Solve
 
 (* ---------- store keys ---------- *)
 
@@ -42,6 +43,10 @@ let key_coverage ~seed (fp : Fingerprint.t) =
 let key_augment ~seed ~k (fp : Fingerprint.t) =
   Printf.sprintf "aug-%016Lx-%016Lx-%d-%d" fp.Fingerprint.structure
     fp.Fingerprint.monitors seed k
+
+let key_solution ~seed (fp : Fingerprint.t) =
+  Printf.sprintf "sol-%016Lx-%016Lx-%d" fp.Fingerprint.structure
+    fp.Fingerprint.monitors seed
 
 (* ---------- writer ---------- *)
 
@@ -363,6 +368,29 @@ let decode_coverage s =
              (ES.empty, ES.empty) bindings
          in
          { Coverage.mode; verdicts; identifiable; unidentifiable }))
+    s
+
+(* [measurements] always equals the link count today, but it is part of
+   the artifact's meaning (how many walks were measured), so it is
+   serialized rather than reconstructed. *)
+let encode_solution r =
+  render "sol1"
+    (fun b ->
+      add_result
+        (fun b (s : Solve.solution) ->
+          add_list add_edge b (Array.to_list s.Solve.links);
+          add_list add_float b (Array.to_list s.Solve.metrics);
+          add_int b s.Solve.measurements)
+        b r)
+
+let decode_solution s =
+  run_decode "sol1"
+    (rresult (fun r ->
+         let links = Array.of_list (rlist redge r) in
+         let metrics = Array.of_list (rlist rfloat r) in
+         let measurements = rint r in
+         if Array.length links <> Array.length metrics then fail ();
+         { Solve.links; metrics; measurements }))
     s
 
 let encode_augment r =

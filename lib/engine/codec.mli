@@ -45,6 +45,10 @@ val key_coverage : seed:int -> Fingerprint.t -> string
 val key_augment : seed:int -> k:int -> Fingerprint.t -> string
 (** Augmentation plans additionally depend on the requested budget. *)
 
+val key_solution : seed:int -> Fingerprint.t -> string
+(** Solved metric campaigns depend on the full fingerprint and on the
+    seed that draws the ground-truth link metrics. *)
+
 (** {1 Artifacts} *)
 
 val encode_identifiable : (bool, string) result -> string
@@ -85,3 +89,9 @@ val decode_coverage :
 
 val encode_augment : (Nettomo_coverage.Coverage.plan, string) result -> string
 val decode_augment : string -> (Nettomo_coverage.Coverage.plan, string) result option
+
+val encode_solution : (Nettomo_measure.Solve.solution, string) result -> string
+
+val decode_solution :
+  string -> (Nettomo_measure.Solve.solution, string) result option
+(** Metrics are hex-float tokens, so the round-trip is bit-exact. *)

@@ -7,6 +7,7 @@ module Classify = Nettomo_core.Classify
 module Mmp = Nettomo_core.Mmp
 module Solver = Nettomo_core.Solver
 module Coverage = Nettomo_coverage.Coverage
+module Solve = Nettomo_measure.Solve
 module Edgelist = Nettomo_topo.Edgelist
 module Store = Nettomo_store.Store
 module Obs = Nettomo_obs.Obs
@@ -183,6 +184,20 @@ let coverage_payload (r : Coverage.report) =
     ("links", Jsonx.List links);
   ]
 
+let solve_payload (s : Solve.solution) =
+  let metrics =
+    Array.to_list
+      (Array.map2
+         (fun (u, v) w ->
+           Jsonx.Obj [ ("link", node_list [ u; v ]); ("metric", Jsonx.Float w) ])
+         s.Solve.links s.Solve.metrics)
+  in
+  [
+    ("links", Jsonx.Int (Array.length s.Solve.links));
+    ("measurements", Jsonx.Int s.Solve.measurements);
+    ("metrics", Jsonx.List metrics);
+  ]
+
 let augment_payload (p : Coverage.plan) =
   [
     ("requested", Jsonx.Int p.Coverage.requested);
@@ -202,6 +217,7 @@ type query =
   | Q_plan
   | Q_coverage
   | Q_augment of int  (** budget of monitor additions *)
+  | Q_solve
 
 let default_augment_budget = 1
 
@@ -211,6 +227,7 @@ let query_of_string = function
   | "mmp" -> Ok Q_mmp
   | "plan" -> Ok Q_plan
   | "coverage" -> Ok Q_coverage
+  | "solve" -> Ok Q_solve
   (* In a batch, queries are named with no per-query arguments, so
      "augment" runs with the default budget. *)
   | "augment" -> Ok (Q_augment default_augment_budget)
@@ -230,7 +247,8 @@ let eval_session session q =
     | Q_plan ->
         Result.map (plan_payload (Session.net session)) (Session.plan session)
     | Q_coverage -> Result.map coverage_payload (Session.coverage session)
-    | Q_augment k -> Result.map augment_payload (Session.augment ~k session))
+    | Q_augment k -> Result.map augment_payload (Session.augment ~k session)
+    | Q_solve -> Result.map solve_payload (Session.solve session))
 
 (* Batch sub-queries are evaluated as pure from-scratch computations
    over an immutable snapshot of the network, so they can fan out over
@@ -248,6 +266,7 @@ let eval_scratch ~seed net = function
       Result.map coverage_payload (Session.Scratch.coverage ~seed net)
   | Q_augment k ->
       Result.map augment_payload (Session.Scratch.augment ~seed ~k net)
+  | Q_solve -> Result.map solve_payload (Session.Scratch.solve ~seed net)
 
 (* ------------------------------------------------------------------ *)
 (* Dispatch                                                            *)
@@ -303,7 +322,7 @@ let dispatch t req =
         Result.map_error (fun m -> (Invalid_delta, m)) (Session.apply s d)
       in
       Ok (shape_payload s)
-  | ("identifiable" | "classify" | "mmp" | "plan" | "coverage") as q ->
+  | ("identifiable" | "classify" | "mmp" | "plan" | "coverage" | "solve") as q ->
       let* s = require_session t in
       let* q = query_of_string q in
       eval_session s q

@@ -23,9 +23,13 @@
       ["monitors"]. Invalid deltas return an error and leave the
       session unchanged.
     - [{"op":"identifiable"}], [{"op":"classify"}], [{"op":"mmp"}],
-      [{"op":"plan"}], [{"op":"coverage"}] — the session queries.
-      [coverage] responds with the per-link identifiability verdicts
-      and reasons of {!Nettomo_coverage.Coverage.classify}.
+      [{"op":"plan"}], [{"op":"coverage"}], [{"op":"solve"}] — the
+      session queries. [coverage] responds with the per-link
+      identifiability verdicts and reasons of
+      {!Nettomo_coverage.Coverage.classify}; [solve] responds with the
+      link metrics recovered from the constructive walk campaign of
+      {!Nettomo_measure.Solve} (ground truth drawn from the session
+      seed).
     - [{"op":"augment","k":3}] — greedy monitor augmentation
       ({!Nettomo_coverage.Coverage.augment}); [k] is optional and
       defaults to 1.

@@ -12,6 +12,9 @@ module Solver = Nettomo_core.Solver
 module Extended = Nettomo_core.Extended
 module Partial = Nettomo_core.Partial
 module Coverage = Nettomo_coverage.Coverage
+module Measurement = Nettomo_core.Measurement
+module Rational = Nettomo_linalg.Rational
+module Solve = Nettomo_measure.Solve
 module Store = Nettomo_store.Store
 module Obs = Nettomo_obs.Obs
 
@@ -52,6 +55,7 @@ type query =
   | Q_plan
   | Q_coverage
   | Q_augment
+  | Q_solve
 
 let query_index = function
   | Q_identifiable -> 0
@@ -60,9 +64,10 @@ let query_index = function
   | Q_plan -> 3
   | Q_coverage -> 4
   | Q_augment -> 5
+  | Q_solve -> 6
 
 let query_labels =
-  [ "identifiable"; "classify"; "mmp"; "plan"; "coverage"; "augment" ]
+  [ "identifiable"; "classify"; "mmp"; "plan"; "coverage"; "augment"; "solve" ]
 
 (* Counters are per-session Obs instruments: [stats] reads this
    session's cells, the process-wide metrics dump aggregates them, so
@@ -80,6 +85,8 @@ type counters = {
   c_coverage_identifiable : Obs.Metrics.counter;
   c_coverage_unidentifiable : Obs.Metrics.counter;
   c_coverage_monitors_added : Obs.Metrics.counter;
+  c_measure_walks : Obs.Metrics.counter;
+  c_measure_links_recovered : Obs.Metrics.counter;
 }
 
 let memo_hit c q = Obs.Metrics.incr c.c_memo_hits.(query_index q)
@@ -93,6 +100,7 @@ type entry = {
   mutable e_augment : (int * (Coverage.plan, string) result) option;
       (** keyed by the requested budget [k]; only the most recent one is
           kept per state *)
+  mutable e_solve : (Solve.solution, string) result option;
 }
 
 type t = {
@@ -187,6 +195,9 @@ let create ?(seed = 7) ?store net =
           Obs.Metrics.counter "coverage_links_unidentifiable_total";
         c_coverage_monitors_added =
           Obs.Metrics.counter "coverage_monitors_added_total";
+        c_measure_walks = Obs.Metrics.counter "measure_walks_total";
+        c_measure_links_recovered =
+          Obs.Metrics.counter "measure_links_recovered_total";
       };
   }
 
@@ -237,6 +248,16 @@ module Scratch = struct
 
   let coverage ~seed n = run_catch (fun () -> Coverage.classify ~seed n)
   let augment ~seed ~k n = run_catch (fun () -> Coverage.augment ~seed ~k n)
+
+  (* Ground truth is drawn deterministically from the seed, so the whole
+     simulated campaign — truth, walks, values, recovered metrics — is a
+     pure function of (state, seed), like [plan]. *)
+  let truth_of ~seed n =
+    Measurement.random_weights (Prng.create seed) (Net.graph n)
+
+  let solve ~seed n =
+    Result.join
+      (run_catch (fun () -> Solve.simulate n (truth_of ~seed n)))
 end
 
 let equal_report (a : Mmp.report) (b : Mmp.report) =
@@ -299,6 +320,8 @@ let equal_coverage (a : Coverage.report) (b : Coverage.report) =
   && Graph.EdgeMap.equal equal_verdict a.Coverage.verdicts b.Coverage.verdicts
   && ES.equal a.Coverage.identifiable b.Coverage.identifiable
   && ES.equal a.Coverage.unidentifiable b.Coverage.unidentifiable
+
+let equal_solution = Solve.solution_equal
 
 let equal_augment (a : Coverage.plan) (b : Coverage.plan) =
   a.Coverage.requested = b.Coverage.requested
@@ -522,6 +545,7 @@ let memo_entry t =
           e_plan = None;
           e_coverage = None;
           e_augment = None;
+          e_solve = None;
         }
       in
       Hashtbl.add t.memo key e;
@@ -892,4 +916,82 @@ let augment t ~k =
   in
   differential t "augment" equal_augment r (fun () ->
       Scratch.augment ~seed:t.seed ~k t.net);
+  r
+
+(* NETTOMO_CHECK: on networks small enough for the exact simple-path
+   pipeline, the float metrics recovered from the constructive walks
+   must equal the exact-ℚ Solver's recovery bit for bit (ground truth is
+   integral, so both pipelines compute exact small integers). The walk
+   model is strictly stronger than the simple-path model, so the oracle
+   returning [None] — not identifiable with simple paths — says nothing
+   against a successful walk recovery. *)
+let solve_oracle t r =
+  Invariant.check (fun () ->
+      match r with
+      | Error _ -> ()
+      | Ok (sol : Solve.solution) ->
+          if Graph.n_nodes (Net.graph t.net) <= 12 then (
+            let truth = Scratch.truth_of ~seed:t.seed t.net in
+            match
+              Solver.recover ~rng:(Prng.create t.seed) t.net truth
+            with
+            | None | (exception Paths.Limit_exceeded) -> ()
+            | Some exact ->
+                List.iter
+                  (fun (e, q) ->
+                    Array.iteri
+                      (fun i e' ->
+                        if
+                          Graph.edge_equal e e'
+                          && not
+                               (Float.equal sol.Solve.metrics.(i)
+                                  (Rational.to_float q))
+                        then
+                          Invariant.violationf
+                            "Session.solve: walk recovery diverges from the \
+                             exact solver on link %d-%d (state %s)"
+                            (fst e) (snd e)
+                            (Fingerprint.to_string t.fp))
+                      sol.Solve.links)
+                  exact))
+
+let solve t =
+  Obs.Metrics.incr t.counters.c_queries;
+  let e = memo_entry t in
+  let r =
+    match e.e_solve with
+    | Some r ->
+        memo_hit t.counters Q_solve;
+        r
+    | None ->
+        memo_miss t.counters Q_solve;
+        let key = Codec.key_solution ~seed:t.seed t.fp in
+        let r =
+          match store_find t key Codec.decode_solution with
+          | Some r -> r
+          | None ->
+              Obs.Metrics.incr t.counters.c_full_computes;
+              let r =
+                Obs.Trace.span
+                  ~attrs:[ ("query", "solve") ]
+                  "session.compute"
+                  (fun () -> Scratch.solve ~seed:t.seed t.net)
+              in
+              (match r with
+              | Ok sol ->
+                  Obs.Metrics.incr ~by:sol.Solve.measurements
+                    t.counters.c_measure_walks;
+                  Obs.Metrics.incr
+                    ~by:(Array.length sol.Solve.metrics)
+                    t.counters.c_measure_links_recovered
+              | Error _ -> ());
+              store_put t key (Codec.encode_solution r);
+              r
+        in
+        e.e_solve <- Some r;
+        r
+  in
+  differential t "solve" equal_solution r (fun () ->
+      Scratch.solve ~seed:t.seed t.net);
+  solve_oracle t r;
   r

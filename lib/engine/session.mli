@@ -112,6 +112,18 @@ val augment : t -> k:int -> (Nettomo_coverage.Coverage.plan, string) result
     additions. Memoized per (state, [k]) — only the most recently used
     [k] is kept in memory per state, all are persisted. *)
 
+val solve : t -> (Nettomo_measure.Solve.solution, string) result
+(** A full simulated measurement campaign on the current network:
+    ground-truth link metrics drawn deterministically from the session
+    seed, the constructive walk family of {!Nettomo_measure.Paths}
+    measured against them, and every metric recovered in linear time by
+    {!Nettomo_measure.Solve}. [Error] when the network is disconnected
+    or has fewer than two monitors. Memoized per state and persisted
+    under a seed-qualified store key with bit-exact hex-float metrics.
+    Under [NETTOMO_CHECK] the float metrics are additionally compared —
+    bit for bit — against the exact-ℚ {!Nettomo_core.Solver.recover}
+    pipeline whenever the network has at most 12 nodes. *)
+
 (** {1 From-scratch references}
 
     The baseline the engine is checked against: plain library calls
@@ -139,6 +151,16 @@ module Scratch : sig
     k:int ->
     Nettomo_core.Net.t ->
     (Nettomo_coverage.Coverage.plan, string) result
+
+  val truth_of :
+    seed:int -> Nettomo_core.Net.t -> Nettomo_core.Measurement.weights
+  (** The deterministic ground-truth metrics a [solve] campaign is
+      simulated against. *)
+
+  val solve :
+    seed:int ->
+    Nettomo_core.Net.t ->
+    (Nettomo_measure.Solve.solution, string) result
 end
 
 (** {1 Equality of answers} *)
@@ -157,6 +179,10 @@ val equal_coverage :
 
 val equal_augment :
   Nettomo_coverage.Coverage.plan -> Nettomo_coverage.Coverage.plan -> bool
+
+val equal_solution :
+  Nettomo_measure.Solve.solution -> Nettomo_measure.Solve.solution -> bool
+(** {!Nettomo_measure.Solve.solution_equal}: bit-exact on metrics. *)
 
 val equal_result : ('a -> 'a -> bool) -> ('a, string) result -> ('a, string) result -> bool
 (** Payloads by the given equality, errors by message. *)

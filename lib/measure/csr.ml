@@ -1,0 +1,136 @@
+open Nettomo_graph
+open Nettomo_core
+module Invariant_gate = Nettomo_util.Invariant
+
+type t = {
+  n : int;
+  m : int;
+  ids : Graph.node array;
+  index_of : int Graph.NodeMap.t;
+  xadj : int array;
+  adj : int array;
+  eid : int array;
+  edges : Graph.edge array;
+  monitors : bool array;
+}
+
+let of_graph ?(monitors = Graph.NodeSet.empty) g =
+  Nettomo_obs.Obs.Trace.span "measure.csr" @@ fun () ->
+  let ids = Graph.node_array g in
+  let n = Array.length ids in
+  let index_of =
+    let map = ref Graph.NodeMap.empty in
+    Array.iteri (fun i v -> map := Graph.NodeMap.add v i !map) ids;
+    !map
+  in
+  let edges = Array.of_list (Graph.edges g) in
+  let m = Array.length edges in
+  let deg = Array.make (n + 1) 0 in
+  Array.iter
+    (fun (u, v) ->
+      let iu = Graph.NodeMap.find u index_of
+      and iv = Graph.NodeMap.find v index_of in
+      deg.(iu) <- deg.(iu) + 1;
+      deg.(iv) <- deg.(iv) + 1)
+    edges;
+  let xadj = Array.make (n + 1) 0 in
+  for i = 1 to n do
+    xadj.(i) <- xadj.(i - 1) + deg.(i - 1)
+  done;
+  let adj = Array.make (2 * m) 0 in
+  let eid = Array.make (2 * m) 0 in
+  (* Filling in lexicographic link order keeps every row sorted: for a
+     row [u], links [(w, u)] with [w < u] arrive in increasing [w]
+     before links [(u, v)] arrive in increasing [v], and [w < u < v]. *)
+  let cursor = Array.copy xadj in
+  Array.iteri
+    (fun k (u, v) ->
+      let iu = Graph.NodeMap.find u index_of
+      and iv = Graph.NodeMap.find v index_of in
+      adj.(cursor.(iu)) <- iv;
+      eid.(cursor.(iu)) <- k;
+      cursor.(iu) <- cursor.(iu) + 1;
+      adj.(cursor.(iv)) <- iu;
+      eid.(cursor.(iv)) <- k;
+      cursor.(iv) <- cursor.(iv) + 1)
+    edges;
+  let monitor_flags = Array.make n false in
+  Graph.NodeSet.iter
+    (fun v ->
+      match Graph.NodeMap.find_opt v index_of with
+      | Some i -> monitor_flags.(i) <- true
+      | None -> ())
+    monitors;
+  { n; m; ids; index_of; xadj; adj; eid; edges; monitors = monitor_flags }
+
+let of_net net = of_graph ~monitors:(Net.monitors net) (Net.graph net)
+let index t v = Graph.NodeMap.find v t.index_of
+let id t i = t.ids.(i)
+let degree t i = t.xadj.(i + 1) - t.xadj.(i)
+
+let endpoints t k =
+  let u, v = t.edges.(k) in
+  let iu = index t u and iv = index t v in
+  if iu <= iv then (iu, iv) else (iv, iu)
+
+let monitor_indices t =
+  let acc = ref [] in
+  for i = t.n - 1 downto 0 do
+    if t.monitors.(i) then acc := i :: !acc
+  done;
+  !acc
+
+let is_connected t =
+  if t.n = 0 then true
+  else begin
+    let seen = Array.make t.n false in
+    let queue = Queue.create () in
+    seen.(0) <- true;
+    Queue.add 0 queue;
+    let reached = ref 1 in
+    while not (Queue.is_empty queue) do
+      let u = Queue.pop queue in
+      for k = t.xadj.(u) to t.xadj.(u + 1) - 1 do
+        let v = t.adj.(k) in
+        if not seen.(v) then begin
+          seen.(v) <- true;
+          incr reached;
+          Queue.add v queue
+        end
+      done
+    done;
+    !reached = t.n
+  end
+
+module Invariant = struct
+  let check g t =
+    let req = Invariant_gate.require in
+    req (t.n = Graph.n_nodes g) "Csr: node count %d <> %d" t.n
+      (Graph.n_nodes g);
+    req (t.m = Graph.n_edges g) "Csr: link count %d <> %d" t.m
+      (Graph.n_edges g);
+    req
+      (Array.length t.xadj = t.n + 1
+      && Array.length t.adj = 2 * t.m
+      && Array.length t.eid = 2 * t.m)
+      "Csr: array lengths inconsistent";
+    req (t.xadj.(0) = 0 && t.xadj.(t.n) = 2 * t.m) "Csr: xadj bounds";
+    for i = 0 to t.n - 1 do
+      req (t.xadj.(i) <= t.xadj.(i + 1)) "Csr: xadj not monotone at %d" i;
+      for k = t.xadj.(i) to t.xadj.(i + 1) - 2 do
+        req (t.adj.(k) < t.adj.(k + 1)) "Csr: row %d not strictly sorted" i
+      done;
+      for k = t.xadj.(i) to t.xadj.(i + 1) - 1 do
+        let j = t.adj.(k) in
+        let e = Graph.edge t.ids.(i) t.ids.(j) in
+        req (Graph.edge_equal t.edges.(t.eid.(k)) e)
+          "Csr: eid mismatch on half-edge %d→%d" i j;
+        req (Graph.mem_edge g t.ids.(i) t.ids.(j))
+          "Csr: half-edge %d→%d not in the source graph" i j
+      done
+    done;
+    Array.iteri
+      (fun i v ->
+        req (Graph.NodeMap.find v t.index_of = i) "Csr: index_of broken at %d" i)
+      t.ids
+end

@@ -1,0 +1,61 @@
+(** Flat int-indexed adjacency arrays (compressed sparse row) for the
+    measurement hot paths.
+
+    {!Nettomo_graph.Graph.t} is persistent and pointer-rich — ideal for
+    the incremental engine, too boxed for tight traversals over 10⁴-node
+    topologies. This module re-indexes a monitored network once into
+    plain [int array]s: nodes become [0 … n-1] (in increasing order of
+    their original identifiers), links become [0 … m-1] (in the
+    lexicographic order of {!Nettomo_core.Measurement.link_order}, so a
+    link's index here {e is} its measurement-matrix column), and the
+    neighbors of every node sit in one contiguous, sorted slice of a
+    shared array. Everything downstream in [lib/measure] walks these
+    arrays and never touches the functional graph again. *)
+
+open Nettomo_graph
+open Nettomo_core
+
+type t = private {
+  n : int;  (** number of nodes *)
+  m : int;  (** number of links *)
+  ids : Graph.node array;  (** index → original identifier, increasing *)
+  index_of : int Graph.NodeMap.t;  (** original identifier → index *)
+  xadj : int array;
+      (** length [n+1]; the neighbors of node [i] occupy
+          [adj.(xadj.(i)) … adj.(xadj.(i+1)-1)] *)
+  adj : int array;  (** length [2m]; neighbor indices, sorted per row *)
+  eid : int array;
+      (** length [2m]; [eid.(k)] is the link index of the half-edge
+          [adj.(k)] — both directions of a link share one index *)
+  edges : Graph.edge array;
+      (** length [m]; link index → original normalized link, in
+          lexicographic order (= measurement column order) *)
+  monitors : bool array;  (** length [n] *)
+}
+
+val of_net : Net.t -> t
+(** One-shot conversion, [O(n + m log m)]. *)
+
+val of_graph : ?monitors:Graph.NodeSet.t -> Graph.t -> t
+(** Same, from a bare graph (default: no monitors). *)
+
+val index : t -> Graph.node -> int
+(** Raises [Not_found] for a foreign node. *)
+
+val id : t -> int -> Graph.node
+val degree : t -> int -> int
+
+val endpoints : t -> int -> int * int
+(** Link index → its endpoint indices, smaller first. *)
+
+val monitor_indices : t -> int list
+(** Indices of the monitors, increasing. *)
+
+val is_connected : t -> bool
+(** BFS from node 0 reaches every node ([true] on the empty graph). *)
+
+(** Debug verification of the flat representation against the source
+    graph, gated by {!Nettomo_util.Invariant}. *)
+module Invariant : sig
+  val check : Graph.t -> t -> unit
+end

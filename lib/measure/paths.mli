@@ -1,0 +1,96 @@
+(** Constructive measurement walks: exactly [|E|] independent
+    measurements with no rank computation.
+
+    The exact solver ({!Nettomo_core.Solver}) searches for independent
+    simple paths and certifies each candidate with rational Gaussian
+    elimination — correct, and the scaling wall of the repo. Following
+    the efficient-identification line of work, this module instead
+    {e constructs} a measurement family that is independent by design,
+    off one BFS spanning tree of the network:
+
+    - [r] is the smallest monitor, [s] the next smallest, [T] the
+      deterministic BFS tree rooted at [r] (sorted adjacency rows of
+      {!Csr}, so the tree — and every walk below — is a pure function
+      of the topology and monitor set). Write [t(v)] for the tree path
+      [r → v] and [φ(v)] for its metric sum.
+    - The {b trunk} [M_s = t(s)] measures [a = φ(s)].
+    - A {b probe} per vertex [v ∉ {r, s}]:
+      [M_v = t(v) · reverse(t(v)) · t(s)] measures [2·φ(v) + a].
+    - A {b chord} walk per non-tree link [e = (u, v)]:
+      [M_e = t(u) · e · reverse(t(v)) · t(s)] measures
+      [φ(u) + w_e + φ(v) + a].
+
+    That is [1 + (n-2) + (m-n+1) = m] measurements, and the system is
+    triangular in [(a, φ, w_chord)] — {!Solve} recovers every link
+    metric by substitution in [O(n + m)], no elimination. The walks
+    are monitor-to-monitor edge sequences that may revisit nodes
+    (controllable routing, as in the follow-up work's measurement
+    model); the paper's simple-path machinery is untouched and remains
+    the oracle for the identifiability question itself.
+
+    Applicability: any connected network with at least two monitors —
+    on such inputs the count is exactly [|E|] and recovery is unique. *)
+
+open Nettomo_graph
+
+type kind =
+  | Trunk  (** the tree path [r → s] *)
+  | Probe of int  (** out-and-back to a vertex (Csr index) *)
+  | Chord of int  (** detour across a non-tree link (link index) *)
+
+type t = private {
+  csr : Csr.t;
+  root : int;  (** Csr index of [r] *)
+  second : int;  (** Csr index of [s] *)
+  parent : int array;  (** BFS tree parent; [-1] at the root *)
+  parent_eid : int array;  (** link index to the parent; [-1] at the root *)
+  depth : int array;
+  order : int array;  (** BFS visit order, root first *)
+  kinds : kind array;  (** measurement row → walk kind; length [m] *)
+  probe_row : int array;  (** Csr index → probe row, [-1] if none *)
+  chord_row : int array;  (** link index → chord row, [-1] if tree link *)
+}
+
+val plan : Nettomo_core.Net.t -> (t, string) result
+(** Build the walk family. [Error] when the network is disconnected or
+    has fewer than two monitors. [O(n + m)]. *)
+
+val of_csr : Csr.t -> (t, string) result
+
+val n_measurements : t -> int
+(** Always [Csr.m] — one measurement per link. *)
+
+val walk_nodes : t -> int -> Graph.node list
+(** The node sequence of measurement [i], in original identifiers;
+    starts at [r] and ends at [s]. *)
+
+val walk_eids : t -> int -> int list
+(** The link-index sequence of measurement [i] (one entry per traversed
+    link, with repetitions). *)
+
+val measure : t -> float array -> float array
+(** [measure t w] is the vector of end-to-end walk values given
+    per-link metrics [w] indexed by link index — the simulated
+    measurement campaign. [O(n + m)] via the tree potentials; with
+    integer metrics the result is exactly the per-walk edge sum. *)
+
+val simple_candidates :
+  ?max_roots:int -> ?max_per_link:int -> Csr.t -> Nettomo_graph.Paths.path list
+(** Deterministic {e simple} measurement-path candidates harvested from
+    the same spanning-tree machinery, for rank lower bounds under the
+    paper's simple-path model (used by [Coverage]'s sampled fallback):
+    per monitor root — at most [max_roots] (default 8), smallest ids
+    first — the tree paths to every other monitor, plus
+    tree–chord–tree detours [r → u, (u,v), v → b] to other monitors
+    [b] that happen to be node-simple, keeping at most [max_per_link]
+    (default 3) detours per link orientation and root. Paths are
+    returned as node lists of the original graph; duplicates are not
+    removed. *)
+
+(** Structural verification of a plan against its network, gated by
+    {!Nettomo_util.Invariant}: every walk is a genuine monitor-to-
+    monitor walk of the graph and the family has exactly one
+    measurement per link. *)
+module Invariant : sig
+  val check : t -> unit
+end

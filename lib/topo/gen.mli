@@ -13,6 +13,13 @@ val erdos_renyi : Prng.t -> n:int -> p:float -> Graph.t
 (** Each of the [n·(n-1)/2] node pairs is linked independently with
     probability [p]. May be disconnected. *)
 
+val erdos_renyi_sparse : Prng.t -> n:int -> p:float -> Graph.t
+(** The same model realized by geometric skip-sampling over the pair
+    space — [O(n + m)] expected instead of [O(n²)], for the sparse
+    regime at [10⁴+] nodes. Deterministic for a fixed seed, but the
+    draw stream (and hence the realization) differs from
+    {!erdos_renyi} at the same seed. Requires [p ∈ [0, 1)]. *)
+
 val random_geometric : Prng.t -> n:int -> radius:float -> Graph.t
 (** Nodes placed uniformly in the unit square; two nodes are linked iff
     their Euclidean distance is at most [radius]. *)
@@ -37,6 +44,14 @@ val waxman : Prng.t -> n:int -> alpha:float -> beta:float -> Graph.t
     linked with probability [beta · exp(−d / (alpha · √2))] where [d] is
     the pair's Euclidean distance. A classic model for router-level
     topologies; may be disconnected. Requires [alpha, beta ∈ (0, 1]]. *)
+
+val waxman_sparse : Prng.t -> n:int -> alpha:float -> beta:float -> Graph.t
+(** The Waxman model by thinning: candidate pairs are skip-sampled at
+    rate [beta] and kept with the conditional probability
+    [exp(−d / (alpha · √2))] — [O(n + m_candidates)] expected, for
+    ISP-density graphs at [10⁴+] nodes. The draw stream differs from
+    {!waxman} at the same seed. Requires [alpha ∈ (0, 1]],
+    [beta ∈ (0, 1)]. *)
 
 exception Retries_exhausted of { tries : int }
 (** No connected realization appeared within the retry budget — the

@@ -98,7 +98,10 @@ let run_stream ~steps seed =
         (Session.Scratch.classify refnet);
     if step mod 8 = 0 then
       same "plan" Session.equal_plan (Session.plan s)
-        (Session.Scratch.plan ~seed:(Session.seed s) refnet)
+        (Session.Scratch.plan ~seed:(Session.seed s) refnet);
+    if step mod 8 = 4 then
+      same "solve" Session.equal_solution (Session.solve s)
+        (Session.Scratch.solve ~seed:(Session.seed s) refnet)
   done
 
 let test_differential_streams () =
@@ -196,6 +199,84 @@ let test_incremental_shortcuts () =
       | _, Error m -> Alcotest.fail m)
 
 (* ------------------------------------------------------------------ *)
+(* Solve: memo on revisit, store round-trip across sessions, and the   *)
+(* NETTOMO_CHECK differential vs the exact solver                      *)
+
+module Store = Nettomo_store.Store
+
+let test_solve_memo_and_store () =
+  let dir =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "nettomo-test-solve-store-%d" (Unix.getpid ()))
+  in
+  let rm_rf () =
+    if Sys.file_exists dir then begin
+      Array.iter
+        (fun f -> try Sys.remove (Filename.concat dir f) with Sys_error _ -> ())
+        (Sys.readdir dir);
+      try Unix.rmdir dir with Unix.Unix_error _ -> ()
+    end
+  in
+  rm_rf ();
+  Fun.protect ~finally:rm_rf (fun () ->
+      Invariant.with_enabled true (fun () ->
+          let net = Net.create Fixtures.petersen ~monitors:[ 0; 1; 2 ] in
+          let store = Store.open_dir dir in
+          let s = Session.create ~seed:11 ~store net in
+          let r0 = Session.solve s in
+          check cb "solve computes" true (Result.is_ok r0);
+          check cb "solve equals scratch" true
+            (Session.equal_result Session.equal_solution r0
+               (Session.Scratch.solve ~seed:11 net));
+          (match r0 with
+          | Ok sol ->
+              check Alcotest.int "one walk per link"
+                (Graph.n_edges Fixtures.petersen)
+                sol.Nettomo_measure.Solve.measurements
+          | Error m -> Alcotest.fail m);
+          (* Second ask on the same state: the per-state memo answers. *)
+          let hits = (Session.stats s).Session.memo_hits in
+          let r1 = Session.solve s in
+          check cb "memoized answer identical" true
+            (Session.equal_result Session.equal_solution r0 r1);
+          check cb "memo hit" true ((Session.stats s).Session.memo_hits > hits);
+          let puts_a = (Store.stats store).Store.puts in
+          check cb "artifact published" true (puts_a > 0);
+          (* Fresh session, same store: the answer rounds through the
+             sol artifact bit-exactly, with no new publication. *)
+          let s2 = Session.create ~seed:11 ~store net in
+          let hits_a = (Store.stats store).Store.hits in
+          let r2 = Session.solve s2 in
+          check cb "warm answer identical" true
+            (Session.equal_result Session.equal_solution r0 r2);
+          check cb "store hit" true ((Store.stats store).Store.hits > hits_a);
+          check Alcotest.int "nothing republished" puts_a
+            (Store.stats store).Store.puts;
+          (* A different seed draws different ground truth: distinct
+             key, distinct answer. *)
+          let s3 = Session.create ~seed:12 ~store net in
+          match (r0, Session.solve s3) with
+          | Ok a, Ok b ->
+              check cb "seed changes the campaign" false
+                (Session.equal_solution a b)
+          | _ -> Alcotest.fail "solve failed under seed 12"))
+
+let test_solve_rejects () =
+  (* Errors mirror the library and are memoized like answers. *)
+  let disconnected =
+    Net.create (Graph.of_edges [ (0, 1); (2, 3) ]) ~monitors:[ 0; 2 ]
+  in
+  let s = Session.create disconnected in
+  (match Session.solve s with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "solve accepted a disconnected network");
+  let one_monitor = Net.create (Graph.of_edges [ (0, 1); (1, 2) ]) ~monitors:[ 0 ] in
+  match Session.solve (Session.create one_monitor) with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "solve accepted a single-monitor network"
+
+(* ------------------------------------------------------------------ *)
 (* Protocol: batch fan-out identical across --jobs, and equal to the   *)
 (* single-query session answers                                        *)
 
@@ -204,7 +285,7 @@ let fig1_edges = "0 4\n0 3\n3 4\n4 5\n3 5\n3 2\n5 2\n5 6\n2 1\n6 2\n6 1\n"
 let scenario =
   [
     {|{"id":1,"op":"load","edges":"0 4\n0 3\n3 4\n4 5\n3 5\n3 2\n5 2\n5 6\n2 1\n6 2\n6 1","monitors":[0,1,2],"seed":11}|};
-    {|{"id":2,"op":"batch","queries":["identifiable","mmp","plan"]}|};
+    {|{"id":2,"op":"batch","queries":["identifiable","mmp","plan","solve"]}|};
     {|{"id":3,"op":"delta","action":"remove_link","u":6,"v":2}|};
     {|{"id":4,"op":"batch","queries":["identifiable","mmp"]}|};
     {|{"id":5,"op":"delta","action":"add_link","u":6,"v":2}|};
@@ -239,7 +320,8 @@ let test_batch_equals_single () =
   in
   ignore (ok_response load);
   let batch =
-    ok_response {|{"id":2,"op":"batch","queries":["identifiable","mmp","plan"]}|}
+    ok_response
+      {|{"id":2,"op":"batch","queries":["identifiable","mmp","plan","solve"]}|}
   in
   let results =
     match Jsonx.member "results" batch with
@@ -255,7 +337,7 @@ let test_batch_equals_single () =
     List.map
       (fun op ->
         strip_id (ok_response (Printf.sprintf {|{"id":9,"op":%S}|} op)))
-      [ "identifiable"; "mmp"; "plan" ]
+      [ "identifiable"; "mmp"; "plan"; "solve" ]
   in
   List.iter2
     (fun batch_item single ->
@@ -271,6 +353,9 @@ let suite =
       test_invalid_deltas;
     Alcotest.test_case "memo hits and verdict carries" `Quick
       test_incremental_shortcuts;
+    Alcotest.test_case "solve memo and store round-trip" `Quick
+      test_solve_memo_and_store;
+    Alcotest.test_case "solve rejects bad networks" `Quick test_solve_rejects;
     Alcotest.test_case "batch identical across jobs" `Quick
       test_batch_jobs_deterministic;
     Alcotest.test_case "batch equals single queries" `Quick

@@ -79,6 +79,64 @@ let test_waxman () =
     (Invalid_argument "Gen.waxman: alpha and beta must be in (0, 1]") (fun () ->
       ignore (Gen.waxman rng ~n:10 ~alpha:0.0 ~beta:0.5))
 
+let edge_list g = Graph.EdgeSet.elements (Graph.edge_set g)
+
+let test_erdos_renyi_sparse () =
+  let g = Gen.erdos_renyi_sparse (Prng.create 9) ~n:400 ~p:0.02 in
+  check ci "node count" 400 (Graph.n_nodes g);
+  (* Expectation is 0.02 · C(400,2) = 1596. *)
+  let m = Graph.n_edges g in
+  check cb (Printf.sprintf "density plausible (%d)" m) true
+    (m > 1300 && m < 1900);
+  let g0 = Gen.erdos_renyi_sparse (Prng.create 9) ~n:50 ~p:0.0 in
+  check ci "p=0: no links" 0 (Graph.n_edges g0);
+  Alcotest.check_raises "p=1 rejected"
+    (Invalid_argument "Gen.erdos_renyi_sparse: p must be in [0, 1)") (fun () ->
+      ignore (Gen.erdos_renyi_sparse (Prng.create 9) ~n:10 ~p:1.0))
+
+let test_waxman_sparse () =
+  let g = Gen.waxman_sparse (Prng.create 10) ~n:300 ~alpha:0.6 ~beta:0.3 in
+  check ci "node count" 300 (Graph.n_nodes g);
+  check cb "produces links" true (Graph.n_edges g > 0);
+  (* Thinning keeps at most the skip-sampled candidates at rate beta. *)
+  check cb "thinner than rate-beta ER" true
+    (float_of_int (Graph.n_edges g) < 0.3 *. float_of_int (300 * 299 / 2))
+
+let test_sparse_generators_scale () =
+  (* ISP densities at 10^4 nodes: the dense O(n²) loops are out of
+     reach here, the sparse generators finish in well under a second. *)
+  let n = 10_000 in
+  let er = Gen.erdos_renyi_sparse (Prng.create 21) ~n ~p:4e-4 in
+  let m = Graph.n_edges er in
+  check cb (Printf.sprintf "ER 10^4 density plausible (%d)" m) true
+    (m > 17_000 && m < 23_000);
+  let ba = Gen.barabasi_albert (Prng.create 22) ~n ~nmin:2 in
+  check ci "BA 10^4 link count" (3 + (2 * (n - 4))) (Graph.n_edges ba);
+  check cb "BA 10^4 connected" true (Traversal.is_connected ba);
+  let wx = Gen.waxman_sparse (Prng.create 23) ~n ~alpha:0.15 ~beta:0.01 in
+  check cb "Waxman 10^4 produces links" true (Graph.n_edges wx > n)
+
+let prop_sparse_reproducible =
+  QCheck2.Test.make ~name:"sparse generators: same seed, same edge list"
+    ~count:40
+    QCheck2.Gen.(int_bound 1_000_000)
+    (fun seed ->
+      let er () = Gen.erdos_renyi_sparse (Prng.create seed) ~n:120 ~p:0.03 in
+      let wx () =
+        Gen.waxman_sparse (Prng.create seed) ~n:120 ~alpha:0.5 ~beta:0.2
+      in
+      edge_list (er ()) = edge_list (er ())
+      && edge_list (wx ()) = edge_list (wx ()))
+
+let prop_sparse_edges_valid =
+  QCheck2.Test.make ~name:"sparse ER: edges are valid node pairs" ~count:40
+    QCheck2.Gen.(int_bound 1_000_000)
+    (fun seed ->
+      let g = Gen.erdos_renyi_sparse (Prng.create seed) ~n:80 ~p:0.05 in
+      List.for_all
+        (fun (u, v) -> 0 <= u && u < v && v < 80)
+        (edge_list g))
+
 let test_until_connected () =
   let rng = Prng.create 7 in
   let g =
@@ -134,7 +192,13 @@ let suite =
     Alcotest.test_case "BA nmin=2 (sparse)" `Quick test_barabasi_albert_nmin2;
     Alcotest.test_case "PL construction" `Quick test_power_law;
     Alcotest.test_case "waxman" `Quick test_waxman;
+    Alcotest.test_case "ER sparse (skip-sampling)" `Quick test_erdos_renyi_sparse;
+    Alcotest.test_case "waxman sparse (thinning)" `Quick test_waxman_sparse;
+    Alcotest.test_case "sparse generators at 10^4 nodes" `Quick
+      test_sparse_generators_scale;
     Alcotest.test_case "until_connected" `Quick test_until_connected;
+    QCheck_alcotest.to_alcotest prop_sparse_reproducible;
+    QCheck_alcotest.to_alcotest prop_sparse_edges_valid;
     Alcotest.test_case "deterministic fixtures" `Quick test_fixtures;
     Alcotest.test_case "random tree" `Quick test_random_tree;
     QCheck_alcotest.to_alcotest prop_generators_reproducible;

@@ -1,0 +1,240 @@
+open Nettomo_graph
+open Nettomo_core
+module Measure_csr = Nettomo_measure.Csr
+module Measure_paths = Nettomo_measure.Paths
+module Measure_solve = Nettomo_measure.Solve
+module Prng = Nettomo_util.Prng
+module Invariant = Nettomo_util.Invariant
+
+let check = Alcotest.check
+let ci = Alcotest.int
+let cb = Alcotest.bool
+
+let fig1_net =
+  Net.create Fixtures.fig1
+    ~monitors:[ Fixtures.fig1_m1; Fixtures.fig1_m2; Fixtures.fig1_m3 ]
+
+let float_weights g truth =
+  Array.map
+    (fun e -> Nettomo_linalg.Rational.to_float (Measurement.weight truth e))
+    (Array.of_list (Graph.edges g))
+
+let metrics_match_truth (sol : Measure_solve.solution) truth ~tol =
+  Array.for_all2
+    (fun e m ->
+      let exact = Nettomo_linalg.Rational.to_float (Measurement.weight truth e) in
+      Float.abs (m -. exact) <= tol *. Float.max 1.0 (Float.abs exact))
+    sol.Measure_solve.links sol.Measure_solve.metrics
+
+(* --- Csr ------------------------------------------------------------- *)
+
+let test_csr_roundtrip () =
+  let csr = Measure_csr.of_net fig1_net in
+  check ci "nodes" (Graph.n_nodes Fixtures.fig1) csr.Measure_csr.n;
+  check ci "links" (Graph.n_edges Fixtures.fig1) csr.Measure_csr.m;
+  Invariant.with_enabled true (fun () ->
+      Measure_csr.Invariant.check Fixtures.fig1 csr);
+  (* Link order is the measurement column order. *)
+  let space = Measurement.space Fixtures.fig1 in
+  Array.iteri
+    (fun k e -> check ci "column order" k (Measurement.column space e))
+    csr.Measure_csr.edges;
+  check cb "connected" true (Measure_csr.is_connected csr);
+  check ci "monitor count" 3 (List.length (Measure_csr.monitor_indices csr))
+
+let prop_csr_invariant =
+  QCheck2.Test.make ~name:"Csr matches its source graph" ~count:100
+    QCheck2.Gen.(triple (int_bound 1_000_000) (int_range 2 25) (int_range 0 30))
+    (fun (seed, n, extra) ->
+      let rng = Prng.create seed in
+      let g = Fixtures.random_connected rng n extra in
+      let csr = Measure_csr.of_graph g in
+      Invariant.with_enabled true (fun () ->
+          Measure_csr.Invariant.check g csr);
+      Measure_csr.is_connected csr = Traversal.is_connected g)
+
+(* --- Paths ----------------------------------------------------------- *)
+
+let test_plan_counts_fig1 () =
+  match Measure_paths.plan fig1_net with
+  | Error e -> Alcotest.fail e
+  | Ok plan ->
+      check ci "one measurement per link" (Graph.n_edges Fixtures.fig1)
+        (Measure_paths.n_measurements plan);
+      Invariant.with_enabled true (fun () ->
+          Measure_paths.Invariant.check plan)
+
+let test_plan_rejects () =
+  let two = Net.with_monitors fig1_net [ Fixtures.fig1_m1 ] in
+  (match Measure_paths.plan two with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "accepted a single monitor");
+  let g = Graph.of_edges ~nodes:[ 9 ] [ (0, 1) ] in
+  let net = Net.create g ~monitors:[ 0; 1 ] in
+  match Measure_paths.plan net with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "accepted a disconnected topology"
+
+let test_walks_are_walks () =
+  match Measure_paths.plan fig1_net with
+  | Error e -> Alcotest.fail e
+  | Ok plan ->
+      let g = Fixtures.fig1 in
+      let monitors = Net.monitors fig1_net in
+      for i = 0 to Measure_paths.n_measurements plan - 1 do
+        let nodes = Measure_paths.walk_nodes plan i in
+        let first = List.hd nodes
+        and last = List.nth nodes (List.length nodes - 1) in
+        check cb "starts at a monitor" true (Graph.NodeSet.mem first monitors);
+        check cb "ends at a monitor" true (Graph.NodeSet.mem last monitors);
+        check cb "distinct endpoints" true (first <> last);
+        let rec adjacent = function
+          | x :: (y :: _ as rest) ->
+              check cb "consecutive nodes adjacent" true (Graph.mem_edge g x y);
+              adjacent rest
+          | _ -> ()
+        in
+        adjacent nodes
+      done
+
+let test_measure_equals_walk_sums () =
+  match Measure_paths.plan fig1_net with
+  | Error e -> Alcotest.fail e
+  | Ok plan ->
+      let truth =
+        Measurement.random_weights ~lo:1 ~hi:100 (Prng.create 11) Fixtures.fig1
+      in
+      let w = float_weights Fixtures.fig1 truth in
+      let values = Measure_paths.measure plan w in
+      Array.iteri
+        (fun i v ->
+          let by_walk =
+            List.fold_left
+              (fun acc k -> acc +. w.(k))
+              0.0
+              (Measure_paths.walk_eids plan i)
+          in
+          (* Integer metrics: both sums are exact. *)
+          check (Alcotest.float 0.0) "walk sum" by_walk v)
+        values
+
+(* --- Solve ----------------------------------------------------------- *)
+
+let test_simulate_fig1_exact () =
+  let truth =
+    Measurement.random_weights ~lo:1 ~hi:100 (Prng.create 12) Fixtures.fig1
+  in
+  Invariant.with_enabled true (fun () ->
+      match Measure_solve.simulate fig1_net truth with
+      | Error e -> Alcotest.fail e
+      | Ok sol ->
+          check ci "measurements" 11 sol.Measure_solve.measurements;
+          check cb "metrics exact" true (metrics_match_truth sol truth ~tol:0.0))
+
+let test_solutions_deterministic () =
+  let truth =
+    Measurement.random_weights ~lo:1 ~hi:100 (Prng.create 13) Fixtures.fig1
+  in
+  match
+    (Measure_solve.simulate fig1_net truth, Measure_solve.simulate fig1_net truth)
+  with
+  | Ok a, Ok b -> check cb "bit-identical" true (Measure_solve.solution_equal a b)
+  | _ -> Alcotest.fail "simulate failed"
+
+(* The ISSUE's differential: the fast float path agrees with the
+   exact-ℚ solver on random identifiable (MMP-monitored) graphs. *)
+let prop_differential_vs_exact_solver =
+  QCheck2.Test.make
+    ~name:"Measure.Solve agrees with the exact solver (MMP monitors)"
+    ~count:300
+    QCheck2.Gen.(triple (int_bound 1_000_000) (int_range 4 12) (int_range 0 12))
+    (fun (seed, n, extra) ->
+      let rng = Prng.create seed in
+      let g = Fixtures.random_connected rng n extra in
+      let monitors = Graph.NodeSet.elements (Mmp.place g) in
+      let net = Net.create g ~monitors in
+      let truth = Measurement.random_weights ~lo:1 ~hi:1000 rng g in
+      match (Measure_solve.simulate net truth, Solver.recover ~rng net truth) with
+      | Ok sol, Some exact ->
+          List.for_all
+            (fun (e, q) ->
+              let k =
+                (* links are in lexicographic = column order *)
+                let space = Measurement.space g in
+                Measurement.column space e
+              in
+              Float.abs
+                (sol.Measure_solve.metrics.(k)
+                -. Nettomo_linalg.Rational.to_float q)
+              <= 1e-9 *. Float.max 1.0 (Nettomo_linalg.Rational.to_float q))
+            exact
+      | Ok sol, None ->
+          (* The walk model recovers even when the simple-path model
+             cannot; the answer must still match the ground truth. *)
+          metrics_match_truth sol truth ~tol:1e-9
+      | Error _, _ -> false)
+
+(* Full-rank property: under NETTOMO_CHECK the constructed multiplicity
+   matrix is verified exactly; any rank deficiency raises Violation. *)
+let prop_constructed_matrix_full_rank =
+  QCheck2.Test.make ~name:"constructed matrix is full rank (exact check)"
+    ~count:100
+    QCheck2.Gen.(triple (int_bound 1_000_000) (int_range 2 10) (int_range 0 10))
+    (fun (seed, n, extra) ->
+      let rng = Prng.create seed in
+      let g = Fixtures.random_connected rng n extra in
+      let nodes = Graph.node_array g in
+      let k = min 2 (Array.length nodes) in
+      let monitors = Array.to_list (Prng.sample rng k nodes) in
+      let net = Net.create g ~monitors in
+      let truth = Measurement.random_weights rng g in
+      Invariant.with_enabled true (fun () ->
+          match Measure_solve.simulate net truth with
+          | Ok sol ->
+              sol.Measure_solve.measurements = Graph.n_edges g
+              && metrics_match_truth sol truth ~tol:1e-9
+          | Error _ -> List.length monitors < 2))
+
+let test_simple_candidates_valid () =
+  let csr = Measure_csr.of_net fig1_net in
+  let cands = Measure_paths.simple_candidates csr in
+  check cb "produces candidates" true (cands <> []);
+  List.iter
+    (fun p ->
+      check cb "candidate is a measurement path" true
+        (Measurement.is_measurement_path fig1_net p))
+    cands
+
+let prop_simple_candidates_valid =
+  QCheck2.Test.make
+    ~name:"simple candidates are valid measurement paths" ~count:100
+    QCheck2.Gen.(triple (int_bound 1_000_000) (int_range 3 14) (int_range 0 14))
+    (fun (seed, n, extra) ->
+      let rng = Prng.create seed in
+      let g = Fixtures.random_connected rng n extra in
+      let nodes = Graph.node_array g in
+      let k = min (Array.length nodes) (2 + Prng.int rng 3) in
+      let monitors = Array.to_list (Prng.sample rng k nodes) in
+      let net = Net.create g ~monitors in
+      let csr = Measure_csr.of_net net in
+      List.for_all
+        (fun p -> Measurement.is_measurement_path net p)
+        (Measure_paths.simple_candidates csr))
+
+let suite =
+  [
+    Alcotest.test_case "Csr round-trip (fig1)" `Quick test_csr_roundtrip;
+    Alcotest.test_case "plan counts |E| (fig1)" `Quick test_plan_counts_fig1;
+    Alcotest.test_case "plan rejects bad inputs" `Quick test_plan_rejects;
+    Alcotest.test_case "walks are monitor walks" `Quick test_walks_are_walks;
+    Alcotest.test_case "measure = walk sums" `Quick test_measure_equals_walk_sums;
+    Alcotest.test_case "simulate exact on fig1" `Quick test_simulate_fig1_exact;
+    Alcotest.test_case "solutions deterministic" `Quick
+      test_solutions_deterministic;
+    Alcotest.test_case "simple candidates (fig1)" `Quick
+      test_simple_candidates_valid;
+    QCheck_alcotest.to_alcotest prop_csr_invariant;
+    QCheck_alcotest.to_alcotest prop_differential_vs_exact_solver;
+    QCheck_alcotest.to_alcotest prop_constructed_matrix_full_rank;
+    QCheck_alcotest.to_alcotest prop_simple_candidates_valid;
+  ]

@@ -134,6 +134,38 @@ let test_batch_suberror_code () =
         (Option.value (member_string "code" err_item) ~default:"<missing>")
   | Some _ | None -> Alcotest.fail "batch response lacks a two-item results list"
 
+let test_solve_op () =
+  let s = fresh () in
+  expect_ok s ~name:"load" fig1_line;
+  let v = parse_response (Protocol.handle_line s {|{"id":2,"op":"solve"}|}) in
+  check cs "status" "ok" (Option.value (member_string "status" v) ~default:"?");
+  (* fig1 has 11 links: one walk and one recovered metric per link. *)
+  (match Jsonx.member "links" v with
+  | Some (Jsonx.Int 11) -> ()
+  | Some j -> Alcotest.failf "links: %s" (Jsonx.to_string j)
+  | None -> Alcotest.fail "solve response lacks links");
+  (match Jsonx.member "measurements" v with
+  | Some (Jsonx.Int 11) -> ()
+  | Some j -> Alcotest.failf "measurements: %s" (Jsonx.to_string j)
+  | None -> Alcotest.fail "solve response lacks measurements");
+  (match Jsonx.member "metrics" v with
+  | Some (Jsonx.List items) ->
+      check Alcotest.int "one metric per link" 11 (List.length items);
+      List.iter
+        (fun item ->
+          match (Jsonx.member "link" item, Jsonx.member "metric" item) with
+          | Some (Jsonx.List [ Jsonx.Int _; Jsonx.Int _ ]), Some (Jsonx.Float w)
+            ->
+              check cb "metric positive" true (w > 0.0)
+          | _ -> Alcotest.failf "malformed metric item: %s" (Jsonx.to_string item))
+        items
+  | Some _ | None -> Alcotest.fail "solve response lacks a metrics list");
+  (* Byte-identical on a repeat: the session memo serves the same
+     rendering. *)
+  let a = Protocol.handle_line s {|{"id":3,"op":"solve"}|} in
+  let b = Protocol.handle_line s {|{"id":3,"op":"solve"}|} in
+  check cs "repeat solve is byte-identical" a b
+
 let test_metrics_op () =
   let s = fresh () in
   (* metrics needs no loaded session... *)
@@ -252,6 +284,8 @@ let suite =
     Alcotest.test_case "query_failed" `Quick test_query_failed;
     Alcotest.test_case "batch sub-error carries code" `Quick
       test_batch_suberror_code;
+    Alcotest.test_case "solve op recovers every link metric" `Quick
+      test_solve_op;
     Alcotest.test_case "metrics op dumps the registry" `Quick test_metrics_op;
     Alcotest.test_case "framing: incremental chunks" `Quick test_framing_chunks;
     Alcotest.test_case "framing: oversized lines" `Quick test_framing_overflow;
