@@ -1372,9 +1372,14 @@ let serve_soak cfg ~clients =
           (Filename.get_temp_dir_name ())
           (Printf.sprintf "nettomo-bench-serve-%d.sock" (Unix.getpid ()))
       in
+      (* slow_ms 0 captures every request: the ring-bound and capture
+         counters below become load-independent, so bench diff can gate
+         them without timing noise. *)
+      Obs.Slow.clear ();
       let server =
         Server.create ~seed:cfg.seed ~emit_wall_ms:false
-          ~max_conns:(clients + 4) ~pool:cfg.pool (Server.Unix_socket path)
+          ~max_conns:(clients + 4) ~slow_ms:0. ~pool:cfg.pool
+          (Server.Unix_socket path)
       in
       let d = Domain.spawn (fun () -> Server.run server) in
       let transcripts = Array.make clients "" in
@@ -1418,10 +1423,14 @@ let serve_soak cfg ~clients =
       if not identical then
         Inv.violationf
           "serve-soak: a transcript differs from its single-client replay";
+      let slow_requests = Obs.Slow.length () in
+      let slow_ring_bounded = slow_requests <= Obs.Slow.capacity () in
       let throughput = float_of_int served /. Float.max 1e-9 wall_s in
       Printf.printf
         "%d clients x %d requests: %d served (%d shed) in %.3f s -> %.0f req/s\n"
         clients per_client served shed wall_s throughput;
+      Printf.printf "slow ring: %d captured (cap %d), bounded: %b\n"
+        slow_requests (Obs.Slow.capacity ()) slow_ring_bounded;
       Printf.printf
         "request latency p50 %.2f ms, p95 %.2f ms, p99 %.2f ms (count %d)\n"
         (1000. *. p50) (1000. *. p95) (1000. *. p99)
@@ -1445,6 +1454,8 @@ let serve_soak cfg ~clients =
              ("latency_count", Jsonx.Int (Obs.Metrics.histogram_count h));
              ("latency_sum_s", Jsonx.Float (Obs.Metrics.histogram_sum h));
              ("transcripts_identical", Jsonx.Bool identical);
+             ("slow_requests", Jsonx.Int slow_requests);
+             ("slow_ring_bounded", Jsonx.Bool slow_ring_bounded);
            ]);
       print_endline
         "one dispatcher domain multiplexes every connection; the shared\n\

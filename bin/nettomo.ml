@@ -690,8 +690,42 @@ let serve_cmd =
       & opt int (1 lsl 20)
       & info [ "max-line-bytes" ] ~docv:"BYTES" ~doc)
   in
+  let log_arg =
+    let doc =
+      "Write structured JSON-lines events to $(docv) (one object per line, \
+       deterministic field order; level via NETTOMO_LOG_LEVEL, default \
+       info). When the flag is absent, a non-empty NETTOMO_LOG environment \
+       variable names the file instead."
+    in
+    Arg.(value & opt (some string) None & info [ "log" ] ~docv:"FILE" ~doc)
+  in
+  let slow_ms_arg =
+    let doc =
+      "Capture requests whose wall time reaches $(docv) milliseconds: their \
+       span tree and per-layer breakdown are logged at warn and retained in \
+       a bounded in-process ring, queryable with the \"slow\" request or \
+       \"nettomo obs slow\". 0 captures everything."
+    in
+    Arg.(
+      value & opt (some float) None & info [ "slow-ms" ] ~docv:"MS" ~doc)
+  in
   let run jobs seed no_wall_time store_dir trace listen tcp max_conns
-      shed_wait_p95 max_line_bytes =
+      shed_wait_p95 max_line_bytes log_file slow_ms =
+    let log_file =
+      match log_file with
+      | Some _ as f -> f
+      | None -> (
+          match Sys.getenv_opt "NETTOMO_LOG" with
+          | None | Some "" -> None
+          | Some file -> Some file)
+    in
+    (match Sys.getenv_opt "NETTOMO_LOG_LEVEL" with
+    | None | Some "" -> ()
+    | Some s -> (
+        match Obs.Log.level_of_string s with
+        | Some l -> Obs.Log.set_level l
+        | None -> ()));
+    (match log_file with None -> () | Some file -> Obs.Log.to_file file);
     let trace =
       match trace with
       | Some _ as t -> t
@@ -730,14 +764,14 @@ let serve_cmd =
                   | None ->
                       let server =
                         Nettomo_engine.Protocol.create ~pool ~seed
-                          ~emit_wall_ms:(not no_wall_time) ?store ()
+                          ~emit_wall_ms:(not no_wall_time) ?store ?slow_ms ()
                       in
                       Nettomo_engine.Protocol.serve server stdin stdout
                   | Some listen ->
                       let server =
                         Nettomo_engine.Server.create ~seed
                           ~emit_wall_ms:(not no_wall_time) ?store ~max_conns
-                          ~max_line_bytes ?shed_wait_p95 ~pool listen
+                          ~max_line_bytes ?shed_wait_p95 ?slow_ms ~pool listen
                       in
                       (match Nettomo_engine.Server.port server with
                       | Some port ->
@@ -779,7 +813,7 @@ let serve_cmd =
       ret
         (const run $ jobs_arg $ seed_arg $ no_wall_time_arg $ store_arg
        $ trace_arg $ listen_arg $ tcp_arg $ max_conns_arg $ shed_wait_arg
-       $ max_line_bytes_arg))
+       $ max_line_bytes_arg $ log_arg $ slow_ms_arg))
 
 (* ------------------------------------------------------------------ *)
 (* store                                                               *)
@@ -888,9 +922,15 @@ let obs_cmd =
       Arg.(required & pos 0 (some file) None & info [] ~docv:"TRACE" ~doc)
     in
     (* Validation contract used by CI: the file parses as JSON, every
-       event is a complete ("X") span with the expected fields, and per
-       thread the spans are balanced — sorted by start time they nest
-       properly, no partial overlap. The epsilon absorbs the %.3f
+       event is a complete ("X") span with the expected fields, and the
+       spans form a consistent tree. Traces written by this build carry
+       span ids in args ("span" / "parent" / "req"), and the check
+       reassembles the cross-domain parent–child tree from them: ids
+       unique, every parent present, children contained in their
+       parent's interval, request id constant down each edge. Traces
+       without span ids (older files) fall back to the per-thread
+       balance check — sorted by start time the spans of one tid must
+       nest properly, no partial overlap. The epsilon absorbs the %.3f
        microsecond quantization of the writer. *)
     let eps = 0.01 in
     let num = function
@@ -899,6 +939,14 @@ let obs_cmd =
       | Jsonx.Null | Jsonx.Bool _ | Jsonx.String _ | Jsonx.List _ | Jsonx.Obj _
         ->
           None
+    in
+    let arg_int name ev =
+      match Jsonx.member "args" ev with
+      | Some (Jsonx.Obj _ as args) ->
+          Option.bind
+            (Option.bind (Jsonx.member name args) Jsonx.to_string_opt)
+            int_of_string_opt
+      | Some _ | None -> None
     in
     let parse_event i ev =
       let get name = Option.bind (Jsonx.member name ev) num in
@@ -909,7 +957,11 @@ let obs_cmd =
       with
       | Some _, Some "X", Some ts, Some dur, Some tid
         when ts >= 0. && dur >= 0. ->
-          Ok (int_of_float tid, ts, dur)
+          Ok
+            ( int_of_float tid,
+              ts,
+              dur,
+              (arg_int "span" ev, arg_int "parent" ev, arg_int "req" ev) )
       | _ -> Error (Printf.sprintf "event %d is not a well-formed span" i)
     in
     let check_nesting spans =
@@ -939,6 +991,62 @@ let obs_cmd =
               | _ -> Ok (e :: stack)))
         (Ok []) spans
     in
+    (* Id-mode: reassemble the parent–child tree across domains. *)
+    let check_tree spans =
+      let by_id = Hashtbl.create 64 in
+      let dup =
+        List.fold_left
+          (fun acc (_, ts, dur, (id, parent, req)) ->
+            match acc with
+            | Some _ -> acc
+            | None -> (
+                match id with
+                | None -> Some "a span is missing its \"span\" id arg"
+                | Some id ->
+                    if Hashtbl.mem by_id id then
+                      Some (Printf.sprintf "duplicate span id %d" id)
+                    else begin
+                      Hashtbl.replace by_id id (ts, dur, parent, req);
+                      None
+                    end))
+          None spans
+      in
+      match dup with
+      | Some m -> Error m
+      | None ->
+          Hashtbl.fold
+            (fun id (ts, dur, parent, req) acc ->
+              match acc with
+              | Error _ -> acc
+              | Ok () -> (
+                  match parent with
+                  | None -> Ok ()
+                  | Some p -> (
+                      match Hashtbl.find_opt by_id p with
+                      | None ->
+                          Error
+                            (Printf.sprintf "span %d: parent %d not in trace"
+                               id p)
+                      | Some (pts, pdur, _, preq) ->
+                          if ts +. eps < pts || ts +. dur > pts +. pdur +. eps
+                          then
+                            Error
+                              (Printf.sprintf
+                                 "span %d [%f, %f] escapes parent %d [%f, %f]"
+                                 id ts (ts +. dur) p pts (pts +. pdur))
+                          else if
+                            match (req, preq) with
+                            | Some r, Some pr -> r <> pr
+                            | _ -> false
+                          then
+                            Error
+                              (Printf.sprintf
+                                 "span %d carries a different request id than \
+                                  its parent %d"
+                                 id p)
+                          else Ok ())))
+            by_id (Ok ())
+    in
     let run file =
       let raw = In_channel.with_open_bin file In_channel.input_all in
       match Jsonx.parse raw with
@@ -958,30 +1066,46 @@ let obs_cmd =
               in
               match parsed with
               | Error m -> `Error (false, m)
-              | Ok spans -> (
-                  let by_tid = Hashtbl.create 8 in
-                  List.iter
-                    (fun (tid, ts, dur) ->
-                      let prev =
-                        Option.value (Hashtbl.find_opt by_tid tid) ~default:[]
-                      in
-                      Hashtbl.replace by_tid tid ((ts, dur) :: prev))
-                    spans;
-                  let bad =
-                    Hashtbl.fold
-                      (fun tid tspans acc ->
-                        match check_nesting tspans with
-                        | Ok _ -> acc
-                        | Error m -> (tid, m) :: acc)
-                      by_tid []
+              | Ok spans ->
+                  let id_mode =
+                    List.exists (fun (_, _, _, (id, _, _)) -> id <> None) spans
                   in
-                  match bad with
-                  | [] ->
-                      Format.printf "%d span(s) across %d thread(s): balanced@."
-                        (List.length spans) (Hashtbl.length by_tid);
-                      `Ok ()
-                  | (tid, m) :: _ ->
-                      `Error (false, Printf.sprintf "tid %d: %s" tid m)))
+                  if id_mode then begin
+                    match check_tree spans with
+                    | Ok () ->
+                        Format.printf
+                          "%d span(s): parent-child tree consistent@."
+                          (List.length spans);
+                        `Ok ()
+                    | Error m -> `Error (false, m)
+                  end
+                  else begin
+                    let by_tid = Hashtbl.create 8 in
+                    List.iter
+                      (fun (tid, ts, dur, _) ->
+                        let prev =
+                          Option.value (Hashtbl.find_opt by_tid tid)
+                            ~default:[]
+                        in
+                        Hashtbl.replace by_tid tid ((ts, dur) :: prev))
+                      spans;
+                    let bad =
+                      Hashtbl.fold
+                        (fun tid tspans acc ->
+                          match check_nesting tspans with
+                          | Ok _ -> acc
+                          | Error m -> (tid, m) :: acc)
+                        by_tid []
+                    in
+                    match bad with
+                    | [] ->
+                        Format.printf
+                          "%d span(s) across %d thread(s): balanced@."
+                          (List.length spans) (Hashtbl.length by_tid);
+                        `Ok ()
+                    | (tid, m) :: _ ->
+                        `Error (false, Printf.sprintf "tid %d: %s" tid m)
+                  end)
           | Some _ | None -> `Error (false, "trace has no traceEvents array"))
     in
     Cmd.v
@@ -992,10 +1116,100 @@ let obs_cmd =
             per thread.")
       Term.(ret (const run $ file_arg))
   in
+  let slow_cmd =
+    let socket_arg =
+      let doc = "Unix-domain socket of a running serve --listen server." in
+      Arg.(
+        value & opt (some string) None & info [ "socket" ] ~docv:"PATH" ~doc)
+    in
+    let tcp_arg =
+      let doc = "Loopback TCP port of a running serve --tcp server." in
+      Arg.(value & opt (some int) None & info [ "tcp" ] ~docv:"PORT" ~doc)
+    in
+    let limit_arg =
+      let doc = "Maximum entries to fetch (newest first, default 16)." in
+      Arg.(value & opt int 16 & info [ "limit" ] ~docv:"N" ~doc)
+    in
+    let run socket tcp limit =
+      let addr =
+        match (socket, tcp) with
+        | Some _, Some _ -> Error "--socket and --tcp are mutually exclusive"
+        | Some path, None -> Ok (Unix.ADDR_UNIX path)
+        | None, Some port ->
+            Ok (Unix.ADDR_INET (Unix.inet_addr_loopback, port))
+        | None, None -> Error "one of --socket or --tcp is required"
+      in
+      match addr with
+      | Error m -> `Error (false, m)
+      | Ok addr -> (
+          let domain =
+            match addr with
+            | Unix.ADDR_UNIX _ -> Unix.PF_UNIX
+            | Unix.ADDR_INET _ -> Unix.PF_INET
+          in
+          let fd = Unix.socket ~cloexec:true domain Unix.SOCK_STREAM 0 in
+          match
+            Fun.protect
+              ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+              (fun () ->
+                Unix.connect fd addr;
+                let req =
+                  Jsonx.to_string
+                    (Jsonx.Obj
+                       [
+                         ("id", Jsonx.Int 0);
+                         ("op", Jsonx.String "slow");
+                         ("limit", Jsonx.Int limit);
+                       ])
+                  ^ "\n"
+                in
+                let rec write_all off =
+                  if off < String.length req then
+                    write_all
+                      (off
+                      + Unix.write_substring fd req off
+                          (String.length req - off))
+                in
+                write_all 0;
+                let buf = Buffer.create 4096 in
+                let chunk = Bytes.create 4096 in
+                let rec read_line () =
+                  if not (String.contains (Buffer.contents buf) '\n') then
+                    match Unix.read fd chunk 0 (Bytes.length chunk) with
+                    | 0 -> ()
+                    | n ->
+                        Buffer.add_subbytes buf chunk 0 n;
+                        read_line ()
+                in
+                read_line ();
+                match String.index_opt (Buffer.contents buf) '\n' with
+                | Some i -> String.sub (Buffer.contents buf) 0 i
+                | None -> Buffer.contents buf)
+          with
+          | line ->
+              print_endline line;
+              `Ok ()
+          | exception Unix.Unix_error (err, fn, arg) ->
+              `Error
+                ( false,
+                  Printf.sprintf "%s(%s): %s" fn arg (Unix.error_message err)
+                ))
+    in
+    Cmd.v
+      (Cmd.info "slow"
+         ~doc:
+           "Fetch the slow-request ring of a running serve server (one \
+            \"slow\" request over its socket): entries newest first, each \
+            with request id, op, wall and queue time, per-layer stats and \
+            the captured span tree. Arm capture with serve --slow-ms.")
+      Term.(ret (const run $ socket_arg $ tcp_arg $ limit_arg))
+  in
   Cmd.group
     (Cmd.info "obs"
-       ~doc:"Observability utilities: metrics registry dump, trace validation.")
-    [ dump_cmd; check_trace_cmd ]
+       ~doc:
+         "Observability utilities: metrics registry dump, trace validation, \
+          slow-request ring of a live server.")
+    [ dump_cmd; check_trace_cmd; slow_cmd ]
 
 (* ------------------------------------------------------------------ *)
 (* bench                                                               *)
@@ -1177,6 +1391,11 @@ let dot_cmd =
 (* ------------------------------------------------------------------ *)
 
 let () =
+  (* The deterministic tick clock behind every golden test: timestamps
+     (trace, log, wall_ms) become reproducible counter reads. *)
+  (match Sys.getenv_opt "NETTOMO_FAKE_CLOCK" with
+  | None | Some "" | Some "0" -> ()
+  | Some _ -> Obs.Clock.use_fake ());
   let info =
     Cmd.info "nettomo" ~version:"1.0.0"
       ~doc:

@@ -49,13 +49,32 @@ type t = {
   default_seed : int;
   emit_wall_ms : bool;
   store : Store.t option;
+  slow_ms : float option;
   mutable session : Session.t option;
 }
 
-let create ?pool ?(seed = 7) ?(emit_wall_ms = true) ?store () =
-  { pool; default_seed = seed; emit_wall_ms; store; session = None }
+let create ?pool ?(seed = 7) ?(emit_wall_ms = true) ?store ?slow_ms () =
+  { pool; default_seed = seed; emit_wall_ms; store; slow_ms; session = None }
 
 let session t = t.session
+let slow_ms t = t.slow_ms
+
+(* Cheap single-field peeks for the socket dispatcher, which must
+   route a line (status / scrape interception) without handing it to
+   the pool. *)
+let peek_op line =
+  match Jsonx.parse line with
+  | Error _ -> None
+  | Ok req -> Option.bind (Jsonx.member "op" req) Jsonx.to_string_opt
+
+let request_id line =
+  match Jsonx.parse line with
+  | Error _ -> Jsonx.Null
+  | Ok req -> Option.value (Jsonx.member "id" req) ~default:Jsonx.Null
+
+let ok_response ?(id = Jsonx.Null) payload =
+  Jsonx.to_string
+    (Jsonx.Obj (("id", id) :: ("status", Jsonx.String "ok") :: payload))
 
 (* ------------------------------------------------------------------ *)
 (* Request field access
@@ -268,6 +287,40 @@ let eval_scratch ~seed net = function
       Result.map augment_payload (Session.Scratch.augment ~seed ~k net)
   | Q_solve -> Result.map solve_payload (Session.Scratch.solve ~seed net)
 
+let slow_entry_json (e : Obs.Slow.entry) =
+  Jsonx.Obj
+    [
+      ("req", Jsonx.Int e.Obs.Slow.req);
+      ("conn", Jsonx.Int e.Obs.Slow.conn);
+      ("op", Jsonx.String e.Obs.Slow.op);
+      ("session", Jsonx.String e.Obs.Slow.session);
+      ("wall_ms", Jsonx.Float (e.Obs.Slow.wall_s *. 1e3));
+      ("queue_ms", Jsonx.Float (e.Obs.Slow.queue_s *. 1e3));
+      ( "stats",
+        Jsonx.Obj
+          (List.map (fun (k, v) -> (k, Jsonx.Float v)) e.Obs.Slow.stats) );
+      ( "spans",
+        Jsonx.List
+          (List.map
+             (fun (name, _ts, dur, id, parent) ->
+               Jsonx.Obj
+                 [
+                   ("name", Jsonx.String name);
+                   ("dur_ms", Jsonx.Float (dur *. 1e3));
+                   ("id", Jsonx.Int id);
+                   ("parent", Jsonx.Int parent);
+                 ])
+             e.Obs.Slow.spans) );
+    ]
+
+let slow_payload ~limit =
+  [
+    ("count", Jsonx.Int (Obs.Slow.length ()));
+    ("capacity", Jsonx.Int (Obs.Slow.capacity ()));
+    ( "entries",
+      Jsonx.List (List.map slow_entry_json (Obs.Slow.recent ~limit ())) );
+  ]
+
 (* ------------------------------------------------------------------ *)
 (* Dispatch                                                            *)
 
@@ -410,9 +463,51 @@ let dispatch t req =
          cannot disagree. Needs no session: a client may scrape before
          loading. *)
       Ok [ ("metrics", Jsonx.String (Obs.Metrics.dump ())) ]
+  | "slow" ->
+      (* The process-wide slow-request ring (see Obs.Slow); needs no
+         session. [limit] caps the returned entries, newest first. *)
+      let* limit = opt_int_field "limit" ~default:16 req in
+      Ok (slow_payload ~limit)
+  | "status" ->
+      (* Liveness snapshot. In socket mode the dispatcher intercepts
+         this op and answers a richer version (uptime, connections)
+         without a pool round-trip; this fallback serves the stdin
+         loop, where there is no dispatcher and no saturation to
+         dodge. *)
+      let pool_fields =
+        match t.pool with
+        | Some p ->
+            [
+              ("pool_jobs", Jsonx.Int (Pool.jobs p));
+              ("pool_running", Jsonx.Int (Pool.running p));
+            ]
+        | None -> [ ("pool_jobs", Jsonx.Int 1); ("pool_running", Jsonx.Int 0) ]
+      in
+      let store_fields =
+        match t.store with
+        | Some s ->
+            let bytes, entries = Store.occupancy s in
+            [
+              ("store_bytes", Jsonx.Int bytes);
+              ("store_entries", Jsonx.Int entries);
+            ]
+        | None ->
+            [ ("store_bytes", Jsonx.Int 0); ("store_entries", Jsonx.Int 0) ]
+      in
+      Ok
+        ((("session_loaded", Jsonx.Bool (Option.is_some t.session))
+         :: pool_fields)
+        @ store_fields)
   | op -> bad_request "unknown op %S" op
 
-let handle_line t line =
+let handle_line ?ctx t line =
+  (* The request context: the socket dispatcher allocates one per line
+     (with the connection id) and passes it down; the stdin loop lets
+     this allocate (conn = -1). Either way the dispatch below runs
+     with it installed as the ambient context, so every span and log
+     event under it carries the request id. *)
+  let ctx = match ctx with Some c -> c | None -> Obs.Ctx.make () in
+  if Option.is_some t.slow_ms then Obs.Ctx.set_collect ctx true;
   let start = Obs.Clock.now () in
   let id, outcome =
     match Jsonx.parse line with
@@ -424,10 +519,47 @@ let handle_line t line =
           | Some op -> op
           | None -> "?"
         in
+        Obs.Ctx.set_op ctx op;
         ( id,
-          Obs.Trace.span ~attrs:[ ("op", op) ] "serve.request" (fun () ->
-              dispatch t req) )
+          Obs.Ctx.with_ctx ctx (fun () ->
+              Obs.Trace.span ~attrs:[ ("op", op) ] "serve.request" (fun () ->
+                  dispatch t req)) )
   in
+  (match t.session with
+  | Some s ->
+      Obs.Ctx.set_session ctx
+        (Fingerprint.to_string (Session.fingerprint s))
+  | None -> ());
+  (* One end-of-request clock read shared by wall_ms and the slow
+     check; skipped entirely when neither is on, so a bare run's
+     fake-clock tick sequence stays what it always was. *)
+  let finish =
+    if t.emit_wall_ms || Option.is_some t.slow_ms then Obs.Clock.now ()
+    else start
+  in
+  let wall = Float.max 0. (finish -. start) in
+  (match outcome with
+  | Ok _ ->
+      Obs.Log.info ~ctx "serve.request"
+        [ ("op", Obs.Log.Str (Obs.Ctx.op ctx)); ("ok", Obs.Log.Bool true) ]
+  | Error (code, m) ->
+      Obs.Log.warn ~ctx "serve.request"
+        [
+          ("op", Obs.Log.Str (Obs.Ctx.op ctx));
+          ("ok", Obs.Log.Bool false);
+          ("code", Obs.Log.Str (code_to_string code));
+          ("error", Obs.Log.Str m);
+        ]);
+  (match t.slow_ms with
+  | Some ms when wall *. 1e3 >= ms ->
+      Obs.Slow.note (Obs.Slow.of_ctx ctx ~wall_s:wall);
+      Obs.Log.warn ~ctx "serve.slow"
+        [
+          ("op", Obs.Log.Str (Obs.Ctx.op ctx));
+          ("wall_ms", Obs.Log.Float (wall *. 1e3));
+          ("queue_ms", Obs.Log.Float (Obs.Ctx.queue ctx *. 1e3));
+        ]
+  | Some _ | None -> ());
   let base =
     [
       ("id", id);
@@ -436,8 +568,7 @@ let handle_line t line =
     ]
   in
   let base =
-    if t.emit_wall_ms then
-      base @ [ ("wall_ms", Jsonx.Float ((Obs.Clock.now () -. start) *. 1e3)) ]
+    if t.emit_wall_ms then base @ [ ("wall_ms", Jsonx.Float (wall *. 1e3)) ]
     else base
   in
   let fields =

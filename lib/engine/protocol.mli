@@ -41,6 +41,17 @@
       the persistent-store counters ([store_hits] / [store_misses] /
       [store_corrupt_skips] / [store_puts] / [store_evictions], all
       zero when no store is attached).
+    - [{"op":"slow","limit":16}] — the process-wide slow-request ring
+      ({!Nettomo_obs.Obs.Slow}): entries newest first, each with the
+      request/connection ids, op, session fingerprint, wall and queue
+      time, the per-layer stat breakdown and the captured span tree.
+      Needs no session.
+    - [{"op":"status"}] — liveness snapshot. On the socket front door
+      the dispatcher intercepts this op and answers directly (uptime,
+      per-connection in-flight requests, pool utilization, store
+      occupancy) without a pool round-trip — it responds even when
+      every pool slot is busy. This module's fallback handles the
+      stdin loop.
 
     See the README for a worked transcript. *)
 
@@ -79,6 +90,7 @@ val create :
   ?seed:int ->
   ?emit_wall_ms:bool ->
   ?store:Nettomo_store.Store.t ->
+  ?slow_ms:float ->
   unit ->
   t
 (** A server with no session loaded. [pool] serves batch fan-out
@@ -87,14 +99,41 @@ val create :
     response field — golden-file tests turn it off for byte-stable
     output; [store] is handed to every session the server creates
     (sessions fall back to [NETTOMO_STORE] when absent, see
-    {!Session.create}). *)
+    {!Session.create}); [slow_ms] arms slow-request capture — any
+    request whose wall time reaches the threshold has its span tree
+    and per-layer breakdown pushed onto {!Nettomo_obs.Obs.Slow} and
+    logged at [warn]. *)
 
 val session : t -> Session.t option
 (** The live session, once a [load] succeeded. *)
 
-val handle_line : t -> string -> string
+val slow_ms : t -> float option
+(** The slow-capture threshold given to {!create}, if any. *)
+
+val handle_line : ?ctx:Nettomo_obs.Obs.Ctx.t -> t -> string -> string
 (** Process one request line into one response line (no trailing
-    newline). Never raises on malformed input. *)
+    newline). Never raises on malformed input.
+
+    [ctx] is the request's attribution context; the socket dispatcher
+    allocates it (carrying the connection id and the queue wait) and
+    the stdin loop omits it, in which case a fresh one (conn [-1]) is
+    allocated here. Dispatch runs with the context installed as the
+    domain's ambient {!Nettomo_obs.Obs.Ctx}, so every span and log
+    event emitted below carries the originating request id. *)
+
+val peek_op : string -> string option
+(** The ["op"] field of a request line, if the line parses and has
+    one — the socket dispatcher's routing peek (status interception)
+    that must not consume a pool slot. *)
+
+val request_id : string -> Nettomo_util.Jsonx.t
+(** The ["id"] field of a request line, [Null] when absent or
+    unparseable. *)
+
+val ok_response : ?id:Nettomo_util.Jsonx.t -> (string * Nettomo_util.Jsonx.t) list -> string
+(** A standalone ok response line (no trailing newline): [id],
+    ["status":"ok"], then [payload]. Used by the socket dispatcher for
+    responses it answers itself ([status]). *)
 
 val serve : t -> in_channel -> out_channel -> unit
 (** Read requests until EOF, writing and flushing one response per

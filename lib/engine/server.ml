@@ -35,6 +35,7 @@
 
 module Pool = Nettomo_util.Pool
 module Store = Nettomo_store.Store
+module Jsonx = Nettomo_util.Jsonx
 module Obs = Nettomo_obs.Obs
 
 type listen = Unix_socket of string | Tcp of int
@@ -49,6 +50,12 @@ type conn = {
   mutable out_head : string;  (* partially-written line, "" when none *)
   mutable out_off : int;
   mutable in_flight : bool;  (* one request running on the pool *)
+  mutable cur : (Obs.Ctx.t * string * float) option;
+      (* in-flight request: its context, op (dispatcher's peek) and
+         enqueue time — what the status endpoint reports per conn *)
+  mutable http : string option;
+      (* a "GET <path>" line arrived; waiting for the blank line that
+         ends the headers before answering and closing *)
   mutable eof : bool;  (* peer closed its write side *)
   mutable closing : bool;  (* flush outq, then close (overflow path) *)
   mutable dead : bool;  (* I/O error: close without flushing *)
@@ -63,6 +70,8 @@ type t = {
   max_conns : int;
   max_line_bytes : int;
   shed_wait_p95 : float option;
+  slow_ms : float option;
+  started : float;  (* Obs clock at create; status reports uptime from it *)
   listener : Unix.file_descr;
   actual_port : int option;  (* TCP only, after bind (port 0 resolves) *)
   pipe_r : Unix.file_descr;  (* self-pipe: workers wake the dispatcher *)
@@ -86,8 +95,8 @@ let default_max_line_bytes = 1 lsl 20
 let close_fd fd = try Unix.close fd with Unix.Unix_error (_, _, _) -> ()
 
 let create ?(seed = 7) ?(emit_wall_ms = true) ?store ?(max_conns = 64)
-    ?(max_line_bytes = default_max_line_bytes) ?shed_wait_p95 ?(backlog = 64)
-    ~pool listen =
+    ?(max_line_bytes = default_max_line_bytes) ?shed_wait_p95 ?slow_ms
+    ?(backlog = 64) ~pool listen =
   let bound fd k =
     match k () with
     | v -> v
@@ -131,6 +140,8 @@ let create ?(seed = 7) ?(emit_wall_ms = true) ?store ?(max_conns = 64)
     max_conns;
     max_line_bytes;
     shed_wait_p95;
+    slow_ms;
+    started = Obs.Clock.now ();
     listener;
     actual_port;
     pipe_r;
@@ -215,10 +226,17 @@ let should_shed t =
   match t.shed_wait_p95 with
   | None -> false
   | Some threshold ->
-      Obs.Metrics.histogram_quantile (Pool.queue_wait t.pool) 0.95 > threshold
+      (* Until the pool has completed at least one request the
+         queue-wait histogram is empty and its quantiles are a
+         conventional 0 — never shed on that placeholder (a negative
+         threshold would otherwise reject every first client). *)
+      let qw = Pool.queue_wait t.pool in
+      Obs.Metrics.histogram_count qw > 0
+      && Obs.Metrics.histogram_quantile qw 0.95 > threshold
 
 let shed t fd =
   Obs.Metrics.incr t.m_shed;
+  Obs.Log.warn "serve.shed" [ ("conns", Int (List.length t.conns)) ];
   let line =
     Protocol.error_response Protocol.Overloaded
       "server overloaded; retry later"
@@ -237,7 +255,7 @@ let add_conn t fd =
   t.next_cid <- cid + 1;
   let proto =
     Protocol.create ~pool:t.pool ~seed:t.seed ~emit_wall_ms:t.emit_wall_ms
-      ?store:t.store ()
+      ?store:t.store ?slow_ms:t.slow_ms ()
   in
   let c =
     {
@@ -250,6 +268,8 @@ let add_conn t fd =
       out_head = "";
       out_off = 0;
       in_flight = false;
+      cur = None;
+      http = None;
       eof = false;
       closing = false;
       dead = false;
@@ -257,7 +277,8 @@ let add_conn t fd =
   in
   t.conns <- t.conns @ [ c ];
   Obs.Metrics.incr t.m_conns_total;
-  Obs.Metrics.set_gauge t.m_conns (float_of_int (List.length t.conns))
+  Obs.Metrics.set_gauge t.m_conns (float_of_int (List.length t.conns));
+  Obs.Log.info "serve.accept" [ ("conn", Int cid) ]
 
 let accept_ready t =
   let rec go () =
@@ -299,10 +320,104 @@ let read_conn t c =
       ()
   | exception Unix.Unix_error (_, _, _) -> c.dead <- true
 
+(* ---------- dispatcher-answered endpoints ---------- *)
+
+(* The status snapshot and the Prometheus scrape are assembled and
+   written entirely on the dispatcher — no Pool.submit, no in_flight
+   slot — so they answer even when every worker is wedged and every
+   slot is taken. That liveness property is the whole point: the
+   concurrency test battery saturates the pool on purpose and then
+   scrapes. *)
+
+let status_fields t =
+  let now = Obs.Clock.now () in
+  let conns =
+    List.map
+      (fun c ->
+        let in_flight =
+          match c.cur with
+          | None -> []
+          | Some (ctx, op, enq) ->
+              [
+                ("req", Jsonx.Int (Obs.Ctx.req ctx));
+                ("op", Jsonx.String op);
+                ("age_ms", Jsonx.Float (Float.max 0. ((now -. enq) *. 1e3)));
+              ]
+        in
+        Jsonx.Obj
+          (( "conn", Jsonx.Int c.cid )
+          :: ("in_flight", Jsonx.Bool c.in_flight)
+          :: in_flight))
+      t.conns
+  in
+  let store_bytes, store_entries =
+    match t.store with None -> (0, 0) | Some s -> Store.occupancy s
+  in
+  [
+    ("uptime_s", Jsonx.Float (Float.max 0. (now -. t.started)));
+    ("connections", Jsonx.Int (List.length t.conns));
+    ("requests_total", Jsonx.Int (Obs.Metrics.counter_value t.m_requests));
+    ("shed_total", Jsonx.Int (Obs.Metrics.counter_value t.m_shed));
+    ("pool_jobs", Jsonx.Int (Pool.jobs t.pool));
+    ("pool_running", Jsonx.Int (Pool.running t.pool));
+    ("slow_captured", Jsonx.Int (Obs.Slow.length ()));
+    ("store_bytes", Jsonx.Int store_bytes);
+    ("store_entries", Jsonx.Int store_entries);
+    ("conns", Jsonx.List conns);
+  ]
+
+let is_http_get line =
+  String.length line >= 4 && String.sub line 0 4 = "GET "
+
+let http_path line =
+  match String.split_on_char ' ' (String.trim line) with
+  | _ :: path :: _ -> path
+  | _ -> "/"
+
+let http_response ~status ~content_type body =
+  Printf.sprintf
+    "HTTP/1.0 %s\r\nContent-Type: %s\r\nContent-Length: %d\r\nConnection: \
+     close\r\n\r\n%s"
+    status content_type (String.length body) body
+
+(* Raw write path for HTTP responses: [enqueue_out] appends the
+   JSON-lines '\n'; HTTP bodies carry their own Content-Length. *)
+let enqueue_out_raw c s =
+  Queue.push s c.outq;
+  try_flush c
+
+let respond_http t c path =
+  let resp =
+    match path with
+    | "/metrics" ->
+        http_response ~status:"200 OK"
+          ~content_type:"text/plain; version=0.0.4; charset=utf-8"
+          (Obs.Metrics.dump ())
+    | "/status" ->
+        http_response ~status:"200 OK" ~content_type:"application/json"
+          (Jsonx.to_string (Jsonx.Obj (status_fields t)) ^ "\n")
+    | _ ->
+        http_response ~status:"404 Not Found" ~content_type:"text/plain"
+          "only /metrics and /status are served\n"
+  in
+  Obs.Log.info "serve.scrape"
+    [ ("conn", Int c.cid); ("path", Str path) ];
+  Queue.clear c.pending;
+  c.closing <- true;
+  enqueue_out_raw c resp
+
 (* ---------- request dispatch & completion ---------- *)
 
-let submit_request t cid proto line =
-  Pool.submit t.pool (fun () ->
+let submit_request t c line =
+  let op = match Protocol.peek_op line with Some op -> op | None -> "" in
+  let ctx = Obs.Ctx.make ~conn:c.cid ~op () in
+  let enq = Obs.Clock.now () in
+  c.cur <- Some (ctx, op, enq);
+  let cid = c.cid and proto = c.proto in
+  let slow_armed = Option.is_some t.slow_ms in
+  Pool.submit ~ctx t.pool (fun () ->
+      if slow_armed then
+        Obs.Ctx.set_queue ctx (Float.max 0. (Obs.Clock.now () -. enq));
       let t0 = Obs.Clock.now () in
       Fun.protect
         ~finally:(fun () ->
@@ -310,7 +425,7 @@ let submit_request t cid proto line =
             (Float.max 0. (Obs.Clock.now () -. t0)))
         (fun () ->
           let resp =
-            match Protocol.handle_line proto line with
+            match Protocol.handle_line ~ctx proto line with
             | resp -> resp
             | exception e ->
                 (* handle_line never raises on bad input; what does get
@@ -332,10 +447,38 @@ let dispatch_ready t =
         let rec next () =
           match Queue.take_opt c.pending with
           | None -> ()
-          | Some line when String.trim line = "" -> next ()
-          | Some line ->
-              c.in_flight <- true;
-              submit_request t c.cid c.proto line
+          | Some line -> (
+              match c.http with
+              | Some path ->
+                  (* Header lines of a pending HTTP request: discard
+                     until the blank line that ends them, then answer
+                     and close. *)
+                  if String.trim line = "" then respond_http t c path;
+                  if not c.closing then next ()
+              | None ->
+                  if String.trim line = "" then next ()
+                  else if is_http_get line then begin
+                    c.http <- Some (http_path line);
+                    next ()
+                  end
+                  else if
+                    Option.equal String.equal (Protocol.peek_op line)
+                      (Some "status")
+                  then begin
+                    (* Answered inline: no in_flight slot is consumed,
+                       so per-connection FIFO order is preserved (the
+                       line was only popped because nothing is in
+                       flight) and fresh connections get a status line
+                       even under full pool saturation. *)
+                    enqueue_out c
+                      (Protocol.ok_response ~id:(Protocol.request_id line)
+                         (status_fields t));
+                    next ()
+                  end
+                  else begin
+                    c.in_flight <- true;
+                    submit_request t c line
+                  end)
         in
         next ()
       end)
@@ -352,6 +495,7 @@ let drain_completed t =
         (match List.find_opt (fun c -> c.cid = cid) t.conns with
         | Some c ->
             c.in_flight <- false;
+            c.cur <- None;
             Obs.Metrics.incr t.m_requests;
             if not c.dead then enqueue_out c resp
         | None -> () (* connection dropped while its request ran *));
@@ -385,7 +529,11 @@ let reap t =
   match gone with
   | [] -> ()
   | _ ->
-      List.iter (fun c -> close_fd c.fd) gone;
+      List.iter
+        (fun c ->
+          close_fd c.fd;
+          Obs.Log.info "serve.close" [ ("conn", Int c.cid) ])
+        gone;
       t.conns <- live;
       Obs.Metrics.set_gauge t.m_conns (float_of_int (List.length live))
 
@@ -442,7 +590,19 @@ let run t =
   Fun.protect
     ~finally:(fun () -> Sys.set_signal Sys.sigpipe prev_sigpipe)
     (fun () ->
+      Obs.Log.info "serve.listen"
+        [
+          ( "addr",
+            Str
+              (match t.listen with
+              | Unix_socket path -> path
+              | Tcp _ -> (
+                  match t.actual_port with
+                  | Some p -> Printf.sprintf "127.0.0.1:%d" p
+                  | None -> "tcp")) );
+        ];
       let clean = loop t ~drain_left:200 in
+      Obs.Log.info "serve.drain" [ ("clean", Bool clean) ];
       List.iter (fun c -> close_fd c.fd) t.conns;
       t.conns <- [];
       Obs.Metrics.set_gauge t.m_conns 0.;

@@ -33,6 +33,25 @@
     freed. A final line that reaches EOF without a trailing newline is
     a request ({!Framing}'s rule).
 
+    {b Attribution}: the dispatcher allocates one
+    {!Nettomo_obs.Obs.Ctx} per request (request id, connection id) and
+    hands it to {!Nettomo_util.Pool.submit} and
+    {!Protocol.handle_line}, so every span and structured log event a
+    request produces — on whichever domain it runs — carries the
+    originating request id. Connection lifecycle is logged on
+    {!Nettomo_obs.Obs.Log}: [serve.listen], [serve.accept],
+    [serve.shed], [serve.scrape], [serve.close], [serve.drain].
+
+    {b Dispatcher-answered endpoints}: a [{"op":"status"}] request
+    line, and plain HTTP [GET /metrics] (Prometheus text format,
+    {!Nettomo_obs.Obs.Metrics.dump}) / [GET /status] (the same JSON
+    snapshot; the HTTP connection closes after the response), are
+    answered directly by the dispatcher without a pool round-trip —
+    they respond even when every pool slot is busy, which is what
+    makes them usable as liveness probes under saturation. The status
+    snapshot reports uptime, per-connection in-flight request id / op
+    / age, pool and slow-ring utilization and store occupancy.
+
     Exported metrics (process registry): [serve_connections] gauge,
     [serve_connections_total], [serve_shed_total],
     [serve_requests_total] counters, [serve_request_seconds]
@@ -53,17 +72,21 @@ val create :
   ?max_conns:int ->
   ?max_line_bytes:int ->
   ?shed_wait_p95:float ->
+  ?slow_ms:float ->
   ?backlog:int ->
   pool:Nettomo_util.Pool.t ->
   listen ->
   t
 (** Bind and listen immediately (clients may connect before {!run}
-    starts; they are served once it does). [seed], [emit_wall_ms] and
-    [store] are handed to every connection's {!Protocol.create}.
-    [max_conns] (default 64) and [shed_wait_p95] (seconds; default
-    off) drive shedding; [max_line_bytes] (default 1 MiB) bounds a
-    single request line; [backlog] (default 64) is the kernel accept
-    queue. @raise Unix.Unix_error when the address cannot be bound. *)
+    starts; they are served once it does). [seed], [emit_wall_ms],
+    [store] and [slow_ms] (slow-request capture threshold, see
+    {!Protocol.create}) are handed to every connection's
+    {!Protocol.create}. [max_conns] (default 64) and [shed_wait_p95]
+    (seconds; default off — and inert until the pool's queue-wait
+    histogram has at least one observation) drive shedding;
+    [max_line_bytes] (default 1 MiB) bounds a single request line;
+    [backlog] (default 64) is the kernel accept queue.
+    @raise Unix.Unix_error when the address cannot be bound. *)
 
 val run : t -> unit
 (** The dispatcher loop: accept, read, dispatch to the pool, write —

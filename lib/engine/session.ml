@@ -89,8 +89,17 @@ type counters = {
   c_measure_links_recovered : Obs.Metrics.counter;
 }
 
-let memo_hit c q = Obs.Metrics.incr c.c_memo_hits.(query_index q)
-let memo_miss c q = Obs.Metrics.incr c.c_memo_misses.(query_index q)
+let query_label q = List.nth query_labels (query_index q)
+
+let memo_hit c q =
+  Obs.Metrics.incr c.c_memo_hits.(query_index q);
+  Obs.Ctx.add_ambient "memo.hits" 1.;
+  Obs.Log.debug "session.memo_hit" [ ("query", Obs.Log.Str (query_label q)) ]
+
+let memo_miss c q =
+  Obs.Metrics.incr c.c_memo_misses.(query_index q);
+  Obs.Ctx.add_ambient "memo.misses" 1.;
+  Obs.Log.debug "session.memo_miss" [ ("query", Obs.Log.Str (query_label q)) ]
 
 type entry = {
   mutable e_identifiable : (bool, string) result option;
@@ -207,10 +216,32 @@ let seed t = t.seed
 let store t = t.store
 
 let store_find t key decode =
-  match t.store with None -> None | Some s -> Store.find_with s key ~decode
+  match t.store with
+  | None -> None
+  | Some s ->
+      let r = Store.find_with s key ~decode in
+      Obs.Log.debug
+        (if Option.is_some r then "session.store_hit" else "session.store_miss")
+        [ ("key", Obs.Log.Str key) ];
+      r
 
 let store_put t key payload =
-  match t.store with None -> () | Some s -> Store.put s key payload
+  match t.store with
+  | None -> ()
+  | Some s ->
+      Store.put s key payload;
+      Obs.Log.debug "session.store_put"
+        [
+          ("key", Obs.Log.Str key);
+          ("bytes", Obs.Log.Int (String.length payload));
+        ]
+
+(* A cache-miss full computation: counted on the registry and
+   attributed to the ambient request, which is what the slow-request
+   per-layer breakdown reports. *)
+let full_compute t =
+  Obs.Metrics.incr t.counters.c_full_computes;
+  Obs.Ctx.add_ambient "full_computes" 1.
 
 let stats t =
   let c = t.counters in
@@ -586,7 +617,7 @@ let compute_identifiable t =
               match store_find t key Codec.decode_identifiable with
               | Some r -> r
               | None ->
-                  Obs.Metrics.incr t.counters.c_full_computes;
+                  full_compute t;
                   let r =
                     Obs.Trace.span
                       ~attrs:[ ("query", "identifiable") ]
@@ -648,9 +679,11 @@ let decomposition t =
               match Hashtbl.find_opt t.tricache key with
               | Some comps ->
                   Obs.Metrics.incr t.counters.c_block_hits;
+                  Obs.Ctx.add_ambient "block.hits" 1.;
                   (block, comps)
               | None ->
                   Obs.Metrics.incr t.counters.c_block_misses;
+                  Obs.Ctx.add_ambient "block.misses" 1.;
                   let skey = Codec.key_components key in
                   let comps =
                     match store_find t skey Codec.decode_components with
@@ -732,7 +765,7 @@ let mmp t =
               let g = Net.graph t.net in
               let r =
                 if (not (Graph.is_empty g)) && is_connected_now t then begin
-                  Obs.Metrics.incr t.counters.c_full_computes;
+                  full_compute t;
                   Obs.Trace.span
                     ~attrs:[ ("query", "mmp") ]
                     "session.compute"
@@ -766,7 +799,7 @@ let classify t =
           match store_find t key Codec.decode_classification with
           | Some r -> r
           | None ->
-              Obs.Metrics.incr t.counters.c_full_computes;
+              full_compute t;
               let r =
                 Obs.Trace.span
                   ~attrs:[ ("query", "classify") ]
@@ -798,7 +831,7 @@ let plan t =
           match store_find t key (Codec.decode_plan ~net:t.net) with
           | Some r -> r
           | None ->
-              Obs.Metrics.incr t.counters.c_full_computes;
+              full_compute t;
               let r =
                 Obs.Trace.span
                   ~attrs:[ ("query", "plan") ]
@@ -853,7 +886,7 @@ let coverage t =
           match store_find t key Codec.decode_coverage with
           | Some r -> r
           | None ->
-              Obs.Metrics.incr t.counters.c_full_computes;
+              full_compute t;
               let r =
                 Obs.Trace.span
                   ~attrs:[ ("query", "coverage") ]
@@ -895,7 +928,7 @@ let augment t ~k =
           match store_find t key Codec.decode_augment with
           | Some r -> r
           | None ->
-              Obs.Metrics.incr t.counters.c_full_computes;
+              full_compute t;
               let r =
                 Obs.Trace.span
                   ~attrs:[ ("query", "augment") ]
@@ -970,7 +1003,7 @@ let solve t =
           match store_find t key Codec.decode_solution with
           | Some r -> r
           | None ->
-              Obs.Metrics.incr t.counters.c_full_computes;
+              full_compute t;
               let r =
                 Obs.Trace.span
                   ~attrs:[ ("query", "solve") ]

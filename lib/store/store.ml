@@ -197,6 +197,15 @@ let stats t =
     evictions = Obs.Metrics.counter_value t.c.evictions;
   }
 
+let occupancy t =
+  if not t.usable then (0, 0)
+  else begin
+    Mutex.lock t.lock;
+    let bytes = t.bytes in
+    Mutex.unlock t.lock;
+    (bytes, List.length (scan_raw t.dir))
+  end
+
 (* ---------- reads ---------- *)
 
 let touch path =
@@ -219,19 +228,28 @@ let find_with t key ~decode =
         match read_file path with
         | None ->
             Obs.Metrics.incr t.c.misses;
+            Obs.Ctx.add_ambient "store.misses" 1.;
             None
         | Some raw -> (
             match unpack raw with
             | None ->
                 Obs.Metrics.incr t.c.corrupt_skips;
+                Obs.Ctx.add_ambient "store.corrupt_skips" 1.;
+                Obs.Log.warn "store.corrupt" [ ("key", Obs.Log.Str key) ];
                 None
             | Some payload -> (
                 match decode payload with
                 | None ->
                     Obs.Metrics.incr t.c.corrupt_skips;
+                    Obs.Ctx.add_ambient "store.corrupt_skips" 1.;
+                    Obs.Log.warn "store.corrupt"
+                      [ ("key", Obs.Log.Str key); ("stage", Obs.Log.Str "decode") ];
                     None
                 | Some v ->
                     Obs.Metrics.incr t.c.hits;
+                    Obs.Ctx.add_ambient "store.hits" 1.;
+                    Obs.Ctx.add_ambient "store.bytes"
+                      (float_of_int (String.length payload));
                     touch path;
                     Some v)))
 
@@ -251,6 +269,9 @@ let gc_if_over_locked t =
       (fun () ->
         let removed, remaining = evict_down t.dir ~max_bytes:t.max_bytes in
         Obs.Metrics.incr ~by:removed t.c.evictions;
+        if removed > 0 then
+          Obs.Log.info "store.evict"
+            [ ("removed", Obs.Log.Int removed); ("bytes", Obs.Log.Int remaining) ];
         t.bytes <- remaining))
 
 let put t key payload =
@@ -282,6 +303,8 @@ let put t key payload =
             try Sys.remove tmp with Sys_error _ -> ())
         | () ->
             Obs.Metrics.incr t.c.puts;
+            Obs.Ctx.add_ambient "store.put_bytes"
+              (float_of_int (String.length raw));
             Mutex.lock t.lock;
             Fun.protect
               ~finally:(fun () -> Mutex.unlock t.lock)

@@ -87,6 +87,18 @@ type stats = {
 val stats : t -> stats
 (** Counters since {!open_dir} on this handle (not persisted). *)
 
+val occupancy : t -> int * int
+(** [(bytes, entries)] currently on disk: the maintained byte total
+    (approximate, see [put]) and the entry-file count from one
+    directory scan. [(0, 0)] on an inert store. Served by the serve
+    [status] endpoint without touching the worker pool.
+
+    Reads attributed to an ambient {!Nettomo_obs.Obs.Ctx} also
+    accumulate per-request [store.hits] / [store.misses] /
+    [store.corrupt_skips] / [store.bytes] stats, and corrupt skips and
+    eviction passes emit [store.corrupt] / [store.evict] events on
+    {!Nettomo_obs.Obs.Log}. *)
+
 (** {1 Offline maintenance}
 
     Directory-level operations for the [nettomo store] CLI: they do not

@@ -140,6 +140,7 @@ let set_idle pool idle =
   Obs.Metrics.set_gauge pool.metrics.m_idle (float_of_int idle)
 
 let queue_wait pool = pool.metrics.m_queue_wait
+let running pool = Atomic.get pool.metrics.m_running
 
 (* Long-lived serving (the socket front door) reuses the same worker
    slots as batch fan-out: [submit] enqueues a one-off task and returns
@@ -151,8 +152,19 @@ let queue_wait pool = pool.metrics.m_queue_wait
    a drained server reads [idle_slots = jobs]; the counter is atomic,
    the gauge write is last-writer-wins across workers — an approximate
    instrument, never a synchronization point. *)
-let submit pool task =
+let submit ?ctx pool task =
   if pool.closed then Errors.invalid_arg "Pool.submit: pool is closed";
+  (* Fork the request context on the submitting domain: the fork
+     captures the submitter's innermost open span as the parent, so
+     spans recorded by the task on a worker domain link back across
+     the domain boundary. *)
+  let task =
+    match ctx with
+    | None -> task
+    | Some c ->
+        let c = Obs.Ctx.fork c in
+        fun () -> Obs.Ctx.with_ctx c task
+  in
   let accounted () =
     let running = 1 + Atomic.fetch_and_add pool.metrics.m_running 1 in
     set_idle pool (max 0 (pool.jobs - running));
@@ -207,19 +219,33 @@ let map ?chunk pool f items =
         Mutex.unlock fin_lock
       end
     in
+    (* Batch fan-out under a request: fork the caller's ambient
+       context once, at map entry, so every chunk — wherever it is
+       scheduled — runs attributed to the same request with its parent
+       span pointing at the span that called [map]. *)
+    let amb_ctx =
+      match Obs.Ctx.current () with
+      | None -> None
+      | Some c -> Some (Obs.Ctx.fork c)
+    in
     let run_chunk c =
       (* A failed call skips the compute of its remaining chunks but
          still counts them down, so the caller's wait terminates. *)
-      (if Option.is_none (Atomic.get failed) then
-         let lo = c * chunk in
-         let hi = min n (lo + chunk) - 1 in
-         try
-           for i = lo to hi do
-             results.(i) <- Some (f items.(i))
-           done
-         with e ->
-           let bt = Printexc.get_raw_backtrace () in
-           ignore (Atomic.compare_and_set failed None (Some (e, bt))));
+      let compute () =
+        if Option.is_none (Atomic.get failed) then
+          let lo = c * chunk in
+          let hi = min n (lo + chunk) - 1 in
+          try
+            for i = lo to hi do
+              results.(i) <- Some (f items.(i))
+            done
+          with e ->
+            let bt = Printexc.get_raw_backtrace () in
+            ignore (Atomic.compare_and_set failed None (Some (e, bt)))
+      in
+      (match amb_ctx with
+      | None -> compute ()
+      | Some fc -> Obs.Ctx.with_ctx fc compute);
       finish_one ()
     in
     let enqueued_at = Obs.Clock.now () in

@@ -45,6 +45,12 @@ val queue_wait : t -> Nettomo_obs.Obs.Metrics.histogram
     the serve front door, read through
     {!Nettomo_obs.Obs.Metrics.histogram_quantile}. *)
 
+val running : t -> int
+(** Number of {!submit}ted tasks currently executing — the
+    numerator of pool utilization as reported by the serve [status]
+    endpoint. Instantaneous and approximate (an atomic read, not a
+    synchronization point). *)
+
 val recommended_jobs : unit -> int
 (** The runtime's recommended domain count for this machine
     ([Domain.recommended_domain_count]), at least 1. *)
@@ -54,12 +60,21 @@ val map : ?chunk:int -> t -> ('a -> 'b) -> 'a array -> 'b array
     chunks of [chunk] consecutive items (default: items split about
     four ways per worker, at least 1). Result order matches input
     order regardless of scheduling. Raises [Invalid_argument] if
-    [chunk <= 0]. *)
+    [chunk <= 0].
 
-val submit : t -> (unit -> unit) -> unit
+    When the calling domain has an ambient {!Nettomo_obs.Obs.Ctx}
+    installed, it is {!Nettomo_obs.Obs.Ctx.fork}ed once at map entry
+    and installed around every chunk, so spans recorded inside [f] on
+    worker domains carry the originating request id and parent to the
+    span that called [map]. *)
+
+val submit : ?ctx:Nettomo_obs.Obs.Ctx.t -> t -> (unit -> unit) -> unit
 (** [submit pool task] enqueues a one-off task for the worker domains
     and returns immediately; unlike {!map} the caller does not
-    participate. On a [jobs = 1] pool (which spawns no workers) the
+    participate. When [ctx] is given it is forked on the submitting
+    domain and installed as the ambient context around [task], so
+    spans and log events emitted by the task carry the originating
+    request id. On a [jobs = 1] pool (which spawns no workers) the
     task instead runs synchronously in the caller before [submit]
     returns — serial execution, never deadlock, consistent with the
     pool-wide [jobs = 1] contract. Tasks run in FIFO order but

@@ -121,6 +121,23 @@ let table =
      \  let t0 = Obs.Clock.now () in\n\
      \  work ();\n\
      \  Obs.Metrics.observe h (Obs.Clock.now () -. t0)\n");
+    (* no-raw-stderr ---------------------------------------------- *)
+    ("Printf.eprintf", "no-raw-stderr", "lib/x/f.ml", 1,
+     "let warn m = Printf.eprintf \"warn: %s\\n\" m\n");
+    ("Format.eprintf", "no-raw-stderr", "lib/x/f.ml", 1,
+     "let warn m = Format.eprintf \"warn: %s@.\" m\n");
+    ("prerr_endline", "no-raw-stderr", "lib/x/f.ml", 1,
+     "let warn m = prerr_endline m\n");
+    ("prerr_string in bench", "no-raw-stderr", "bench/f.ml", 1,
+     "let warn m = prerr_string m\n");
+    ("Obs.Log passes", "no-raw-stderr", "lib/x/f.ml", 0,
+     "let warn m = Obs.Log.warn \"x.warn\" [ (\"m\", Obs.Log.Str m) ]\n");
+    ("printf to stdout passes", "no-raw-stderr", "lib/x/f.ml", 0,
+     "let say m = Printf.printf \"%s\\n\" m\n");
+    ("bin/ keeps raw stderr", "no-raw-stderr", "bin/cli.ml", 0,
+     "let usage m = Printf.eprintf \"usage: %s\\n\" m\n");
+    ("obs.ml allowlisted", "no-raw-stderr", "lib/obs/obs.ml", 0,
+     "let emergency m = Printf.eprintf \"%s\\n\" m\n");
   ]
 
 let test_table () =
@@ -265,7 +282,7 @@ let test_list_rules_covers_new_rules () =
     [
       "unsafe-shared-mutable"; "poly-compare"; "hashtbl-iter-order";
       "catch-all-swallow"; "span-bracket"; "obj-magic"; "bare-failwith";
-      "wall-clock"; "catch-all-try"; "todo-issue";
+      "wall-clock"; "no-raw-stderr"; "catch-all-try"; "todo-issue";
     ];
   check cb "every rule has a fix hint" true
     (List.for_all (fun id -> L.fix_hint id <> None) ids)

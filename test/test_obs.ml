@@ -193,6 +193,183 @@ let test_histogram_quantile () =
   check cf "q below 0 clamps" 1. (Obs.Metrics.histogram_quantile h (-3.));
   check cf "q above 1 clamps" 8. (Obs.Metrics.histogram_quantile h 7.)
 
+let test_trace_ring_wrap () =
+  (* The span ring holds 65536 events; the name-keyed aggregates and
+     the recent-events window must both survive a wrap. *)
+  with_fake_tracing (fun () ->
+      let n = 65536 + 1000 in
+      for _ = 1 to n do
+        Obs.Trace.span "wrapped" (fun () -> ())
+      done;
+      (match List.assoc_opt "wrapped" (Obs.Trace.summary ()) with
+      | Some (count, _) -> check ci "aggregate counts every span" n count
+      | None -> Alcotest.fail "span name missing from summary");
+      let evs = Obs.Trace.events () in
+      check ci "ring serves the newest 65536" 65536 (List.length evs);
+      check Alcotest.bool "every surviving event is the wrapped span" true
+        (List.for_all (fun (name, _, _, _) -> String.equal name "wrapped") evs))
+
+let test_ctx_identity_and_stats () =
+  Obs.Ctx.reset_ids ();
+  let a = Obs.Ctx.make ~conn:3 ~op:"load" () in
+  let b = Obs.Ctx.make () in
+  check ci "request ids count up from 1" 1 (Obs.Ctx.req a);
+  check ci "each make gets a fresh id" 2 (Obs.Ctx.req b);
+  check ci "conn as given" 3 (Obs.Ctx.conn a);
+  check ci "conn defaults to -1" (-1) (Obs.Ctx.conn b);
+  check Alcotest.bool "no ambient ctx outside with_ctx" true
+    (Obs.Ctx.current () = None);
+  Obs.Ctx.with_ctx a (fun () ->
+      (match Obs.Ctx.current () with
+      | Some c -> check ci "ambient ctx is the installed one" 1 (Obs.Ctx.req c)
+      | None -> Alcotest.fail "no ambient ctx inside with_ctx");
+      Obs.Ctx.add_ambient "memo.hits" 1.;
+      Obs.Ctx.add_ambient "memo.hits" 2.;
+      Obs.Ctx.add_ambient "store.bytes" 10.);
+  check Alcotest.bool "ambient ctx restored on exit" true
+    (Obs.Ctx.current () = None);
+  check
+    (Alcotest.list (Alcotest.pair cs cf))
+    "stats accumulate and come back sorted"
+    [ ("memo.hits", 3.); ("store.bytes", 10.) ]
+    (Obs.Ctx.stats a);
+  (* A fork shares the stats sink: attribution survives the domain
+     hop that Pool.submit performs. *)
+  let f = Obs.Ctx.fork a in
+  Obs.Ctx.with_ctx f (fun () -> Obs.Ctx.add_ambient "memo.hits" 1.);
+  check cf "fork writes land in the origin ctx" 4.
+    (List.assoc "memo.hits" (Obs.Ctx.stats a));
+  Obs.Ctx.reset_ids ()
+
+let with_log_buffer f =
+  let buf = Buffer.create 256 in
+  Fun.protect
+    ~finally:(fun () ->
+      Obs.Log.disable ();
+      Obs.Log.set_level Obs.Log.Info;
+      Obs.Log.set_rate_limit 200;
+      Obs.Clock.use_real ())
+    (fun () ->
+      Obs.Clock.use_fake ~start:0. ~step:0.001 ();
+      Obs.Log.to_buffer buf;
+      f buf)
+
+let test_log_field_order_and_gate () =
+  let run () =
+    with_log_buffer (fun buf ->
+        let ctx = Obs.Ctx.make ~conn:2 () in
+        Obs.Log.info ~ctx "serve.request"
+          [ ("op", Obs.Log.Str "load"); ("ok", Obs.Log.Bool true) ];
+        Obs.Log.debug "dropped.by.level" [];
+        Obs.Log.warn "store.corrupt" [ ("bytes", Obs.Log.Int 7) ];
+        Buffer.contents buf)
+  in
+  Obs.Ctx.reset_ids ();
+  let first = run () in
+  Obs.Ctx.reset_ids ();
+  let second = run () in
+  check cs "two runs under the fake clock are byte-identical" first second;
+  (match String.split_on_char '\n' first with
+  | [ line1; line2; "" ] ->
+      check cs "fixed field order: ts, level, event, req, conn, fields"
+        {|{"ts":0.000000,"level":"info","event":"serve.request","req":1,"conn":2,"op":"load","ok":true}|}
+        line1;
+      check Alcotest.bool "debug filtered below the level gate" true
+        (not (contains first "dropped.by.level"));
+      check Alcotest.bool "warn passes the info gate" true
+        (contains line2 {|"event":"store.corrupt"|});
+      check Alcotest.bool "conn omitted when not attributed" true
+        (not (contains line2 {|"conn"|}))
+  | lines ->
+      Alcotest.failf "expected 2 log lines, got %d" (List.length lines - 1));
+  (* Every line is parseable JSON. *)
+  String.split_on_char '\n' first
+  |> List.iter (fun l ->
+         if String.length l > 0 then
+           match Jsonx.parse l with
+           | Ok _ -> ()
+           | Error m -> Alcotest.failf "log line is not JSON (%s): %s" m l)
+
+let test_log_rate_limit () =
+  with_log_buffer (fun buf ->
+      (* step 0.001 and a 1 s window: the first [limit] events pass,
+         the rest of the window drops, and the roll-over emits one
+         log.suppressed accounting for the drops. *)
+      Obs.Log.set_rate_limit 2;
+      for _ = 1 to 1100 do
+        Obs.Log.info "noisy.event" []
+      done;
+      let out = Buffer.contents buf in
+      let lines =
+        List.filter
+          (fun l -> String.length l > 0)
+          (String.split_on_char '\n' out)
+      in
+      let count needle =
+        List.length (List.filter (fun l -> contains l needle) lines)
+      in
+      check Alcotest.bool "noisy event capped well below 1100" true
+        (count {|"event":"noisy.event"|} <= 6);
+      check Alcotest.bool "drops are accounted" true
+        (count {|"event":"log.suppressed"|} >= 1);
+      check Alcotest.bool "suppressed line names the event" true
+        (contains out {|"of":"noisy.event"|}))
+
+let test_slow_ring_bounded () =
+  Fun.protect
+    ~finally:(fun () ->
+      Obs.Slow.clear ();
+      Obs.Slow.set_capacity 64)
+    (fun () ->
+      Obs.Slow.clear ();
+      Obs.Slow.set_capacity 4;
+      for i = 1 to 10 do
+        let ctx = Obs.Ctx.make ~conn:i () in
+        Obs.Slow.note (Obs.Slow.of_ctx ctx ~wall_s:(float_of_int i))
+      done;
+      check ci "ring holds at most its capacity" 4 (Obs.Slow.length ());
+      (match Obs.Slow.recent () with
+      | newest :: _ ->
+          check cf "newest first" 10. newest.Obs.Slow.wall_s
+      | [] -> Alcotest.fail "ring is empty");
+      check ci "recent ?limit truncates" 2
+        (List.length (Obs.Slow.recent ~limit:2 ())))
+
+(* The cross-domain contract: a span opened by a pool worker on
+   another domain links to the span that was open on the submitting
+   domain, and the link is the same whatever the worker count. *)
+let test_cross_domain_parent_links () =
+  let run jobs =
+    Pool.with_pool ~jobs (fun pool ->
+        let ctx = Obs.Ctx.make ~collect:true () in
+        Obs.Ctx.with_ctx ctx (fun () ->
+            Obs.Trace.span "outer" (fun () ->
+                ignore
+                  (Pool.map ~chunk:1 pool
+                     (fun i -> Obs.Trace.span "chunk" (fun () -> i * i))
+                     (Array.init 16 (fun i -> i)))));
+        Obs.Ctx.spans ctx)
+  in
+  let check_tree spans =
+    let outer_id =
+      match
+        List.find_opt (fun (n, _, _, _, _) -> String.equal n "outer") spans
+      with
+      | Some (_, _, _, id, _) -> id
+      | None -> Alcotest.fail "outer span not collected"
+    in
+    let chunks =
+      List.filter (fun (n, _, _, _, _) -> String.equal n "chunk") spans
+    in
+    check ci "one chunk span per item" 16 (List.length chunks);
+    List.iter
+      (fun (_, _, _, _, parent) ->
+        check ci "chunk links to the submitting span" outer_id parent)
+      chunks
+  in
+  check_tree (run 1);
+  check_tree (run 4)
+
 let suite =
   [
     Alcotest.test_case "histogram bucket edges are inclusive" `Quick
@@ -211,4 +388,16 @@ let suite =
       test_concurrent_counter_sum_exact;
     Alcotest.test_case "summary aggregates across spans" `Quick
       test_summary_survives_clear_boundary;
+    Alcotest.test_case "trace ring wraps without losing aggregates" `Quick
+      test_trace_ring_wrap;
+    Alcotest.test_case "ctx identity, ambient stats and fork" `Quick
+      test_ctx_identity_and_stats;
+    Alcotest.test_case "log field order, level gate, determinism" `Quick
+      test_log_field_order_and_gate;
+    Alcotest.test_case "log rate limit accounts its drops" `Quick
+      test_log_rate_limit;
+    Alcotest.test_case "slow ring is bounded, newest first" `Quick
+      test_slow_ring_bounded;
+    Alcotest.test_case "cross-domain parent links are jobs-invariant" `Quick
+      test_cross_domain_parent_links;
   ]

@@ -5,6 +5,7 @@
 
 module Protocol = Nettomo_engine.Protocol
 module Jsonx = Nettomo_util.Jsonx
+module Obs = Nettomo_obs.Obs
 
 let check = Alcotest.check
 let cb = Alcotest.bool
@@ -166,6 +167,61 @@ let test_solve_op () =
   let b = Protocol.handle_line s {|{"id":3,"op":"solve"}|} in
   check cs "repeat solve is byte-identical" a b
 
+let member_int name v =
+  match Jsonx.member name v with
+  | Some (Jsonx.Int i) -> Some i
+  | Some _ | None -> None
+
+let test_status_op () =
+  let s = fresh () in
+  (* Needs no session; the stdin fallback reports a one-job "pool". *)
+  let v = parse_response (Protocol.handle_line s {|{"id":1,"op":"status"}|}) in
+  check cs "status" "ok" (Option.value (member_string "status" v) ~default:"?");
+  check cb "session_loaded false before load" true
+    (Jsonx.member "session_loaded" v = Some (Jsonx.Bool false));
+  check Alcotest.int "pool_jobs" 1
+    (Option.value (member_int "pool_jobs" v) ~default:(-1));
+  check Alcotest.int "pool_running" 0
+    (Option.value (member_int "pool_running" v) ~default:(-1));
+  expect_ok s ~name:"load" fig1_line;
+  let v = parse_response (Protocol.handle_line s {|{"id":2,"op":"status"}|}) in
+  check cb "session_loaded true after load" true
+    (Jsonx.member "session_loaded" v = Some (Jsonx.Bool true))
+
+let test_slow_op () =
+  Obs.Slow.clear ();
+  Fun.protect
+    ~finally:(fun () -> Obs.Slow.clear ())
+    (fun () ->
+      (* slow_ms = 0 captures every request. *)
+      let s = Protocol.create ~emit_wall_ms:false ~slow_ms:0. () in
+      expect_ok s ~name:"load" fig1_line;
+      expect_ok s ~name:"identifiable" {|{"id":2,"op":"identifiable"}|};
+      let v =
+        parse_response
+          (Protocol.handle_line s {|{"id":3,"op":"slow","limit":1}|})
+      in
+      check cs "status" "ok"
+        (Option.value (member_string "status" v) ~default:"?");
+      check cb "count covers the captured requests" true
+        (match member_int "count" v with Some c -> c >= 2 | None -> false);
+      (match Jsonx.member "entries" v with
+      | Some (Jsonx.List [ e ]) ->
+          (* limit honoured, newest first: the identifiable request. *)
+          check cs "newest entry is the identifiable request" "identifiable"
+            (Option.value (member_string "op" e) ~default:"?");
+          check cb "entry carries a request id" true
+            (match member_int "req" e with Some r -> r > 0 | None -> false)
+      | Some j -> Alcotest.failf "entries: %s" (Jsonx.to_string j)
+      | None -> Alcotest.fail "slow response lacks entries");
+      (* A ring without captures answers ok with zero entries. *)
+      Obs.Slow.clear ();
+      let v =
+        parse_response (Protocol.handle_line s {|{"id":4,"op":"slow"}|})
+      in
+      check cb "empty ring: zero count" true
+        (member_int "count" v = Some 0))
+
 let test_metrics_op () =
   let s = fresh () in
   (* metrics needs no loaded session... *)
@@ -286,6 +342,9 @@ let suite =
       test_batch_suberror_code;
     Alcotest.test_case "solve op recovers every link metric" `Quick
       test_solve_op;
+    Alcotest.test_case "status op: stdin fallback snapshot" `Quick
+      test_status_op;
+    Alcotest.test_case "slow op: ring query with limit" `Quick test_slow_op;
     Alcotest.test_case "metrics op dumps the registry" `Quick test_metrics_op;
     Alcotest.test_case "framing: incremental chunks" `Quick test_framing_chunks;
     Alcotest.test_case "framing: oversized lines" `Quick test_framing_overflow;

@@ -155,14 +155,14 @@ let fresh_sock_path () =
   Filename.concat (Filename.get_temp_dir_name ())
     (Printf.sprintf "nettomo-test-%d-%d.sock" (Unix.getpid ()) !sock_counter)
 
-let with_server ?max_conns ?max_line_bytes ?shed_wait_p95 ?store ?(jobs = 4) f
-    =
+let with_server ?max_conns ?max_line_bytes ?shed_wait_p95 ?slow_ms ?store
+    ?(jobs = 4) f =
   with_no_store_env (fun () ->
       Pool.with_pool ~jobs (fun pool ->
           let path = fresh_sock_path () in
           let server =
             Server.create ~emit_wall_ms:false ?max_conns ?max_line_bytes
-              ?shed_wait_p95 ?store ~pool (Server.Unix_socket path)
+              ?shed_wait_p95 ?slow_ms ?store ~pool (Server.Unix_socket path)
           in
           let d = Domain.spawn (fun () -> Server.run server) in
           Fun.protect
@@ -445,6 +445,297 @@ let test_shed_on_queue_wait () =
               check ci "shed counted" 1
                 (Obs.Metrics.counter_value (Server.shed_total server)))))
 
+let member_int name v =
+  match Jsonx.member name v with
+  | Some (Jsonx.Int i) -> Some i
+  | Some _ | None -> None
+
+(* ---------- dispatcher-answered endpoints under saturation ---------- *)
+
+(* The liveness property: status and the Prometheus scrape are
+   assembled on the dispatcher, so they answer while every pool slot
+   is deliberately wedged. *)
+let test_status_and_scrape_under_saturation () =
+  with_server ~jobs:4 (fun ~path ~server:_ ~pool ->
+      let release = Atomic.make false in
+      (* A [jobs] pool runs submitted tasks on jobs - 1 worker domains
+         (slot 0 belongs to the caller), so jobs wedge tasks pin every
+         worker AND leave a queued backlog: no submitted request can
+         make progress until [release]. *)
+      let wedged = Pool.jobs pool - 1 in
+      Fun.protect
+        ~finally:(fun () -> Atomic.set release true)
+        (fun () ->
+          for _ = 1 to Pool.jobs pool do
+            Pool.submit pool (fun () ->
+                while not (Atomic.get release) do
+                  Unix.sleepf 0.002
+                done)
+          done;
+          wait_for ~what:"pool saturation" (fun () ->
+              Pool.running pool = wedged);
+          (* A fresh connection's status request answers without a pool
+             round-trip. *)
+          let fd = connect path in
+          Fun.protect
+            ~finally:(fun () -> close_fd fd)
+            (fun () ->
+              send_all fd (op_req ~id:1 "status" ^ "\n");
+              let v = parse_response (recv_line fd) in
+              check cs "status ok under saturation" "ok"
+                (Option.value (member_string "status" v) ~default:"<missing>");
+              check ci "status reports the wedged slots" wedged
+                (Option.value (member_int "pool_running" v) ~default:(-1));
+              check Alcotest.bool "status reports pool size" true
+                (member_int "pool_jobs" v = Some (Pool.jobs pool)));
+          (* Same for a plain-HTTP scrape of the metrics registry. *)
+          let http = connect path in
+          Fun.protect
+            ~finally:(fun () -> close_fd http)
+            (fun () ->
+              send_all http "GET /metrics HTTP/1.0\r\n\r\n";
+              let resp = recv_all http in
+              check Alcotest.bool "HTTP 200" true
+                (String.starts_with ~prefix:"HTTP/1.0 200 OK" resp);
+              List.iter
+                (fun family ->
+                  check Alcotest.bool (family ^ " present") true
+                    (let rec scan i =
+                       i + String.length family <= String.length resp
+                       && (String.sub resp i (String.length family) = family
+                          || scan (i + 1))
+                     in
+                     scan 0))
+                [
+                  "serve_connections"; "serve_requests_total";
+                  "pool_slots_idle"; "pool_queue_wait_seconds";
+                ]);
+          (* And the JSON status over HTTP. *)
+          let http2 = connect path in
+          Fun.protect
+            ~finally:(fun () -> close_fd http2)
+            (fun () ->
+              send_all http2 "GET /status HTTP/1.0\r\n\r\n";
+              let resp = recv_all http2 in
+              check Alcotest.bool "HTTP 200" true
+                (String.starts_with ~prefix:"HTTP/1.0 200 OK" resp);
+              match String.index_opt resp '{' with
+              | None -> Alcotest.fail "no JSON body in /status response"
+              | Some i ->
+                  let body =
+                    String.sub resp i (String.length resp - i)
+                  in
+                  let v = parse_response (String.trim body) in
+                  check ci "body reports the wedged slots" wedged
+                    (Option.value (member_int "pool_running" v) ~default:(-1))));
+      wait_for ~what:"pool to go idle" (fun () ->
+          Pool.idle_slots pool = Pool.jobs pool))
+
+(* ---------- slow capture over the socket ---------- *)
+
+let test_slow_capture_over_socket () =
+  Obs.Clock.use_fake ();
+  Obs.Slow.clear ();
+  Fun.protect
+    ~finally:(fun () ->
+      Obs.Slow.clear ();
+      Obs.Clock.use_real ())
+    (fun () ->
+      (* Threshold 0 and a tick clock: every request is slow. *)
+      with_server ~slow_ms:0. (fun ~path ~server:_ ~pool:_ ->
+          let reqs =
+            [ load_req ~id:1 ~n:6; op_req ~id:2 "identifiable" ]
+          in
+          ignore (run_client path reqs);
+          let fd = connect path in
+          Fun.protect
+            ~finally:(fun () -> close_fd fd)
+            (fun () ->
+              send_all fd
+                (req
+                   [
+                     ("id", Jsonx.Int 1);
+                     ("op", Jsonx.String "slow");
+                     ("limit", Jsonx.Int 8);
+                   ]
+                ^ "\n");
+              let v = parse_response (recv_line fd) in
+              check cs "slow op ok" "ok"
+                (Option.value (member_string "status" v) ~default:"<missing>");
+              match Jsonx.member "entries" v with
+              | Some (Jsonx.List entries) ->
+                  check Alcotest.bool "both requests captured" true
+                    (List.length entries >= 2);
+                  List.iter
+                    (fun e ->
+                      check Alcotest.bool "entry carries a request id" true
+                        (match member_int "req" e with
+                        | Some r -> r > 0
+                        | None -> false);
+                      check Alcotest.bool "entry carries the connection id"
+                        true
+                        (match member_int "conn" e with
+                        | Some c -> c >= 0
+                        | None -> false))
+                    entries;
+                  (* The newest captured request with spans must carry
+                     the serve.request root. *)
+                  check Alcotest.bool "a span tree was captured" true
+                    (List.exists
+                       (fun e ->
+                         match Jsonx.member "spans" e with
+                         | Some (Jsonx.List (_ :: _)) -> true
+                         | Some _ | None -> false)
+                       entries)
+              | Some _ | None -> Alcotest.fail "slow response lacks entries")))
+
+(* ---------- shed guard on the empty histogram ---------- *)
+
+let test_no_shed_before_first_observation () =
+  (* A negative threshold is always exceeded by a real quantile — but
+     an empty histogram must read as "no evidence", not "p95 = 0", so
+     the first client is admitted no matter the threshold. *)
+  with_server ~shed_wait_p95:(-1.0) (fun ~path ~server ~pool:_ ->
+      let a = connect path in
+      Fun.protect
+        ~finally:(fun () -> close_fd a)
+        (fun () ->
+          send_all a (op_req ~id:1 "stats" ^ "\n");
+          check cs "first client admitted despite threshold -1" "no_session"
+            (Option.value
+               (member_string "code" (parse_response (recv_line a)))
+               ~default:"<missing>");
+          check ci "nothing shed" 0
+            (Obs.Metrics.counter_value (Server.shed_total server));
+          (* Once the histogram holds the first wait, the threshold
+             applies again. *)
+          let b = connect path in
+          Fun.protect
+            ~finally:(fun () -> close_fd b)
+            (fun () ->
+              check cs "second client shed" "overloaded"
+                (Option.value
+                   (member_string "code" (parse_response (recv_line b)))
+                   ~default:"<missing>"))))
+
+(* ---------- socket-mode log/trace determinism ---------- *)
+
+(* The acceptance contract of the observability layer: with the fake
+   clock, a serialized socket session produces byte-identical
+   structured logs and traces across runs and across --jobs levels,
+   and every request-scoped event carries its request id. *)
+let test_socket_log_trace_jobs_invariant () =
+  let reqs = workload 1 in
+  let run jobs =
+    let buf = Buffer.create 2048 in
+    Fun.protect
+      ~finally:(fun () ->
+        Obs.Log.disable ();
+        Obs.Log.set_level Obs.Log.Info;
+        Obs.Trace.disable ();
+        Obs.Trace.clear ();
+        Obs.Slow.clear ();
+        Obs.Clock.use_real ())
+      (fun () ->
+        Obs.Clock.use_fake ();
+        Obs.Ctx.reset_ids ();
+        Obs.Trace.clear ();
+        Obs.Trace.enable ();
+        Obs.Log.set_level Obs.Log.Debug;
+        Obs.Log.to_buffer buf;
+        Obs.Slow.clear ();
+        let transcript = ref "" in
+        let sock = ref "" in
+        with_server ~jobs ~slow_ms:0. (fun ~path ~server:_ ~pool:_ ->
+            sock := path;
+            transcript := run_client path reqs);
+        (* The serve.listen event carries the (per-run) socket path:
+           the one legitimately run-dependent byte sequence. *)
+        let scrub s =
+          let pat = !sock in
+          let lp = String.length pat in
+          let b = Buffer.create (String.length s) in
+          let i = ref 0 in
+          while !i < String.length s do
+            if
+              lp > 0
+              && !i + lp <= String.length s
+              && String.sub s !i lp = pat
+            then begin
+              Buffer.add_string b "<sock>";
+              i := !i + lp
+            end
+            else begin
+              Buffer.add_char b s.[!i];
+              incr i
+            end
+          done;
+          Buffer.contents b
+        in
+        (!transcript, scrub (Buffer.contents buf), Obs.Trace.to_chrome_json ()))
+  in
+  (* On the socket path a worker's trailing latency/busy clock reads
+     race with the dispatcher picking up the next pipelined request,
+     so tick-exact times are only reproducible at a fixed --jobs;
+     across jobs levels the times are scrubbed and everything else —
+     event sequence, levels, request/connection attribution, span
+     structure — must not move by a byte.  (The stdin serve loop
+     dispatches synchronously, which is why the CLI golden leg can
+     diff the raw bytes across --jobs.) *)
+  let scrub_times s =
+    let keys = [ {|"ts":|}; {|"dur":|}; {|"wall_ms":|}; {|"queue_ms":|} ] in
+    let n = String.length s in
+    let b = Buffer.create n in
+    let starts_at i k =
+      i + String.length k <= n && String.sub s i (String.length k) = k
+    in
+    let is_num c =
+      (c >= '0' && c <= '9')
+      || c = '.' || c = '-' || c = '+' || c = 'e' || c = 'E'
+    in
+    let i = ref 0 in
+    while !i < n do
+      match List.find_opt (starts_at !i) keys with
+      | Some k ->
+          Buffer.add_string b k;
+          Buffer.add_char b '_';
+          i := !i + String.length k;
+          while !i < n && is_num s.[!i] do
+            incr i
+          done
+      | None ->
+          Buffer.add_char b s.[!i];
+          incr i
+    done;
+    Buffer.contents b
+  in
+  let t1, log1, trace1 = run 1 in
+  let t1b, log1b, trace1b = run 1 in
+  let t4, log4, trace4 = run 4 in
+  check cs "transcript equal across runs" t1 t1b;
+  check cs "event log byte-identical across runs" log1 log1b;
+  check cs "trace byte-identical across runs" trace1 trace1b;
+  check cs "transcript equal across jobs 1 vs 4" t1 t4;
+  check cs "event log identical across jobs 1 vs 4 (times scrubbed)"
+    (scrub_times log1) (scrub_times log4);
+  check cs "trace identical across jobs 1 vs 4 (times scrubbed)"
+    (scrub_times trace1) (scrub_times trace4);
+  (* Attribution: the per-request events and every span carry ids. *)
+  let contains hay needle =
+    let lh = String.length hay and ln = String.length needle in
+    let rec scan i =
+      i + ln <= lh && (String.sub hay i ln = needle || scan (i + 1))
+    in
+    ln = 0 || scan 0
+  in
+  String.split_on_char '\n' log1
+  |> List.iter (fun l ->
+         if contains l "serve.request" || contains l "serve.slow" then
+           check Alcotest.bool ("log line carries req: " ^ l) true
+             (contains l {|"req":|}));
+  check Alcotest.bool "trace spans carry req args" true
+    (contains trace1 {|"req":|})
+
 (* ---------- NETTOMO_CHECK soak determinism ---------- *)
 
 let soak_clients = 8
@@ -561,6 +852,14 @@ let suite =
     Alcotest.test_case "shed at max connections" `Quick test_shed_at_max_conns;
     Alcotest.test_case "shed on pool queue-wait p95" `Quick
       test_shed_on_queue_wait;
+    Alcotest.test_case "no shed before the first queue-wait observation"
+      `Quick test_no_shed_before_first_observation;
+    Alcotest.test_case "status and scrape answer under pool saturation"
+      `Quick test_status_and_scrape_under_saturation;
+    Alcotest.test_case "slow-query ring captures attributed requests" `Quick
+      test_slow_capture_over_socket;
+    Alcotest.test_case "socket log/trace byte-identical across jobs" `Quick
+      test_socket_log_trace_jobs_invariant;
     Alcotest.test_case "NETTOMO_CHECK soak: counters deterministic" `Quick
       test_soak_determinism;
   ]

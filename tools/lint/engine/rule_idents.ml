@@ -60,6 +60,36 @@ let check_wall_clock source =
       | _ -> ());
   List.rev !out
 
+(* no-raw-stderr: library and bench code must not write to stderr
+   directly — diagnostics go through the structured Obs.Log so they
+   carry request attribution, respect the level gate and land in the
+   --log file. [eprintf] catches Printf.eprintf and Format.eprintf
+   alike (any qualification); the [prerr_*] family is the bare stdlib
+   channel. bin/ keeps raw stderr: CLI usage errors are for humans on
+   a terminal, not for the event log. *)
+let check_raw_stderr source =
+  on_structure source @@ fun str ->
+  let out = ref [] in
+  iter_expressions_str str (fun e ->
+      match e.Parsetree.pexp_desc with
+      | Parsetree.Pexp_ident { txt; loc }
+        when lid_last txt = "eprintf"
+             ||
+             match txt with
+             | Longident.Lident
+                 ( "prerr_endline" | "prerr_string" | "prerr_newline"
+                 | "prerr_char" | "prerr_bytes" | "prerr_int" | "prerr_float" )
+               ->
+                 true
+             | _ -> false ->
+          out :=
+            v ~line:(line_of_loc loc) ~rule_id:"no-raw-stderr"
+              "raw stderr write in library code; emit a structured event via \
+               Nettomo_obs.Obs.Log"
+            :: !out
+      | _ -> ());
+  List.rev !out
+
 let rules =
   [
     {
@@ -86,5 +116,14 @@ let rules =
       scope = Any_ml;
       allowlist = [ "lib/obs/obs.ml" ];
       check = check_wall_clock;
+    };
+    {
+      id = "no-raw-stderr";
+      description =
+        "no Printf.eprintf / prerr_* in lib/ or bench/ outside Obs.Log";
+      fix_hint = "emit a structured event via Nettomo_obs.Obs.Log";
+      scope = Dirs_ml [ "lib"; "bench" ];
+      allowlist = [ "lib/obs/obs.ml" ];
+      check = check_raw_stderr;
     };
   ]
